@@ -1,0 +1,11 @@
+"""Regenerates the related-work architecture comparison (extension)."""
+
+from repro.experiments.architectures import run_architectures
+
+
+def bench_architectures(regenerate):
+    report = regenerate(run_architectures)
+    by_name = {row[0]: row for row in report.rows}
+    rejuvenating = by_name["6-version BFT 2f+r+1 + rejuvenation (paper)"]
+    # the paper's rejuvenating architecture dominates under strict-correct
+    assert rejuvenating[4] == max(row[4] for row in report.rows)

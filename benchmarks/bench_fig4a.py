@@ -1,0 +1,20 @@
+"""Regenerates Fig. 4(a): E[R] vs mean time to compromise (1/lambda_c).
+
+Paper claims: both systems improve with 1/lambda_c; the four-version
+system wins below ~525 s and above ~6000 s, the six-version system wins
+in between.
+"""
+
+from repro.experiments.fig4 import run_fig4a
+
+
+def bench_fig4a(regenerate):
+    report = regenerate(run_fig4a)
+    winners = [row[3] for row in report.rows]
+    # 4v wins at the left edge, 6v in the middle, 4v again at the right edge
+    assert winners[0] == "4v"
+    assert "6v" in winners
+    assert winners[-1] == "4v"
+    # two crossovers located
+    crossover_lines = [o for o in report.observations if "crossover" in o]
+    assert len(crossover_lines) == 2

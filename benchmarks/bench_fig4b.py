@@ -1,0 +1,18 @@
+"""Regenerates Fig. 4(b): E[R] vs the error-dependency factor alpha.
+
+Paper claims: lower dependency is better; total impact ~1.5 % for the
+four-version and ~6.6 % for the six-version system.
+"""
+
+from repro.experiments.fig4 import run_fig4b
+
+
+def bench_fig4b(regenerate):
+    report = regenerate(run_fig4b)
+    four = report.plot_series["4v"]
+    six = report.plot_series["6v"]
+    assert four[0] > four[-1]
+    assert six[0] > six[-1]
+    span4 = (four[0] - four[-1]) / four[0]
+    span6 = (six[0] - six[-1]) / six[0]
+    assert span6 > span4, "alpha must hit the rejuvenating system harder"

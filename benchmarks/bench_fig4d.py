@@ -1,0 +1,17 @@
+"""Regenerates Fig. 4(d): E[R] vs the compromised-module inaccuracy p'.
+
+Paper claims: rejuvenation mitigates even p' = 0.8; the six-version
+system only pays off for p' > 0.3 (we measure the crossover near 0.27).
+"""
+
+from repro.experiments.fig4 import run_fig4d
+
+
+def bench_fig4d(regenerate):
+    report = regenerate(run_fig4d)
+    winners = {row[0]: row[3] for row in report.rows}
+    assert winners[0.1] == "4v"
+    assert winners[0.5] == "6v"
+    assert winners[0.8] == "6v"
+    crossover_lines = [o for o in report.observations if "crossover" in o]
+    assert len(crossover_lines) == 1

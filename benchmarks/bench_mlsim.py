@@ -1,0 +1,17 @@
+"""Substrate benchmark: the §V-A parameter-derivation pipeline.
+
+Trains the three-version classifier ensemble on the synthetic GTSRB
+stand-in, injects faults and measures (p, p').
+"""
+
+from repro.mlsim import estimate_parameters
+
+
+def bench_parameter_derivation(benchmark):
+    derived = benchmark.pedantic(
+        estimate_parameters, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print(derived.summary())
+    assert 0.03 <= derived.p <= 0.15
+    assert derived.p_prime > derived.p

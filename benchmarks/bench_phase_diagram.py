@@ -1,0 +1,13 @@
+"""Regenerates the (mttc, p') deployment phase diagram (extension)."""
+
+from repro.experiments.phase import run_phase_diagram
+
+
+def bench_phase_diagram(regenerate):
+    report = regenerate(run_phase_diagram)
+    winners = {(row[0], row[1]): row[3] for row in report.rows}
+    # the paper's two one-dimensional crossovers appear as phase edges:
+    assert winners[(1523, 0.5)] == "6v"  # default operating point
+    assert winners[(1523, 0.1)] == "4v"  # Fig. 4d left side
+    assert winners[(300, 0.5)] == "4v"  # Fig. 4a left side
+    assert winners[(10000, 0.5)] == "4v"  # Fig. 4a right side

@@ -1,0 +1,11 @@
+"""Regenerates the (N, f, r) scaling study (extension experiment)."""
+
+from repro.experiments.scaling import run_scaling
+
+
+def bench_scaling(regenerate):
+    report = regenerate(run_scaling)
+    rejuvenating = {row[0]: row[2] for row in report.rows if row[2] == row[2]}
+    plain = {row[0]: row[1] for row in report.rows}
+    # rejuvenation dominates every clockless configuration from N=6 on
+    assert min(rejuvenating.values()) > max(plain.values())

@@ -1,0 +1,40 @@
+"""Substrate benchmarks: discrete-event simulation throughput.
+
+Tracks both the generic DSPN simulator (events/s over the six-version
+rejuvenation net) and the domain-level perception runtime (requests/s
+including per-request voting).
+"""
+
+from repro.dspn import simulate
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.rejuvenation import build_rejuvenation_net
+from repro.perception.statemap import module_counts
+from repro.simulation import PerceptionRuntime
+
+
+def bench_dspn_simulator(benchmark):
+    parameters = PerceptionParameters.six_version_defaults()
+    net = build_rejuvenation_net(parameters)
+
+    def run():
+        return simulate(
+            net,
+            reward=lambda m: float(module_counts(m).healthy),
+            horizon=50000.0,
+            replications=2,
+            seed=0,
+        )
+
+    estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0.0 < estimate.mean <= 6.0
+
+
+def bench_perception_runtime(benchmark):
+    parameters = PerceptionParameters.six_version_defaults()
+
+    def run():
+        runtime = PerceptionRuntime(parameters, request_period=1.0, seed=0)
+        return runtime.run(20000.0)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.requests > 19000

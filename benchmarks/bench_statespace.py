@@ -1,0 +1,29 @@
+"""Substrate benchmarks: reachability-graph generation.
+
+State counts grow as O(n^2) for the clockless net and roughly 5x that
+for the rejuvenating net (clock + activation places); this bench tracks
+the exploration cost separately from the numerical solve.
+"""
+
+import pytest
+
+from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.rejuvenation import build_rejuvenation_net
+from repro.statespace import tangible_reachability
+
+
+@pytest.mark.parametrize("n_modules", [8, 16, 32])
+def bench_reachability_no_rejuvenation(benchmark, n_modules):
+    parameters = PerceptionParameters(n_modules=n_modules, f=1, rejuvenation=False)
+    net = build_no_rejuvenation_net(parameters)
+    graph = benchmark(tangible_reachability, net)
+    assert graph.n_states == (n_modules + 1) * (n_modules + 2) // 2
+
+
+@pytest.mark.parametrize("n_modules", [6, 12, 18])
+def bench_reachability_rejuvenation(benchmark, n_modules):
+    parameters = PerceptionParameters(n_modules=n_modules, f=1, r=1, rejuvenation=True)
+    net = build_rejuvenation_net(parameters)
+    graph = benchmark(tangible_reachability, net)
+    assert graph.n_states > 0

@@ -1,0 +1,16 @@
+"""Regenerates the §V-B headline numbers (Table II defaults).
+
+Paper: E[R_4v] = 0.8233477, E[R_6v] = 0.93464665, improvement > 13 %.
+"""
+
+from repro.experiments.headline import run_headline
+
+
+def bench_table2_headline(regenerate):
+    report = regenerate(run_headline)
+    rows = {row[0]: row[1] for row in report.rows}
+    r4 = rows["4-version (no rejuvenation)"]
+    r6 = rows["6-version (rejuvenation)"]
+    assert abs(r4 - 0.8233477) / 0.8233477 < 0.005
+    assert abs(r6 - 0.93464665) / 0.93464665 < 0.015
+    assert r6 / r4 > 1.13

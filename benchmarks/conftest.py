@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures.  The benchmark fixture measures the end-to-end regeneration
+time; the report (the same rows/series the paper shows) is printed once
+after measurement so ``pytest benchmarks/ --benchmark-only -s`` doubles
+as the reproduction log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Benchmark an experiment runner once and print its report."""
+
+    def run(runner, *args, **kwargs):
+        report = benchmark.pedantic(
+            runner, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        print()
+        print(report.render())
+        return report
+
+    return run

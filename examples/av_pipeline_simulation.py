@@ -1,0 +1,68 @@
+"""An autonomous-vehicle perception pipeline, executed event by event.
+
+The paper's models are analytic; this example runs the *system* instead:
+six diverse ML modules classify a 10 Hz stream of traffic-sign frames
+behind a BFT voter while faults compromise modules, compromised modules
+crash, repairs bring them back, and the rejuvenation clock proactively
+cleanses one random module every 10 minutes.
+
+Two voting agreement models are compared:
+
+* worst-case — all wrong outputs collude (the analytic model's reading);
+* per-label  — wrong outputs carry real (usually differing) labels, so
+  disagreeing wrong modules push the vote to a safe "inconclusive"
+  instead of an error.
+
+Run:  python examples/av_pipeline_simulation.py
+"""
+
+from repro import PerceptionParameters
+from repro.perception.evaluation import evaluate
+from repro.simulation import AgreementModel, PerceptionRuntime
+
+SIMULATED_HOURS = 24.0
+
+
+def drive(parameters: PerceptionParameters, agreement: AgreementModel, seed: int):
+    runtime = PerceptionRuntime(
+        parameters,
+        request_period=0.1,  # 10 Hz camera frames
+        agreement=agreement,
+        n_labels=43,  # GTSRB-sized label space
+        seed=seed,
+    )
+    return runtime.run(SIMULATED_HOURS * 3600.0, warmup=600.0)
+
+
+def main() -> None:
+    parameters = PerceptionParameters.six_version_defaults()
+    analytic = evaluate(parameters).expected_reliability
+
+    print(f"simulating {SIMULATED_HOURS:.0f} h of driving at 10 Hz "
+          f"({SIMULATED_HOURS * 36000:.0f} frames), six-version + rejuvenation")
+    print(f"analytic E[R] (safe-skip, Eq. 1): {analytic:.4f}")
+    print()
+
+    for agreement in (AgreementModel.WORST_CASE, AgreementModel.PER_LABEL):
+        report = drive(parameters, agreement, seed=2023)
+        print(f"-- voter agreement model: {agreement.value} --")
+        print(f"  frames voted        : {report.requests}")
+        print(f"  correct             : {report.correct}"
+              f"  ({report.correct / report.requests:.2%})")
+        print(f"  perception errors   : {report.errors}"
+              f"  ({report.errors / report.requests:.2%})")
+        print(f"  inconclusive (safe) : {report.inconclusive}")
+        print(f"  empirical reliability (safe-skip) : "
+              f"{report.reliability_safe_skip:.4f}")
+        print()
+
+    print(
+        "The worst-case voter matches the analytic model; with realistic\n"
+        "per-label voting, wrong modules rarely agree on the same wrong\n"
+        "sign, so nearly all would-be errors become safe skips — the\n"
+        "analytic model is a conservative bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

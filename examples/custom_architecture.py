@@ -1,0 +1,125 @@
+"""Modeling your own perception architecture with the DSPN toolkit.
+
+The paper instantiates two architectures; this example builds a *third*
+one directly against the Petri net API: a three-version system with
+simple 2-out-of-3 majority voting (the scheme of Wen & Machida [11]) and
+a rejuvenation clock, which is outside the BFT sizing rules the
+high-level PerceptionParameters enforce.
+
+It shows the full low-level workflow:
+
+1. build the DSPN with NetBuilder (guards, weights, a deterministic
+   clock),
+2. solve it (the library picks the MRGP route automatically),
+3. attach a custom reliability reward and compute E[R],
+4. cross-check by discrete-event simulation,
+5. export the net to Graphviz for inspection.
+
+Run:  python examples/custom_architecture.py
+"""
+
+from repro.dspn import simulate, solve_steady_state
+from repro.nversion import GeneralizedReliability
+from repro.petri import NetBuilder, count
+from repro.petri.dot import to_dot
+
+MTTC = 1523.0  # mean time to compromise (s), as in Table II
+MTTF = 3000.0  # mean time from compromised to crashed (s)
+MTTR = 3.0  # repair time (s)
+REJUVENATION_INTERVAL = 600.0
+REJUVENATION_TIME = 3.0
+
+
+def build_three_version_net():
+    """A 3-version pool with a clock that rejuvenates one module."""
+    builder = NetBuilder("three-version-majority")
+    builder.place("Pmh", tokens=3).place("Pmc").place("Pmf").place("Pmr")
+    builder.place("Prc", tokens=1).place("Ptr").place("Pac")
+
+    builder.exponential("Tc", rate=1 / MTTC, inputs={"Pmh": 1}, outputs={"Pmc": 1})
+    builder.exponential("Tf", rate=1 / MTTF, inputs={"Pmc": 1}, outputs={"Pmf": 1})
+    builder.exponential("Tr", rate=1 / MTTR, inputs={"Pmf": 1}, outputs={"Pmh": 1})
+
+    builder.deterministic(
+        "Trc", delay=REJUVENATION_INTERVAL, inputs={"Prc": 1}, outputs={"Ptr": 1}
+    )
+    builder.immediate(
+        "Tac",
+        priority=3,
+        guard=(count("Pac") + count("Pmr")) == 0,
+        inputs={"Ptr": 1},
+        outputs={"Ptr": 1, "Pac": 1},
+    )
+    guard_capacity = (count("Pmf") + count("Pmr")) < 1
+    builder.immediate(
+        "Trj1",
+        priority=2,
+        guard=guard_capacity,
+        weight=lambda m: max(m["Pmc"], 1e-5) / max(m["Pmc"] + m["Pmh"], 1),
+        inputs={"Pmc": 1, "Pac": 1},
+        outputs={"Pmr": 1},
+    )
+    builder.immediate(
+        "Trj2",
+        priority=2,
+        guard=guard_capacity,
+        weight=lambda m: max(m["Pmh"], 1e-5) / max(m["Pmc"] + m["Pmh"], 1),
+        inputs={"Pmh": 1, "Pac": 1},
+        outputs={"Pmr": 1},
+    )
+    builder.immediate(
+        "Trt",
+        priority=1,
+        guard=(count("Pmr") + count("Pac")) > 0,
+        inputs={"Ptr": 1},
+        outputs={"Prc": 1},
+    )
+    builder.exponential(
+        "Trj",
+        rate=lambda m: 1.0 / (REJUVENATION_TIME * m["Pmr"]),
+        guard=count("Pmr") > 0,
+        inputs={"Pmr": 1},
+        outputs={"Pmh": 1},
+    )
+    return builder.build()
+
+
+def main() -> None:
+    net = build_three_version_net()
+    result = solve_steady_state(net)
+    print(f"net solved via {result.method.upper()}, "
+          f"{len(result.markings)} tangible markings")
+
+    # 2-out-of-3 majority voting with the generalized reliability model
+    majority = GeneralizedReliability(
+        n_modules=3, threshold=2, p=0.08, p_prime=0.5, alpha=0.5
+    )
+
+    def reward(marking):
+        return majority(
+            marking["Pmh"], marking["Pmc"], marking["Pmf"] + marking["Pmr"]
+        )
+
+    analytic = result.expected_reward(reward)
+    print(f"analytic E[R] (2-out-of-3 majority): {analytic:.5f}")
+
+    estimate = simulate(
+        net, reward=reward, horizon=100000.0, warmup=2000.0,
+        replications=6, seed=7,
+    )
+    low, high = estimate.interval
+    print(f"simulated E[R]: {estimate.mean:.5f}  (95 % CI [{low:.5f}, {high:.5f}])")
+
+    print()
+    print("steady-state module census:")
+    for marking, probability in result.distribution()[:5]:
+        print(f"  pi = {probability:.4f}   {marking.compact()}")
+
+    dot = to_dot(net)
+    print()
+    print(f"Graphviz export: {len(dot.splitlines())} lines "
+          "(render with `dot -Tpng` to compare against Fig. 2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Mission-oriented dependability questions (extension of the paper).
+
+The paper evaluates long-run (steady-state) output reliability; a fleet
+operator planning a *mission* — a 2-hour autonomous drive, say — asks
+time-domain questions instead.  For the clockless four-version system
+(a CTMC) the library answers them exactly:
+
+* transient reliability: E[R(t)] from a fresh deployment,
+* mean time until the voting quorum is first lost,
+* probability of losing the quorum at least once within the mission,
+* exact elasticities of E[R] with respect to the fault/repair times.
+
+Run:  python examples/mission_reliability.py
+"""
+
+from repro import PerceptionParameters, PerceptionSystem
+from repro.perception.metrics import (
+    exact_rate_elasticities,
+    mean_time_to_quorum_loss,
+    quorum_loss_probability,
+)
+
+
+def main() -> None:
+    parameters = PerceptionParameters.four_version_defaults()
+    system = PerceptionSystem(parameters)
+
+    print("== transient output reliability (fresh deployment) ==")
+    times = [0.0, 600.0, 1800.0, 3600.0, 7200.0, 36000.0, 360000.0]
+    trajectory = system.transient_reliability(times)
+    for time, value in zip(trajectory.times, trajectory.rewards):
+        print(f"  t = {time:>9.0f} s   E[R(t)] = {value:.5f}")
+    print(f"  steady state          E[R]    = {system.expected_reliability():.5f}")
+    print()
+
+    print("== quorum-loss risk (voter needs 2f+1 = 3 operational modules) ==")
+    mean_loss = mean_time_to_quorum_loss(parameters)
+    print(f"  mean time to first quorum loss: {mean_loss:,.0f} s "
+          f"({mean_loss / 3600:.0f} h)")
+    for hours in (2, 8, 24):
+        probability = quorum_loss_probability(parameters, hours * 3600.0)
+        print(f"  P(quorum lost within {hours:>2d} h drive): {probability:.5f}")
+    print()
+
+    print("== exact elasticities of E[R] (no finite differences) ==")
+    for name, value in exact_rate_elasticities(parameters).items():
+        direction = "helps" if value > 0 else "hurts"
+        print(f"  +1% {name}: {value * 1:+.4f} %  ({direction})")
+    print()
+    print(
+        "Reading: the compromise and failure times dominate; the 3-second\n"
+        "repair time is so short that improving it further buys nothing —\n"
+        "invest in attack resistance (mttc), not in faster restarts."
+    )
+
+
+if __name__ == "__main__":
+    main()

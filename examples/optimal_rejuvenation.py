@@ -1,0 +1,57 @@
+"""Finding the best rejuvenation interval for a deployment (Fig. 3).
+
+An operator knows the fault environment (mean time to compromise, the
+module inaccuracies) and must pick the rejuvenation clock period.  This
+example sweeps the interval like the paper's Fig. 3, draws the curve,
+and runs the bounded optimizer to pin the best value — for the default
+environment and for a harsher one where attacks land four times as
+often.
+
+Run:  python examples/optimal_rejuvenation.py
+"""
+
+from repro import PerceptionParameters
+from repro.analysis import optimal_rejuvenation_interval, sweep_parameter
+from repro.utils.ascii_plot import line_plot
+
+
+def analyze_environment(name: str, base: PerceptionParameters) -> None:
+    intervals = [200, 300, 450, 600, 900, 1200, 1800, 2400, 3000]
+    sweep = sweep_parameter(base, "rejuvenation_interval", intervals)
+
+    print(f"== environment: {name} (mttc = {base.mttc:.0f} s) ==")
+    print(
+        line_plot(
+            list(sweep.values),
+            {"E[R]": list(sweep.reliabilities)},
+            height=10,
+            width=60,
+            x_label="rejuvenation interval (s)",
+        )
+    )
+    optimum = optimal_rejuvenation_interval(base, low=150.0, high=3000.0, tolerance=5.0)
+    grid_best_value, grid_best_reliability = sweep.argmax()
+    print(f"  best grid point   : {grid_best_value:.0f} s -> E[R] = {grid_best_reliability:.5f}")
+    print(
+        f"  optimizer         : {optimum.interval:.0f} s -> E[R] = "
+        f"{optimum.reliability:.5f} ({optimum.evaluations} evaluations)"
+    )
+    print()
+
+
+def main() -> None:
+    default_environment = PerceptionParameters.six_version_defaults()
+    harsh_environment = PerceptionParameters.six_version_defaults(mttc=380.0)
+    analyze_environment("paper default", default_environment)
+    analyze_environment("4x faster attacks", harsh_environment)
+    print(
+        "Note: with the paper's printed (safe-skip) reliability functions the\n"
+        "curve is monotone — rejuvenating as often as the mechanism allows is\n"
+        "optimal, and at Table II parameters the strict-correct convention\n"
+        "agrees; an interior optimum needs rejuvenation downtime comparable\n"
+        "to the clock period (see EXPERIMENTS.md, fig3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Which parameter matters most? (Fig. 4 + an elasticity tornado.)
+
+Reruns the paper's four sensitivity sweeps — mean time to compromise,
+error dependency, healthy inaccuracy, compromised inaccuracy — locating
+the crossover points between the two architectures, then ranks all
+parameters by elasticity (percent change of E[R] per percent change of
+the parameter), an analysis the paper does not include.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro import PerceptionParameters
+from repro.analysis import elasticities, find_crossovers
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    for experiment_id in ("fig4a", "fig4b", "fig4c", "fig4d"):
+        report = run_experiment(experiment_id)
+        print(report.render(plot=False))
+        print()
+
+    print("== elasticity ranking (six-version system, Table II defaults) ==")
+    six = PerceptionParameters.six_version_defaults()
+    print(f"{'parameter':28s} {'base':>10s} {'elasticity':>11s}")
+    for result in elasticities(
+        six, ["p", "p_prime", "alpha", "mttc", "mttf", "mttr", "rejuvenation_interval"]
+    ):
+        bar = "#" * min(40, int(abs(result.elasticity) * 400))
+        print(
+            f"{result.parameter:28s} {result.base_value:>10.4g} "
+            f"{result.elasticity:>+11.4f}  {bar}"
+        )
+    print()
+
+    print("== where does rejuvenation stop paying off? ==")
+    four = PerceptionParameters.four_version_defaults()
+    for crossing in find_crossovers(four, six, "p_prime", [0.05, 0.3, 0.6]):
+        print(
+            f"  p' = {crossing.value:.3f}: below this the 4-version system wins, "
+            f"above it rejuvenation wins (E[R] at tie: {crossing.reliability:.4f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — N-version perception-system reliability with rejuvenation.
+
+A full reproduction of *"Enhancing the Reliability of Perception Systems
+using N-version Programming and Rejuvenation"* (Mendonça, Machida, Völp;
+DSN 2023), built from scratch:
+
+* a DSPN modelling engine with CTMC and Markov-regenerative analytic
+  solvers and a discrete-event simulator (:mod:`repro.petri`,
+  :mod:`repro.statespace`, :mod:`repro.markov`, :mod:`repro.dspn`);
+* the paper's reliability theory — BFT voting, dependent-failure models
+  and the per-state reliability functions (:mod:`repro.nversion`);
+* the perception-system models and evaluation pipeline
+  (:mod:`repro.perception`);
+* an event-driven N-version perception runtime and an ML substitution
+  layer (:mod:`repro.simulation`, :mod:`repro.mlsim`);
+* the experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`) and an analysis toolkit
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import PerceptionParameters, PerceptionSystem
+
+    baseline = PerceptionSystem(PerceptionParameters.four_version_defaults())
+    rejuvenating = PerceptionSystem(PerceptionParameters.six_version_defaults())
+    print(baseline.expected_reliability())      # ≈ 0.8223
+    print(rejuvenating.expected_reliability())  # ≈ 0.9430
+"""
+
+from repro.errors import (
+    ModelDefinitionError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    StateSpaceError,
+    UnsupportedModelError,
+)
+from repro.nversion import (
+    GeneralizedReliability,
+    OutputConvention,
+    PaperFourVersionReliability,
+    PaperSixVersionReliability,
+    VotingScheme,
+)
+from repro.perception import (
+    EvaluationResult,
+    PerceptionParameters,
+    PerceptionSystem,
+    evaluate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvaluationResult",
+    "GeneralizedReliability",
+    "ModelDefinitionError",
+    "OutputConvention",
+    "PaperFourVersionReliability",
+    "PaperSixVersionReliability",
+    "ParameterError",
+    "PerceptionParameters",
+    "PerceptionSystem",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "StateSpaceError",
+    "UnsupportedModelError",
+    "VotingScheme",
+    "evaluate",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Analysis toolkit: parameter sweeps, sensitivity, optima and crossovers.
+
+The paper's §V-B does three kinds of analysis on top of the models:
+
+* vary one parameter and plot E[R] (Figures 3 and 4) —
+  :func:`~repro.analysis.sweeps.sweep_parameter`;
+* find the rejuvenation interval maximizing E[R] —
+  :func:`~repro.analysis.optimize.optimal_rejuvenation_interval`;
+* locate the parameter values where the four-version and six-version
+  curves cross — :func:`~repro.analysis.crossover.find_crossovers`.
+
+:func:`~repro.analysis.sensitivity.elasticities` adds a classical
+normalized-sensitivity (tornado) analysis not in the paper.
+"""
+
+from repro.analysis.crossover import find_crossovers
+from repro.analysis.optimize import optimal_rejuvenation_interval
+from repro.analysis.phase import PhaseDiagram, phase_diagram
+from repro.analysis.provisioning import (
+    ProvisioningOption,
+    cheapest_configuration,
+    provisioning_options,
+)
+from repro.analysis.sensitivity import elasticities
+from repro.analysis.sweeps import SweepResult, sweep_parameter
+
+__all__ = [
+    "PhaseDiagram",
+    "ProvisioningOption",
+    "SweepResult",
+    "cheapest_configuration",
+    "elasticities",
+    "find_crossovers",
+    "optimal_rejuvenation_interval",
+    "phase_diagram",
+    "provisioning_options",
+    "sweep_parameter",
+]

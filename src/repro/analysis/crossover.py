@@ -1,0 +1,92 @@
+"""Crossover detection between two system configurations.
+
+Figure 4(a) and 4(d) of the paper identify parameter values where the
+four-version system (no rejuvenation) overtakes the six-version system
+(with rejuvenation) or vice versa.  This module locates such crossings
+precisely with bracketed root finding on the reliability difference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.analysis.sweeps import SWEEPABLE
+from repro.errors import ParameterError
+from repro.nversion.conventions import OutputConvention
+from repro.perception.evaluation import evaluate
+from repro.perception.parameters import PerceptionParameters
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """A parameter value where the two configurations are equally reliable."""
+
+    parameter: str
+    value: float
+    reliability: float
+    winner_above: str  # "a" or "b": which configuration wins for larger values
+
+
+def find_crossovers(
+    config_a: PerceptionParameters,
+    config_b: PerceptionParameters,
+    parameter: str,
+    grid: Sequence[float],
+    *,
+    convention: OutputConvention = OutputConvention.SAFE_SKIP,
+    tolerance: float = 1e-10,
+    max_states: int = 200_000,
+) -> list[Crossover]:
+    """Locate every sign change of ``E[R_a] - E[R_b]`` along ``grid``.
+
+    The grid provides the brackets; each sign change is refined with
+    Brent's method.  Both configurations receive the same parameter
+    value at every evaluation.
+    """
+    if parameter not in SWEEPABLE:
+        raise ParameterError(
+            f"cannot sweep {parameter!r}; choose one of {sorted(SWEEPABLE)}"
+        )
+    if len(grid) < 2:
+        raise ParameterError("grid needs at least two points to bracket crossings")
+
+    def difference(value: float) -> float:
+        a = evaluate(
+            config_a.replace(**{parameter: float(value)}),
+            convention=convention,
+            max_states=max_states,
+        ).expected_reliability
+        b = evaluate(
+            config_b.replace(**{parameter: float(value)}),
+            convention=convention,
+            max_states=max_states,
+        ).expected_reliability
+        return a - b
+
+    values = [float(v) for v in grid]
+    differences = [difference(v) for v in values]
+    crossovers: list[Crossover] = []
+    for left, right, d_left, d_right in zip(
+        values, values[1:], differences, differences[1:]
+    ):
+        if d_left == 0.0:
+            continue  # exact tie at a grid point: the refinement below finds it
+        if d_left * d_right < 0:
+            root = brentq(difference, left, right, xtol=tolerance * max(1.0, right))
+            reliability = evaluate(
+                config_a.replace(**{parameter: float(root)}),
+                convention=convention,
+                max_states=max_states,
+            ).expected_reliability
+            crossovers.append(
+                Crossover(
+                    parameter=parameter,
+                    value=float(root),
+                    reliability=reliability,
+                    winner_above="a" if d_right > 0 else "b",
+                )
+            )
+    return crossovers

@@ -1,0 +1,111 @@
+"""Two-parameter phase diagrams: where does rejuvenation pay off?
+
+The paper's Fig. 4 varies parameters one at a time and finds crossovers
+along each axis.  A deployment question is two-dimensional: given the
+attack intensity (1/λc) *and* the severity of a compromise (p'), which
+architecture should run?  This module sweeps both parameters jointly and
+renders the winner map as an ASCII grid — the "phase diagram" of the
+design space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.analysis.sweeps import SWEEPABLE
+from repro.errors import ParameterError
+from repro.perception.evaluation import evaluate
+from repro.perception.parameters import PerceptionParameters
+
+
+@dataclass(frozen=True)
+class PhaseDiagram:
+    """Winner map of two configurations over a 2-D parameter grid."""
+
+    parameter_x: str
+    parameter_y: str
+    x_values: tuple[float, ...]
+    y_values: tuple[float, ...]
+    # advantage[i][j] = E[R_b] - E[R_a] at (y_values[i], x_values[j])
+    advantage: tuple[tuple[float, ...], ...]
+    label_a: str
+    label_b: str
+
+    def winner(self, row: int, column: int) -> str:
+        return self.label_b if self.advantage[row][column] > 0 else self.label_a
+
+    def render(self) -> str:
+        """ASCII winner map: ``B`` where config b wins, ``a`` otherwise."""
+        lines = [
+            f"phase diagram: '{self.label_b.upper()[:1]}' = {self.label_b} wins, "
+            f"'{self.label_a.lower()[:1]}' = {self.label_a} wins"
+        ]
+        width = max(len(f"{v:g}") for v in self.y_values) + 2
+        for row_index in range(len(self.y_values) - 1, -1, -1):
+            cells = "".join(
+                self.label_b.upper()[0]
+                if self.advantage[row_index][column] > 0
+                else self.label_a.lower()[0]
+                for column in range(len(self.x_values))
+            )
+            label = f"{self.y_values[row_index]:g}".rjust(width)
+            lines.append(f"{label} | {cells}")
+        lines.append(" " * width + " +" + "-" * len(self.x_values))
+        lines.append(
+            " " * (width + 3)
+            + f"{self.x_values[0]:g} .. {self.x_values[-1]:g}  ({self.parameter_x})"
+        )
+        lines.insert(1, f"{'y:':>{width}} {self.parameter_y}")
+        return "\n".join(lines)
+
+
+def phase_diagram(
+    config_a: PerceptionParameters,
+    config_b: PerceptionParameters,
+    parameter_x: str,
+    x_values: Sequence[float],
+    parameter_y: str,
+    y_values: Sequence[float],
+    *,
+    label_a: str = "a",
+    label_b: str = "b",
+    max_states: int = 200_000,
+) -> PhaseDiagram:
+    """Evaluate both configurations over the grid and map the winner.
+
+    Both configurations receive the same (x, y) parameter values at each
+    grid point.
+    """
+    for name in (parameter_x, parameter_y):
+        if name not in SWEEPABLE:
+            raise ParameterError(
+                f"cannot sweep {name!r}; choose from {sorted(SWEEPABLE)}"
+            )
+    if parameter_x == parameter_y:
+        raise ParameterError("parameter_x and parameter_y must differ")
+    if not x_values or not y_values:
+        raise ParameterError("grids must not be empty")
+
+    rows = []
+    for y in y_values:
+        row = []
+        for x in x_values:
+            overrides = {parameter_x: float(x), parameter_y: float(y)}
+            a = evaluate(
+                config_a.replace(**overrides), max_states=max_states
+            ).expected_reliability
+            b = evaluate(
+                config_b.replace(**overrides), max_states=max_states
+            ).expected_reliability
+            row.append(b - a)
+        rows.append(tuple(row))
+    return PhaseDiagram(
+        parameter_x=parameter_x,
+        parameter_y=parameter_y,
+        x_values=tuple(float(v) for v in x_values),
+        y_values=tuple(float(v) for v in y_values),
+        advantage=tuple(rows),
+        label_a=label_a,
+        label_b=label_b,
+    )

@@ -1,0 +1,133 @@
+"""Provisioning: the cheapest configuration meeting a reliability target.
+
+A deployment question the models can answer directly: ML module versions
+cost money (development, diversity engineering, compute); the
+rejuvenation mechanism costs a fixed overhead (safe storage, redeploy
+machinery).  Given those costs and a target E[R], which (N, f, r,
+rejuvenation) should you buy?
+
+The search enumerates the admissible configurations up to ``max_modules``
+(BFT sizing rules respected), evaluates each with the generalized
+reliability functions, and returns the feasible configurations sorted by
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.nversion.reliability import GeneralizedReliability
+from repro.nversion.voting import (
+    bft_minimum_modules,
+    bft_rejuvenation_minimum_modules,
+)
+from repro.perception.evaluation import evaluate
+from repro.perception.parameters import PerceptionParameters
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class ProvisioningOption:
+    """One admissible configuration with its cost and reliability."""
+
+    parameters: PerceptionParameters
+    reliability: float
+    cost: float
+
+    @property
+    def description(self) -> str:
+        p = self.parameters
+        mode = f"rejuvenation (r={p.r})" if p.rejuvenation else "no rejuvenation"
+        return f"N={p.n_modules}, f={p.f}, {mode}"
+
+
+def provisioning_options(
+    base: PerceptionParameters,
+    *,
+    target_reliability: float,
+    module_cost: float = 1.0,
+    rejuvenation_cost: float = 0.5,
+    max_modules: int = 9,
+    max_f: int = 2,
+) -> list[ProvisioningOption]:
+    """All configurations meeting ``target_reliability``, cheapest first.
+
+    Parameters
+    ----------
+    base:
+        Supplies the fault-environment parameters (p, p', α, rates);
+        its (N, f, r, rejuvenation) fields are ignored.
+    target_reliability:
+        Minimum acceptable E[R_sys] (safe-skip convention).
+    module_cost / rejuvenation_cost:
+        Cost of one module version and of the rejuvenation machinery,
+        in the same (arbitrary) unit.
+    max_modules / max_f:
+        Search bounds.
+
+    Returns an empty list when no configuration within the bounds meets
+    the target.
+    """
+    check_probability("target_reliability", target_reliability)
+    check_positive("module_cost", module_cost)
+    check_non_negative("rejuvenation_cost", rejuvenation_cost)
+    if max_modules < 4:
+        raise ParameterError(f"max_modules must be >= 4, got {max_modules}")
+    if max_f < 1:
+        raise ParameterError(f"max_f must be >= 1, got {max_f}")
+
+    options: list[ProvisioningOption] = []
+    for f in range(1, max_f + 1):
+        for rejuvenation in (False, True):
+            minimum = (
+                bft_rejuvenation_minimum_modules(f, 1)
+                if rejuvenation
+                else bft_minimum_modules(f)
+            )
+            for n in range(minimum, max_modules + 1):
+                parameters = base.replace(
+                    n_modules=n, f=f, r=1, rejuvenation=rejuvenation
+                )
+                reliability_function = GeneralizedReliability(
+                    n_modules=n,
+                    threshold=parameters.voting_scheme.threshold,
+                    p=parameters.p,
+                    p_prime=parameters.p_prime,
+                    alpha=parameters.alpha,
+                )
+                value = evaluate(
+                    parameters, reliability=reliability_function
+                ).expected_reliability
+                if value >= target_reliability:
+                    cost = n * module_cost + (
+                        rejuvenation_cost if rejuvenation else 0.0
+                    )
+                    options.append(
+                        ProvisioningOption(
+                            parameters=parameters, reliability=value, cost=cost
+                        )
+                    )
+    options.sort(key=lambda option: (option.cost, -option.reliability))
+    return options
+
+
+def cheapest_configuration(
+    base: PerceptionParameters,
+    *,
+    target_reliability: float,
+    module_cost: float = 1.0,
+    rejuvenation_cost: float = 0.5,
+    max_modules: int = 9,
+    max_f: int = 2,
+) -> ProvisioningOption | None:
+    """The cheapest option meeting the target, or ``None``."""
+    options = provisioning_options(
+        base,
+        target_reliability=target_reliability,
+        module_cost=module_cost,
+        rejuvenation_cost=rejuvenation_cost,
+        max_modules=max_modules,
+        max_f=max_f,
+    )
+    return options[0] if options else None

@@ -1,0 +1,72 @@
+"""One-dimensional parameter sweeps of the expected reliability."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.nversion.conventions import OutputConvention
+from repro.perception.evaluation import evaluate
+from repro.perception.parameters import PerceptionParameters
+
+# Parameters that may be swept; anything else is almost certainly a typo.
+SWEEPABLE = {
+    "alpha",
+    "p",
+    "p_prime",
+    "mttc",
+    "mttf",
+    "mttr",
+    "rejuvenation_time_per_module",
+    "rejuvenation_interval",
+}
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """E[R] evaluated over a grid of one parameter."""
+
+    parameter: str
+    values: tuple[float, ...]
+    reliabilities: tuple[float, ...]
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        return list(zip(self.values, self.reliabilities))
+
+    def argmax(self) -> tuple[float, float]:
+        """(parameter value, reliability) of the best grid point."""
+        best = max(range(len(self.values)), key=lambda i: self.reliabilities[i])
+        return self.values[best], self.reliabilities[best]
+
+
+def sweep_parameter(
+    base: PerceptionParameters,
+    parameter: str,
+    values: Sequence[float],
+    *,
+    convention: OutputConvention = OutputConvention.SAFE_SKIP,
+    max_states: int = 200_000,
+) -> SweepResult:
+    """Evaluate E[R_sys] for each value of ``parameter``.
+
+    ``base`` supplies every other parameter.  Raises
+    :class:`ParameterError` for unknown or non-sweepable parameter
+    names.
+    """
+    if parameter not in SWEEPABLE:
+        raise ParameterError(
+            f"cannot sweep {parameter!r}; choose one of {sorted(SWEEPABLE)}"
+        )
+    if not values:
+        raise ParameterError("values must not be empty")
+    reliabilities = []
+    for value in values:
+        configured = base.replace(**{parameter: float(value)})
+        result = evaluate(configured, convention=convention, max_states=max_states)
+        reliabilities.append(result.expected_reliability)
+    return SweepResult(
+        parameter=parameter,
+        values=tuple(float(v) for v in values),
+        reliabilities=tuple(reliabilities),
+    )

@@ -1,0 +1,338 @@
+"""Command-line interface to the library.
+
+Usage (also available as ``python -m repro``)::
+
+    repro analyze --six                        # E[R] + state breakdown
+    repro analyze --versions 9 --f 2 --rejuvenation
+    repro sweep --six --parameter p_prime --values 0.1,0.3,0.5,0.8
+    repro experiments fig3 fig4a               # regenerate paper artifacts
+    repro experiments --list
+    repro simulate --six --horizon 100000      # Monte-Carlo cross-check
+    repro dot --six                            # Graphviz of the DSPN
+    repro pnml --four                          # PNML of the clockless net
+
+Every command accepts the Table II parameter overrides
+(``--p``, ``--p-prime``, ``--alpha``, ``--mttc``, ``--mttf``, ``--mttr``,
+``--interval``, ``--rejuvenation-time``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.perception.parameters import PerceptionParameters
+
+
+def _add_parameter_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--four", action="store_true",
+        help="the paper's 4-version configuration (no rejuvenation)",
+    )
+    group.add_argument(
+        "--six", action="store_true",
+        help="the paper's 6-version configuration (with rejuvenation)",
+    )
+    parser.add_argument("--versions", type=int, help="number of ML module versions")
+    parser.add_argument("--f", type=int, default=1, help="tolerated compromised modules")
+    parser.add_argument("--r", type=int, default=1, help="simultaneous rejuvenations")
+    parser.add_argument(
+        "--rejuvenation", action="store_true",
+        help="enable the rejuvenation clock (implies 2f+r+1 voting)",
+    )
+    parser.add_argument("--p", type=float, help="healthy-module inaccuracy")
+    parser.add_argument("--p-prime", type=float, help="compromised-module inaccuracy")
+    parser.add_argument("--alpha", type=float, help="error dependency factor")
+    parser.add_argument("--mttc", type=float, help="mean time to compromise (s)")
+    parser.add_argument("--mttf", type=float, help="mean time to failure (s)")
+    parser.add_argument("--mttr", type=float, help="mean time to repair (s)")
+    parser.add_argument("--interval", type=float, help="rejuvenation interval (s)")
+    parser.add_argument(
+        "--rejuvenation-time", type=float, help="rejuvenation time per module (s)"
+    )
+
+
+def _parameters_from(args: argparse.Namespace) -> PerceptionParameters:
+    overrides = {}
+    for attribute, name in (
+        ("p", "p"),
+        ("p_prime", "p_prime"),
+        ("alpha", "alpha"),
+        ("mttc", "mttc"),
+        ("mttf", "mttf"),
+        ("mttr", "mttr"),
+        ("interval", "rejuvenation_interval"),
+        ("rejuvenation_time", "rejuvenation_time_per_module"),
+    ):
+        value = getattr(args, attribute, None)
+        if value is not None:
+            overrides[name] = value
+
+    if args.four:
+        return PerceptionParameters.four_version_defaults(**overrides)
+    if args.six:
+        return PerceptionParameters.six_version_defaults(**overrides)
+    if args.versions is None:
+        raise SystemExit(
+            "choose a configuration: --four, --six, or --versions N [...]"
+        )
+    return PerceptionParameters(
+        n_modules=args.versions,
+        f=args.f,
+        r=args.r,
+        rejuvenation=args.rejuvenation,
+        **overrides,
+    )
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    from repro.perception.architecture import PerceptionSystem
+
+    system = PerceptionSystem(_parameters_from(args))
+    result = system.analyze()
+    parameters = system.parameters
+    mode = "rejuvenation" if parameters.rejuvenation else "no rejuvenation"
+    print(
+        f"{parameters.n_modules}-version system ({mode}), f={parameters.f}"
+        + (f", r={parameters.r}" if parameters.rejuvenation else "")
+        + f", voting threshold {parameters.voting_scheme.threshold}"
+    )
+    print(f"E[R_sys] = {result.expected_reliability:.7f}")
+    print()
+    print("top states (healthy, compromised, unavailable):")
+    for state, probability, reliability in result.top_states(args.top):
+        print(
+            f"  ({state.healthy}, {state.compromised}, {state.unavailable})"
+            f"  pi = {probability:.5f}  R = {reliability:.5f}"
+        )
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import sweep_parameter
+    from repro.utils.tables import render_table
+
+    values = [float(v) for v in args.values.split(",")]
+    result = sweep_parameter(_parameters_from(args), args.parameter, values)
+    print(
+        render_table(
+            [args.parameter, "E[R]"],
+            result.as_rows(),
+        )
+    )
+    best_value, best_reliability = result.argmax()
+    print(f"best: {args.parameter} = {best_value:g} -> E[R] = {best_reliability:.6f}")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+
+    if args.list:
+        for experiment_id in EXPERIMENT_IDS:
+            print(experiment_id)
+        return 0
+    ids = args.ids or list(EXPERIMENT_IDS)
+    for experiment_id in ids:
+        print(run_experiment(experiment_id).render(plot=not args.no_plot))
+        print()
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    from repro.perception.architecture import PerceptionSystem
+
+    system = PerceptionSystem(_parameters_from(args))
+    analytic = system.expected_reliability()
+    estimate = system.simulate(
+        horizon=args.horizon,
+        warmup=args.warmup,
+        replications=args.replications,
+        seed=args.seed,
+    )
+    low, high = estimate.interval
+    print(f"analytic E[R]  = {analytic:.6f}")
+    print(
+        f"simulated E[R] = {estimate.mean:.6f}  "
+        f"(95% CI [{low:.6f}, {high:.6f}], {estimate.replications} replications)"
+    )
+    print(f"analytic value {'inside' if estimate.covers(analytic) else 'outside'} the interval")
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    from repro.perception.metrics import (
+        exact_rate_elasticities,
+        expected_misperceptions,
+        mean_time_to_quorum_loss,
+        quorum_loss_probability,
+    )
+
+    parameters = _parameters_from(args)
+    mean_loss = mean_time_to_quorum_loss(parameters)
+    print(f"mean time to first quorum loss : {mean_loss:,.0f} s "
+          f"({mean_loss / 3600:.1f} h)")
+    print(
+        f"P(quorum lost within {args.mission:.0f} s)  : "
+        f"{quorum_loss_probability(parameters, args.mission):.6f}"
+    )
+    errors = expected_misperceptions(parameters, args.mission, args.request_rate)
+    print(
+        f"expected misperceptions in the mission "
+        f"({args.request_rate:g} req/s): {errors:.2f}"
+    )
+    print("exact elasticities of E[R]:")
+    for name, value in exact_rate_elasticities(parameters).items():
+        print(f"  {name:5s}: {value:+.5f} % per %")
+    return 0
+
+
+def _command_provision(args: argparse.Namespace) -> int:
+    from repro.analysis.provisioning import provisioning_options
+    from repro.utils.tables import render_table
+
+    base = _parameters_from(args)
+    options = provisioning_options(
+        base,
+        target_reliability=args.target,
+        module_cost=args.module_cost,
+        rejuvenation_cost=args.rejuvenation_cost,
+        max_modules=args.max_modules,
+        max_f=args.max_f,
+    )
+    if not options:
+        print(
+            f"no configuration within N <= {args.max_modules}, f <= {args.max_f} "
+            f"reaches E[R] >= {args.target}"
+        )
+        return 1
+    print(
+        render_table(
+            ["configuration", "E[R]", "cost"],
+            [[o.description, o.reliability, o.cost] for o in options[: args.top]],
+        )
+    )
+    print(f"cheapest: {options[0].description} at cost {options[0].cost:g}")
+    return 0
+
+
+def _command_dot(args: argparse.Namespace) -> int:
+    from repro.perception.architecture import PerceptionSystem
+
+    print(PerceptionSystem(_parameters_from(args)).to_dot())
+    return 0
+
+
+def _command_pnml(args: argparse.Namespace) -> int:
+    from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+    from repro.petri.pnml import to_pnml
+
+    parameters = _parameters_from(args)
+    if parameters.rejuvenation:
+        raise SystemExit(
+            "PNML export supports the clockless net only (the rejuvenation "
+            "net uses marking-dependent weights); use --four or drop "
+            "--rejuvenation"
+        )
+    print(to_pnml(build_no_rejuvenation_net(parameters)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="N-version perception-system reliability models (DSN 2023)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="compute E[R_sys] for a configuration"
+    )
+    _add_parameter_arguments(analyze)
+    analyze.add_argument("--top", type=int, default=8, help="states to display")
+    analyze.set_defaults(handler=_command_analyze)
+
+    sweep = subparsers.add_parser("sweep", help="sweep one parameter")
+    _add_parameter_arguments(sweep)
+    sweep.add_argument("--parameter", required=True, help="parameter to vary")
+    sweep.add_argument(
+        "--values", required=True, help="comma-separated grid, e.g. 0.1,0.3,0.5"
+    )
+    sweep.set_defaults(handler=_command_sweep)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    experiments.add_argument("--list", action="store_true", help="list ids and exit")
+    experiments.add_argument(
+        "--no-plot", action="store_true", help="suppress ASCII plots"
+    )
+    experiments.set_defaults(handler=_command_experiments)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="Monte-Carlo cross-check of the analytic result"
+    )
+    _add_parameter_arguments(simulate)
+    simulate.add_argument("--horizon", type=float, default=100000.0)
+    simulate.add_argument("--warmup", type=float, default=1000.0)
+    simulate.add_argument("--replications", type=int, default=8)
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.set_defaults(handler=_command_simulate)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="time-domain metrics: quorum loss, mission risk, elasticities "
+        "(clockless configurations)",
+    )
+    _add_parameter_arguments(metrics)
+    metrics.add_argument(
+        "--mission", type=float, default=7200.0, help="mission duration (s)"
+    )
+    metrics.add_argument(
+        "--request-rate", type=float, default=10.0, help="perception requests per second"
+    )
+    metrics.set_defaults(handler=_command_metrics)
+
+    provision = subparsers.add_parser(
+        "provision", help="cheapest configuration meeting a reliability target"
+    )
+    _add_parameter_arguments(provision)
+    provision.add_argument(
+        "--target", type=float, required=True, help="minimum acceptable E[R]"
+    )
+    provision.add_argument("--module-cost", type=float, default=1.0)
+    provision.add_argument("--rejuvenation-cost", type=float, default=0.5)
+    provision.add_argument("--max-modules", type=int, default=9)
+    provision.add_argument("--max-f", type=int, default=2)
+    provision.add_argument("--top", type=int, default=8, help="options to display")
+    provision.set_defaults(handler=_command_provision)
+
+    dot = subparsers.add_parser("dot", help="emit Graphviz DOT of the DSPN")
+    _add_parameter_arguments(dot)
+    dot.set_defaults(handler=_command_dot)
+
+    pnml = subparsers.add_parser("pnml", help="emit PNML of the clockless net")
+    _add_parameter_arguments(pnml)
+    pnml.set_defaults(handler=_command_pnml)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,165 @@
+"""Construct MRGP kernels from a tangible reachability graph.
+
+Every tangible marking is a regeneration state.  For a marking that
+enables no deterministic transition, the next regeneration happens at its
+first exponential firing.  For a marking ``s`` enabling deterministic
+transition ``d`` (delay τ), the process evolves through the
+**subordinated CTMC** — the exponential dynamics restricted to markings
+that keep ``d`` enabled — until either
+
+* an exponential firing leaves the enabling set (``d`` is disabled; the
+  moment of that firing is the next regeneration under the
+  enabling-memory execution policy), or
+* τ elapses and ``d`` fires from wherever the subordinated process is.
+
+Both the absorption probabilities and the expected sojourn times come
+from one matrix exponential of the subordinated generator augmented with
+absorbing exit states (see :func:`repro.markov.uniformization.expm_and_integral`).
+States enabling ``d`` are grouped so the (expensive) matrix exponential
+is computed once per deterministic transition, not once per marking.
+
+Supported model class: at most one deterministic transition enabled per
+tangible marking, constant delays.  Everything else raises
+:class:`~repro.errors.UnsupportedModelError` — use the simulator for
+such nets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.errors import UnsupportedModelError
+from repro.markov.uniformization import expm_and_integral
+from repro.statespace.graph import DeterministicEdge, TangibleGraph
+
+_PROBABILITY_TOLERANCE = 1e-14
+
+
+def build_mrgp_kernels(graph: TangibleGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Return the global kernel ``K`` and local sojourn matrix ``U``.
+
+    Both are dense ``(n, n)`` arrays over the tangible markings of
+    ``graph``.  Feed them to :func:`repro.markov.mrgp.solve_mrgp`.
+    """
+    n = graph.n_states
+    kernel = np.zeros((n, n))
+    sojourn = np.zeros((n, n))
+
+    det_edge_of = _deterministic_edge_per_state(graph)
+
+    # --- markings without a deterministic transition -------------------
+    for state in range(n):
+        if det_edge_of[state] is not None:
+            continue
+        edges = graph.exponential_edges[state]
+        total_rate = sum(edge.rate for edge in edges)
+        if total_rate <= 0.0:
+            # absorbing tangible marking: model it as a unit-length
+            # self-cycle so the renewal theorem concentrates mass on it.
+            kernel[state, state] = 1.0
+            sojourn[state, state] = 1.0
+            continue
+        sojourn[state, state] = 1.0 / total_rate
+        for edge in edges:
+            for target, probability in edge.targets:
+                kernel[state, target] += (edge.rate / total_rate) * probability
+
+    # --- markings grouped by their deterministic transition -------------
+    groups: dict[str, list[int]] = defaultdict(list)
+    for state, edge in enumerate(det_edge_of):
+        if edge is not None:
+            groups[edge.transition].append(state)
+
+    for transition_name, members in groups.items():
+        _fill_group(graph, det_edge_of, transition_name, members, kernel, sojourn)
+
+    return kernel, sojourn
+
+
+def _deterministic_edge_per_state(
+    graph: TangibleGraph,
+) -> list[DeterministicEdge | None]:
+    """The unique deterministic edge of each state (or None)."""
+    result: list[DeterministicEdge | None] = []
+    for state in range(graph.n_states):
+        edges = graph.deterministic_edges[state]
+        names = {edge.transition for edge in edges}
+        if len(names) > 1:
+            raise UnsupportedModelError(
+                f"tangible marking {graph.markings[state].compact()} enables "
+                f"{len(names)} deterministic transitions ({sorted(names)}); "
+                "the MRGP solver supports at most one — use the simulator"
+            )
+        result.append(edges[0] if edges else None)
+    return result
+
+
+def _fill_group(
+    graph: TangibleGraph,
+    det_edge_of: list[DeterministicEdge | None],
+    transition_name: str,
+    members: list[int],
+    kernel: np.ndarray,
+    sojourn: np.ndarray,
+) -> None:
+    """Fill kernel/sojourn rows for all markings enabling one transition."""
+    delays = {det_edge_of[state].delay for state in members}  # type: ignore[union-attr]
+    if len(delays) != 1:
+        raise UnsupportedModelError(
+            f"deterministic transition {transition_name!r} has varying delays "
+            f"{sorted(delays)}; constant delay required"
+        )
+    delay = delays.pop()
+
+    member_set = set(members)
+    position = {state: i for i, state in enumerate(members)}
+    exits = sorted(
+        {
+            target
+            for state in members
+            for edge in graph.exponential_edges[state]
+            for target, _ in edge.targets
+            if target not in member_set
+        }
+    )
+    exit_position = {state: i for i, state in enumerate(exits)}
+    n_members, n_exits = len(members), len(exits)
+
+    # subordinated generator with absorbing exits
+    augmented = np.zeros((n_members + n_exits, n_members + n_exits))
+    for state in members:
+        row = position[state]
+        outflow = 0.0
+        for edge in graph.exponential_edges[state]:
+            for target, probability in edge.targets:
+                rate = edge.rate * probability
+                outflow += rate
+                if target in member_set:
+                    augmented[row, position[target]] += rate
+                else:
+                    augmented[row, n_members + exit_position[target]] += rate
+        augmented[row, row] -= outflow
+
+    at_delay, integral = expm_and_integral(augmented, delay)
+
+    for state in members:
+        row = position[state]
+        # expected time in each subordinated marking before min(τ, exit)
+        for other in members:
+            sojourn[state, other] += integral[row, position[other]]
+        # regeneration by leaving the enabling set before τ
+        for exit_state in exits:
+            probability = at_delay[row, n_members + exit_position[exit_state]]
+            if probability > _PROBABILITY_TOLERANCE:
+                kernel[state, exit_state] += probability
+        # regeneration by the deterministic firing at τ
+        for other in members:
+            probability = at_delay[row, position[other]]
+            if probability <= _PROBABILITY_TOLERANCE:
+                continue
+            det_edge = det_edge_of[other]
+            assert det_edge is not None  # group membership guarantees it
+            for target, target_probability in det_edge.targets:
+                kernel[state, target] += probability * target_probability

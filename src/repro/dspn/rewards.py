@@ -1,0 +1,31 @@
+"""Reward functions over markings.
+
+A reward function maps a marking to a real number; the expected
+steady-state reward is the probability-weighted sum over tangible
+markings (Eq. 1 of the paper, with the reliability functions
+:mod:`repro.nversion.reliability` as the rewards).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.petri.marking import Marking
+
+RewardFunction = Callable[[Marking], float]
+
+
+def reward_vector(markings: Sequence[Marking], reward: RewardFunction) -> np.ndarray:
+    """Evaluate ``reward`` on every marking, returning a dense vector."""
+    return np.array([float(reward(marking)) for marking in markings], dtype=float)
+
+
+def indicator(predicate: Callable[[Marking], bool]) -> RewardFunction:
+    """Turn a marking predicate into a 0/1 reward (for state probabilities)."""
+
+    def reward(marking: Marking) -> float:
+        return 1.0 if predicate(marking) else 0.0
+
+    return reward

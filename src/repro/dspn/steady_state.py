@@ -1,0 +1,90 @@
+"""Steady-state solution of a DSPN with automatic method dispatch."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dspn.ctmc_builder import build_ctmc
+from repro.dspn.mrgp_builder import build_mrgp_kernels
+from repro.dspn.rewards import RewardFunction, reward_vector
+from repro.markov.mrgp import solve_mrgp
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.statespace import TangibleGraph, tangible_reachability
+
+
+@dataclass
+class SteadyStateResult:
+    """Steady-state distribution over the tangible markings of a net.
+
+    Attributes
+    ----------
+    markings:
+        Tangible markings, aligned with ``pi``.
+    pi:
+        Long-run time-average probability of each marking.
+    method:
+        ``"ctmc"`` or ``"mrgp"`` — which analytic route was taken.
+    graph:
+        The underlying tangible reachability graph (for diagnostics).
+    """
+
+    markings: list[Marking]
+    pi: np.ndarray
+    method: str
+    graph: TangibleGraph
+
+    def expected_reward(self, reward: RewardFunction) -> float:
+        """Eq. 1: the ``pi``-weighted sum of ``reward`` over markings."""
+        return float(self.pi @ reward_vector(self.markings, reward))
+
+    def probability(self, predicate: Callable[[Marking], bool]) -> float:
+        """Total stationary probability of markings satisfying ``predicate``."""
+        return float(
+            sum(p for marking, p in zip(self.markings, self.pi) if predicate(marking))
+        )
+
+    def distribution(self) -> list[tuple[Marking, float]]:
+        """(marking, probability) pairs sorted by decreasing probability."""
+        pairs = list(zip(self.markings, (float(p) for p in self.pi)))
+        pairs.sort(key=lambda pair: -pair[1])
+        return pairs
+
+
+def solve_steady_state(
+    net: PetriNet,
+    *,
+    max_states: int = 200_000,
+) -> SteadyStateResult:
+    """Solve ``net`` for its stationary marking distribution.
+
+    Dispatches automatically: exponential-only nets are solved as CTMCs;
+    nets enabling deterministic transitions are solved as MRGPs.
+
+    Raises
+    ------
+    StateSpaceError
+        If the reachable marking space exceeds ``max_states``.
+    UnsupportedModelError
+        If some tangible marking enables more than one deterministic
+        transition (fall back to :func:`repro.dspn.simulate.simulate`).
+    SolverError
+        If the resulting process has no unique stationary distribution.
+    """
+    graph = tangible_reachability(net, max_states=max_states)
+    if graph.has_deterministic():
+        kernel, sojourn = build_mrgp_kernels(graph)
+        solution = solve_mrgp(kernel, sojourn)
+        return SteadyStateResult(
+            markings=graph.markings, pi=solution.pi, method="mrgp", graph=graph
+        )
+    ctmc = build_ctmc(graph)
+    return SteadyStateResult(
+        markings=graph.markings,
+        pi=ctmc.stationary_distribution(),
+        method="ctmc",
+        graph=graph,
+    )

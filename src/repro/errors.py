@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelDefinitionError(ReproError):
+    """A Petri net or model is structurally invalid.
+
+    Examples: an arc referencing a place that is not part of the net,
+    duplicated element names, or a transition with no input arcs where one
+    is required.
+    """
+
+
+class ParameterError(ReproError, ValueError):
+    """An input parameter is outside its admissible domain.
+
+    Raised, for example, for probabilities outside ``[0, 1]`` or
+    non-positive rates and intervals.
+    """
+
+
+class StateSpaceError(ReproError):
+    """State-space generation failed.
+
+    Raised when the reachability graph exceeds the configured bound (the
+    net may be unbounded) or when vanishing markings form an immediate
+    firing loop that never reaches a tangible marking.
+    """
+
+
+class SolverError(ReproError):
+    """A numerical solver could not produce a trustworthy result.
+
+    Raised for singular or ill-conditioned linear systems, non-converging
+    iterative schemes, and invalid solver inputs (e.g. a generator matrix
+    with positive row sums).
+    """
+
+
+class UnsupportedModelError(ReproError):
+    """The model falls outside the class the analytic solvers support.
+
+    The MRGP solver handles DSPNs in which at most one deterministic
+    transition is enabled in any tangible marking.  Models outside this
+    class can still be evaluated with the discrete-event simulator.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation could not be carried out."""

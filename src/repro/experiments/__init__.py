@@ -1,0 +1,37 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each experiment is a function returning an
+:class:`~repro.experiments.report.ExperimentReport` — the same rows or
+series the paper reports, plus the paper's claimed values for direct
+comparison.  The registry maps stable experiment ids to these functions:
+
+=======================  ================================================
+id                       artifact
+=======================  ================================================
+``table2-defaults``      §V-B headline numbers (Table II defaults)
+``fig3``                 Fig. 3 — E[R] vs rejuvenation interval
+``fig4a``                Fig. 4a — E[R] vs mean time to compromise
+``fig4b``                Fig. 4b — E[R] vs error dependency α
+``fig4c``                Fig. 4c — E[R] vs healthy inaccuracy p
+``fig4d``                Fig. 4d — E[R] vs compromised inaccuracy p'
+``scaling``              extension: E[R] vs module count (any N, f, r)
+``architectures``        extension: related-work voting-scheme zoo
+``phase-diagram``        extension: winner map over (mttc, p')
+``ablation-selection``   extension: value of compromise detection
+``ablation-clock``       extension: deterministic vs exponential clock
+``ablation-server``      extension: firing-semantics calibration
+``ablation-ticks``       extension: deferred vs lost blocked ticks
+``ablation-threshold``   extension: cost of the +r voting margin
+``ablation-downtime``    extension: where Fig. 3's optimum really lives
+=======================  ================================================
+
+Run one with ``python -m repro.experiments fig3`` or from code::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("fig3").render())
+"""
+
+from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["EXPERIMENT_IDS", "ExperimentReport", "run_experiment"]

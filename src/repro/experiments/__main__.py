@@ -1,0 +1,24 @@
+"""Command-line entry point: ``python -m repro.experiments [ids...]``.
+
+Without arguments, runs every registered experiment in order.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    ids = arguments or list(EXPERIMENT_IDS)
+    for experiment_id in ids:
+        report = run_experiment(experiment_id)
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

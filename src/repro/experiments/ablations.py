@@ -1,0 +1,211 @@
+"""Ablation studies of the design choices behind the rejuvenation model.
+
+The paper fixes several design decisions without quantifying them; these
+experiments measure what each is worth (six-version system, Table II
+defaults unless stated):
+
+* **selection policy** — the paper's voter-blind uniform choice of which
+  module to rejuvenate, vs an oracle with perfect compromise detection
+  and the adversarial anti-oracle.  Quantifies the value of compromise
+  detectors (and the cost of a subverted selector).
+* **clock kind** — the deterministic period (MRGP) vs a memoryless
+  exponential clock with the same mean (CTMC).  Quantifies what the
+  predictable cadence buys.
+* **server semantics** — TimeNET's single-server default (calibrated
+  against the paper) vs infinite-server scaling.
+* **tick handling** — deferred (blocked selections stay queued, the
+  Table I reading) vs lost ticks.
+* **voting threshold** — running the six-version pool with the plain
+  ``2f+1`` threshold instead of ``2f+r+1`` (what the extra ``+r`` of the
+  Sousa bound costs in output reliability; safety is a different
+  question — with only ``2f+1`` votes required, ``f`` traitors plus
+  ``r`` rejuvenating modules could outvote honest ones).
+"""
+
+from __future__ import annotations
+
+from repro.dspn import solve_steady_state
+from repro.experiments.report import ExperimentReport
+from repro.nversion.reliability import GeneralizedReliability, ReliabilityFunction
+from repro.perception.evaluation import default_reliability_function
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.rejuvenation import build_rejuvenation_net
+from repro.perception.statemap import module_counts
+from repro.petri import ServerSemantics
+
+
+def _expected_reliability(
+    net, reliability: ReliabilityFunction
+) -> float:
+    result = solve_steady_state(net)
+
+    def reward(marking):
+        counts = module_counts(marking)
+        return reliability(counts.healthy, counts.compromised, counts.unavailable)
+
+    return result.expected_reward(reward)
+
+
+def run_ablation_selection() -> ExperimentReport:
+    """Blind vs oracle vs adversarial rejuvenation-target selection."""
+    parameters = PerceptionParameters.six_version_defaults()
+    reliability = default_reliability_function(parameters)
+    rows = []
+    values = {}
+    for policy, description in (
+        ("oracle", "perfect compromise detection"),
+        ("uniform", "voter-blind (the paper)"),
+        ("anti-oracle", "adversarially subverted selector"),
+    ):
+        net = build_rejuvenation_net(parameters, selection=policy)
+        value = _expected_reliability(net, reliability)
+        values[policy] = value
+        rows.append([policy, description, value])
+    return ExperimentReport(
+        experiment_id="ablation-selection",
+        title="What is compromise detection worth to the rejuvenator?",
+        headers=["policy", "description", "E[R]"],
+        rows=rows,
+        paper_claims=[
+            "the system cannot distinguish healthy from compromised modules "
+            "(weights w1/w2 model a uniform choice)"
+        ],
+        observations=[
+            f"perfect detection adds {values['oracle'] - values['uniform']:+.4f} "
+            "over the blind paper policy",
+            f"a subverted selector costs {values['anti-oracle'] - values['uniform']:+.4f}"
+            " — selection integrity matters far more than detection accuracy",
+        ],
+    )
+
+
+def run_ablation_clock() -> ExperimentReport:
+    """Deterministic period vs memoryless clock with the same mean."""
+    parameters = PerceptionParameters.six_version_defaults()
+    reliability = default_reliability_function(parameters)
+    rows = []
+    values = {}
+    for kind in ("deterministic", "exponential"):
+        net = build_rejuvenation_net(parameters, clock=kind)
+        solution_kind = "mrgp" if kind == "deterministic" else "ctmc"
+        value = _expected_reliability(net, reliability)
+        values[kind] = value
+        rows.append([kind, solution_kind, value])
+    return ExperimentReport(
+        experiment_id="ablation-clock",
+        title="Does the deterministic cadence matter?",
+        headers=["clock", "solved as", "E[R]"],
+        rows=rows,
+        paper_claims=[
+            "the rejuvenation clock uses a deterministic transition (DSPN)"
+        ],
+        observations=[
+            "a deterministic clock beats a memoryless one with the same mean "
+            f"by {values['deterministic'] - values['exponential']:+.4f} "
+            "(exponential intervals cluster ticks and leave long gaps)"
+        ],
+    )
+
+
+def run_ablation_server() -> ExperimentReport:
+    """Single-server (calibrated) vs infinite-server fault scaling."""
+    reliability4 = default_reliability_function(
+        PerceptionParameters.four_version_defaults()
+    )
+    reliability6 = default_reliability_function(
+        PerceptionParameters.six_version_defaults()
+    )
+    from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+
+    rows = []
+    for semantics in (ServerSemantics.SINGLE, ServerSemantics.INFINITE):
+        four = _expected_reliability(
+            build_no_rejuvenation_net(
+                PerceptionParameters.four_version_defaults(), server=semantics
+            ),
+            reliability4,
+        )
+        six = _expected_reliability(
+            build_rejuvenation_net(
+                PerceptionParameters.six_version_defaults(), server=semantics
+            ),
+            reliability6,
+        )
+        rows.append([semantics.value, four, six])
+    return ExperimentReport(
+        experiment_id="ablation-server",
+        title="Firing semantics: single-server (TimeNET default) vs infinite-server",
+        headers=["semantics", "E[R] 4v", "E[R] 6v"],
+        rows=rows,
+        paper_claims=[
+            "(implicit) TimeNET's default exclusive-server semantics — the "
+            "only choice within 0.2% of the paper's 4v headline number"
+        ],
+        observations=[
+            "single-server reproduces 0.8223 / 0.9430; infinite-server shifts "
+            "the 4-version system by several percent (see DESIGN.md calibration)"
+        ],
+    )
+
+
+def run_ablation_ticks() -> ExperimentReport:
+    """Deferred (Table I reading) vs lost rejuvenation ticks."""
+    parameters = PerceptionParameters.six_version_defaults()
+    reliability = default_reliability_function(parameters)
+    rows = []
+    values = {}
+    for lost, label in ((False, "deferred (paper)"), (True, "lost")):
+        net = build_rejuvenation_net(parameters, lost_ticks=lost)
+        value = _expected_reliability(net, reliability)
+        values[label] = value
+        rows.append([label, value])
+    delta = abs(values["deferred (paper)"] - values["lost"])
+    return ExperimentReport(
+        experiment_id="ablation-ticks",
+        title="Blocked rejuvenation ticks: queue them or lose them?",
+        headers=["tick handling", "E[R]"],
+        rows=rows,
+        paper_claims=[
+            "Table I's net keeps blocked activation tokens in Pac (deferred)"
+        ],
+        observations=[
+            f"the two readings differ by only {delta:.2e} at Table II defaults "
+            "(failures are rare and short, so ticks are almost never blocked)"
+        ],
+    )
+
+
+def run_ablation_threshold() -> ExperimentReport:
+    """2f+r+1 (Sousa bound, the paper) vs plain 2f+1 voting on 6 modules."""
+    parameters = PerceptionParameters.six_version_defaults()
+    net = build_rejuvenation_net(parameters)
+    rows = []
+    values = {}
+    for threshold, label in (
+        (4, "2f+r+1 = 4 (paper, safe during rejuvenation)"),
+        (3, "2f+1 = 3 (ignores rejuvenating replicas)"),
+    ):
+        reliability = GeneralizedReliability(
+            n_modules=6,
+            threshold=threshold,
+            p=parameters.p,
+            p_prime=parameters.p_prime,
+            alpha=parameters.alpha,
+        )
+        value = _expected_reliability(net, reliability)
+        values[threshold] = value
+        rows.append([label, value])
+    return ExperimentReport(
+        experiment_id="ablation-threshold",
+        title="What does the +r in the voting threshold cost?",
+        headers=["voting rule", "E[R]"],
+        rows=rows,
+        paper_claims=[
+            "with rejuvenation the voter needs 2f+r+1 correct outputs (A.3)"
+        ],
+        observations=[
+            f"raising the threshold from 3 to 4 changes E[R] by "
+            f"{values[4] - values[3]:+.4f}; the higher bar is the price of "
+            "staying safe while r replicas are offline"
+        ],
+    )

@@ -1,0 +1,97 @@
+"""Architecture comparison across the related-work voting schemes.
+
+The paper's §II situates its BFT-style systems among other N-version ML
+architectures: the two-version system of Machida [9, 10], the
+three-version/majority system of Wen & Machida [11], and the unanimity
+scheme of PolygraphMR [12].  This experiment evaluates all of them under
+the *same* fault environment (Table II) with the generalized reliability
+functions, under both output conventions:
+
+* ``safe-skip``  — an inconclusive vote is safe (the paper's metric);
+* ``strict-correct`` — only actually-correct outputs count.
+
+The contrast is the point: unanimity maximizes safety (almost never
+produces a wrong output) but under strict-correct its availability
+collapses, while the BFT schemes balance the two.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentReport
+from repro.nversion.conventions import OutputConvention
+from repro.nversion.reliability import GeneralizedReliability
+from repro.nversion.voting import VotingScheme
+from repro.perception.evaluation import evaluate
+from repro.perception.parameters import PerceptionParameters
+
+
+def _evaluate_scheme(
+    scheme: VotingScheme,
+    *,
+    rejuvenation: bool,
+    convention: OutputConvention,
+) -> float:
+    parameters = PerceptionParameters(
+        n_modules=scheme.n_modules,
+        f=1,
+        r=1,
+        rejuvenation=rejuvenation,
+        enforce_bft_minimum=False,
+    )
+    reliability = GeneralizedReliability(
+        n_modules=scheme.n_modules,
+        threshold=scheme.threshold,
+        p=parameters.p,
+        p_prime=parameters.p_prime,
+        alpha=parameters.alpha,
+        convention=convention,
+    )
+    return evaluate(parameters, reliability=reliability).expected_reliability
+
+
+def run_architectures() -> ExperimentReport:
+    """Compare the related-work architectures under Table II faults."""
+    zoo: list[tuple[str, VotingScheme, bool]] = [
+        ("2-version agreement [9]", VotingScheme.unanimity(2), False),
+        ("3-version majority [11]", VotingScheme.majority(3), False),
+        ("5-version unanimity [12]", VotingScheme.unanimity(5), False),
+        ("4-version BFT 2f+1 (paper)", VotingScheme.bft(1), False),
+        (
+            "6-version BFT 2f+r+1 + rejuvenation (paper)",
+            VotingScheme.bft_with_rejuvenation(1, 1),
+            True,
+        ),
+    ]
+    rows = []
+    for name, scheme, rejuvenation in zoo:
+        safe = _evaluate_scheme(
+            scheme, rejuvenation=rejuvenation, convention=OutputConvention.SAFE_SKIP
+        )
+        strict = _evaluate_scheme(
+            scheme,
+            rejuvenation=rejuvenation,
+            convention=OutputConvention.STRICT_CORRECT,
+        )
+        rows.append([name, scheme.n_modules, scheme.threshold, safe, strict])
+
+    by_name = {row[0]: row for row in rows}
+    unanimity = by_name["5-version unanimity [12]"]
+    rejuvenating = by_name["6-version BFT 2f+r+1 + rejuvenation (paper)"]
+    return ExperimentReport(
+        experiment_id="architectures",
+        title="Related-work architectures under the Table II fault environment",
+        headers=["architecture", "N", "threshold", "E[R] safe-skip", "E[R] strict"],
+        rows=rows,
+        paper_claims=[
+            "(§II) two-/three-version systems and unanimity voting are known "
+            "alternatives; the paper adopts BFT-style thresholds"
+        ],
+        observations=[
+            "unanimity is the safest scheme under safe-skip "
+            f"({unanimity[3]:.4f}) but its strict-correct reliability "
+            f"collapses to {unanimity[4]:.4f} — it skips almost everything "
+            "once modules degrade",
+            "the rejuvenating BFT system is the only architecture strong "
+            f"under both conventions ({rejuvenating[3]:.4f} / {rejuvenating[4]:.4f})",
+        ],
+    )

@@ -1,0 +1,137 @@
+"""Fig. 4: sensitivity of E[R] to the key input parameters.
+
+Four panels, each comparing the four-version system (no rejuvenation)
+against the six-version system (rejuvenation):
+
+* (a) mean time to compromise 1/λc — crossovers near 525 s and 6000 s;
+* (b) error dependency α — ~1.5 % (4v) vs ~6.6 % (6v) total impact;
+* (c) healthy inaccuracy p — ~5 % (4v) vs ~13 % (6v) impact;
+* (d) compromised inaccuracy p' — rejuvenation pays off for p' > 0.3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.crossover import find_crossovers
+from repro.experiments.report import ExperimentReport
+from repro.perception.evaluation import evaluate
+from repro.perception.parameters import PerceptionParameters
+
+GRID_MTTC: tuple[float, ...] = (
+    300, 400, 525, 600, 800, 1000, 1523, 2000, 3000, 4000, 5000, 6000, 8000, 10000,
+)
+GRID_ALPHA: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+GRID_P: tuple[float, ...] = (0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20)
+GRID_P_PRIME: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+def _sweep_both(parameter: str, values: Sequence[float]):
+    """E[R] of both paper configurations over a shared grid."""
+    four_base = PerceptionParameters.four_version_defaults()
+    six_base = PerceptionParameters.six_version_defaults()
+    rows = []
+    four_series: list[float] = []
+    six_series: list[float] = []
+    for value in values:
+        r4 = evaluate(four_base.replace(**{parameter: float(value)})).expected_reliability
+        r6 = evaluate(six_base.replace(**{parameter: float(value)})).expected_reliability
+        four_series.append(r4)
+        six_series.append(r6)
+        rows.append([float(value), r4, r6, "6v" if r6 > r4 else "4v"])
+    return rows, four_series, six_series
+
+
+def _crossover_observations(parameter: str, grid: Sequence[float]) -> list[str]:
+    crossings = find_crossovers(
+        PerceptionParameters.four_version_defaults(),
+        PerceptionParameters.six_version_defaults(),
+        parameter,
+        grid,
+    )
+    if not crossings:
+        return [f"no crossover of the two systems along {parameter}"]
+    return [
+        f"crossover at {parameter} = {crossing.value:.4g} "
+        f"({'4v' if crossing.winner_above == 'a' else '6v'} wins above)"
+        for crossing in crossings
+    ]
+
+
+def run_fig4a(grid: Sequence[float] = GRID_MTTC) -> ExperimentReport:
+    """Panel (a): mean time to compromise/degrade a module (1/λc)."""
+    rows, four_series, six_series = _sweep_both("mttc", grid)
+    observations = _crossover_observations("mttc", grid)
+    return ExperimentReport(
+        experiment_id="fig4a",
+        title="E[R] vs mean time to compromise 1/lambda_c",
+        headers=["mttc_s", "E[R] 4v", "E[R] 6v", "winner"],
+        rows=rows,
+        paper_claims=[
+            "higher 1/lambda_c implies higher reliability for both systems",
+            "4v outperforms 6v when 1/lambda_c < 525 s and when 1/lambda_c > 6000 s",
+        ],
+        observations=observations,
+        plot_series={"4v": four_series, "6v": six_series},
+    )
+
+
+def run_fig4b(grid: Sequence[float] = GRID_ALPHA) -> ExperimentReport:
+    """Panel (b): error-probability dependency α."""
+    rows, four_series, six_series = _sweep_both("alpha", grid)
+    span4 = (max(four_series) - min(four_series)) / max(four_series) * 100
+    span6 = (max(six_series) - min(six_series)) / max(six_series) * 100
+    return ExperimentReport(
+        experiment_id="fig4b",
+        title="E[R] vs error dependency alpha",
+        headers=["alpha", "E[R] 4v", "E[R] 6v", "winner"],
+        rows=rows,
+        paper_claims=[
+            "small error dependency improves reliability, especially with rejuvenation",
+            "impact over alpha in [0.1, 1]: about 1.5% for 4v and about 6.6% for 6v",
+        ],
+        observations=[
+            f"measured impact: {span4:.1f}% for 4v, {span6:.1f}% for 6v",
+        ],
+        plot_series={"4v": four_series, "6v": six_series},
+    )
+
+
+def run_fig4c(grid: Sequence[float] = GRID_P) -> ExperimentReport:
+    """Panel (c): healthy-module inaccuracy p."""
+    rows, four_series, six_series = _sweep_both("p", grid)
+    span4 = (max(four_series) - min(four_series)) / max(four_series) * 100
+    span6 = (max(six_series) - min(six_series)) / max(six_series) * 100
+    return ExperimentReport(
+        experiment_id="fig4c",
+        title="E[R] vs healthy-module inaccuracy p",
+        headers=["p", "E[R] 4v", "E[R] 6v", "winner"],
+        rows=rows,
+        paper_claims=[
+            "6v beats 4v for all p in [0.01, 0.2]",
+            "impact of p: about 13% on 6v but only about 5% on 4v",
+        ],
+        observations=[
+            f"6v wins at every grid point: {all(r6 > r4 for _, r4, r6, _ in rows)}",
+            f"measured impact: {span4:.1f}% for 4v, {span6:.1f}% for 6v",
+        ],
+        plot_series={"4v": four_series, "6v": six_series},
+    )
+
+
+def run_fig4d(grid: Sequence[float] = GRID_P_PRIME) -> ExperimentReport:
+    """Panel (d): compromised-module inaccuracy p'."""
+    rows, four_series, six_series = _sweep_both("p_prime", grid)
+    observations = _crossover_observations("p_prime", grid)
+    return ExperimentReport(
+        experiment_id="fig4d",
+        title="E[R] vs compromised-module inaccuracy p'",
+        headers=["p_prime", "E[R] 4v", "E[R] 6v", "winner"],
+        rows=rows,
+        paper_claims=[
+            "rejuvenation mitigates degradation even when p' is high (e.g. 0.8)",
+            "6v with rejuvenation is only beneficial when p' > 0.3",
+        ],
+        observations=observations,
+        plot_series={"4v": four_series, "6v": six_series},
+    )

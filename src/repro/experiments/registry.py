@@ -1,0 +1,58 @@
+"""Registry mapping experiment ids to their runner functions."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ParameterError
+from repro.experiments.ablations import (
+    run_ablation_clock,
+    run_ablation_selection,
+    run_ablation_server,
+    run_ablation_threshold,
+    run_ablation_ticks,
+)
+from repro.experiments.architectures import run_architectures
+from repro.experiments.downtime import run_downtime
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c, run_fig4d
+from repro.experiments.headline import run_headline
+from repro.experiments.phase import run_phase_diagram
+from repro.experiments.report import ExperimentReport
+from repro.experiments.scaling import run_scaling
+
+_REGISTRY: dict[str, Callable[[], ExperimentReport]] = {
+    "table2-defaults": run_headline,
+    "fig3": run_fig3,
+    "fig4a": run_fig4a,
+    "fig4b": run_fig4b,
+    "fig4c": run_fig4c,
+    "fig4d": run_fig4d,
+    "scaling": run_scaling,
+    "architectures": run_architectures,
+    "phase-diagram": run_phase_diagram,
+    "ablation-selection": run_ablation_selection,
+    "ablation-clock": run_ablation_clock,
+    "ablation-server": run_ablation_server,
+    "ablation-ticks": run_ablation_ticks,
+    "ablation-threshold": run_ablation_threshold,
+    "ablation-downtime": run_downtime,
+}
+
+EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def run_experiment(experiment_id: str) -> ExperimentReport:
+    """Run one registered experiment by id.
+
+    Raises
+    ------
+    ParameterError
+        For unknown ids (the message lists the valid ones).
+    """
+    runner = _REGISTRY.get(experiment_id)
+    if runner is None:
+        raise ParameterError(
+            f"unknown experiment {experiment_id!r}; valid ids: {', '.join(EXPERIMENT_IDS)}"
+        )
+    return runner()

@@ -1,0 +1,65 @@
+"""Experiment reports: data rows plus the paper's claims, rendered as text."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.ascii_plot import line_plot
+from repro.utils.tables import render_table
+
+
+@dataclass
+class ExperimentReport:
+    """The regenerated rows of one paper artifact.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable id (e.g. ``"fig4a"``).
+    title:
+        Human-readable description.
+    headers / rows:
+        The tabular data (first column is the swept parameter for
+        figure-type experiments).
+    paper_claims:
+        The claims the paper derives from this artifact, as strings, for
+        side-by-side comparison in EXPERIMENTS.md.
+    observations:
+        What this reproduction measured (filled by the experiment
+        functions with computed optima, crossovers, deltas, ...).
+    plot_series:
+        Optional named y-series (parallel to the first column) used for
+        the ASCII plot of figure-type experiments.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]]
+    paper_claims: list[str] = field(default_factory=list)
+    observations: list[str] = field(default_factory=list)
+    plot_series: Mapping[str, Sequence[float]] | None = None
+
+    def render(self, *, plot: bool = True, markdown: bool = False) -> str:
+        """Full text rendering: table, optional plot, claims, observations."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(render_table(self.headers, self.rows, markdown=markdown))
+        if plot and self.plot_series:
+            x = [float(row[0]) for row in self.rows]
+            parts.append(
+                line_plot(
+                    x,
+                    self.plot_series,
+                    title=f"[{self.experiment_id}]",
+                    x_label=str(self.headers[0]),
+                )
+            )
+        if self.paper_claims:
+            parts.append("paper claims:")
+            parts.extend(f"  - {claim}" for claim in self.paper_claims)
+        if self.observations:
+            parts.append("this reproduction:")
+            parts.extend(f"  - {observation}" for observation in self.observations)
+        return "\n".join(parts)

@@ -1,0 +1,80 @@
+"""Discrete-time Markov chains."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.markov.linear import (
+    check_stochastic,
+    solve_stationary_stochastic,
+)
+
+
+class DTMC:
+    """A finite discrete-time Markov chain with transition matrix ``P``.
+
+    Used for the embedded chains of the MRGP solver and for absorption
+    analyses; also handy on its own for voting-scheme experiments.
+    """
+
+    def __init__(self, matrix: np.ndarray, states: Sequence[Any] | None = None) -> None:
+        self.matrix = check_stochastic(np.array(matrix, dtype=float), what="DTMC")
+        n = self.matrix.shape[0]
+        if states is None:
+            states = list(range(n))
+        if len(states) != n:
+            raise SolverError(f"got {len(states)} state labels for {n} states")
+        self.states = list(states)
+        self._index = {state: i for i, state in enumerate(self.states)}
+        self._stationary: np.ndarray | None = None
+
+    @property
+    def n_states(self) -> int:
+        return self.matrix.shape[0]
+
+    def index_of(self, state: Any) -> int:
+        return self._index[state]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The stationary distribution ``pi = pi P`` (cached)."""
+        if self._stationary is None:
+            self._stationary = solve_stationary_stochastic(
+                self.matrix, what="DTMC stationary"
+            )
+        return self._stationary
+
+    def step(self, distribution: Sequence[float] | np.ndarray, n: int = 1) -> np.ndarray:
+        """Advance ``distribution`` by ``n`` steps."""
+        if n < 0:
+            raise SolverError(f"step count must be >= 0, got {n}")
+        result = np.asarray(distribution, dtype=float)
+        for _ in range(n):
+            result = result @ self.matrix
+        return result
+
+    def absorption_probabilities(self, absorbing: Sequence[Any]) -> np.ndarray:
+        """Probability of ending in each absorbing state, per start state.
+
+        Returns a matrix ``B`` with ``B[i, j]`` the probability that the
+        chain started in transient state ``i`` (row order: non-absorbing
+        states in their original order) is absorbed in ``absorbing[j]``.
+        """
+        absorbing_indices = [self._index[state] for state in absorbing]
+        absorbing_set = set(absorbing_indices)
+        transient_indices = [i for i in range(self.n_states) if i not in absorbing_set]
+        q = self.matrix[np.ix_(transient_indices, transient_indices)]
+        r = self.matrix[np.ix_(transient_indices, absorbing_indices)]
+        try:
+            return np.linalg.solve(np.eye(len(transient_indices)) - q, r)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(
+                "absorption probabilities undefined: transient states form "
+                "a closed class"
+            ) from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DTMC(n_states={self.n_states})"

@@ -1,0 +1,111 @@
+"""First-passage analysis for CTMCs.
+
+Answers "how long until the chain first enters a target set?" — in the
+perception domain: *mean time to first reliability-critical state*, e.g.
+the first time the voter loses its ``2f+1`` quorum.  Computed exactly by
+making the target states absorbing:
+
+    m = -Q_TT^{-1} · 1        (mean hitting times of the transient block)
+
+Also provides hitting probabilities over a finite horizon via the
+absorbing chain's transient solution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.markov.ctmc import CTMC
+from repro.markov.uniformization import transient_distribution
+
+
+def _partition(chain: CTMC, targets: Sequence[Any]) -> tuple[list[int], list[int]]:
+    target_indices = [chain.index_of(state) for state in targets]
+    target_set = set(target_indices)
+    if not target_set:
+        raise SolverError("target set must not be empty")
+    if len(target_set) == chain.n_states:
+        raise SolverError("target set must not cover every state")
+    transient = [i for i in range(chain.n_states) if i not in target_set]
+    return transient, target_indices
+
+
+def mean_hitting_times(chain: CTMC, targets: Sequence[Any]) -> dict[Any, float]:
+    """Expected time to first reach ``targets`` from every other state.
+
+    Raises
+    ------
+    SolverError
+        If some state cannot reach the target set (the hitting time is
+        infinite and the linear system singular).
+    """
+    transient, _ = _partition(chain, targets)
+    sub = chain.generator[np.ix_(transient, transient)]
+    try:
+        times = np.linalg.solve(sub, -np.ones(len(transient)))
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(
+            "some state cannot reach the target set (infinite hitting time)"
+        ) from exc
+    if np.any(times < -1e-9):
+        raise SolverError("negative hitting time: the target set is not reachable")
+    return {chain.states[i]: float(t) for i, t in zip(transient, times)}
+
+
+def mean_time_to_hit(
+    chain: CTMC,
+    targets: Sequence[Any],
+    initial: Sequence[float] | np.ndarray,
+) -> float:
+    """Expected hitting time from an initial distribution.
+
+    Mass already on the target set contributes zero.
+    """
+    initial = np.asarray(initial, dtype=float)
+    if initial.shape != (chain.n_states,):
+        raise SolverError(
+            f"initial distribution has shape {initial.shape}, expected "
+            f"({chain.n_states},)"
+        )
+    times = mean_hitting_times(chain, targets)
+    return float(
+        sum(
+            initial[i] * times.get(state, 0.0)
+            for i, state in enumerate(chain.states)
+        )
+    )
+
+
+def hitting_probability_by(
+    chain: CTMC,
+    targets: Sequence[Any],
+    initial: Sequence[float] | np.ndarray,
+    horizon: float,
+) -> float:
+    """P(target set reached within ``horizon``) from ``initial``.
+
+    Computed on the modified chain in which targets are absorbing.
+    """
+    if horizon < 0:
+        raise SolverError(f"horizon must be >= 0, got {horizon}")
+    transient, target_indices = _partition(chain, targets)
+    absorbed = np.array(chain.generator, dtype=float)
+    for index in target_indices:
+        absorbed[index, :] = 0.0
+    initial = np.asarray(initial, dtype=float)
+    distribution = transient_distribution(absorbed, initial, horizon)
+    return float(distribution[target_indices].sum())
+
+
+def mean_time_to_predicate(
+    chain: CTMC,
+    predicate: Callable[[Any], bool],
+    initial: Sequence[float] | np.ndarray,
+) -> float:
+    """Convenience wrapper: hitting time of ``{s : predicate(s)}``."""
+    targets = [state for state in chain.states if predicate(state)]
+    return mean_time_to_hit(chain, targets, initial)

@@ -1,0 +1,107 @@
+"""Robust linear-algebra helpers for Markov solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+
+_RESIDUAL_TOLERANCE = 1e-8
+_NEGATIVE_TOLERANCE = 1e-10
+
+
+def normalize_distribution(vector: np.ndarray, *, what: str) -> np.ndarray:
+    """Clip tiny negative entries and renormalize to sum 1.
+
+    Raises
+    ------
+    SolverError
+        If the vector has significantly negative entries or a
+        non-positive sum — both indicate a solver failure upstream.
+    """
+    if np.any(vector < -1e-7):
+        raise SolverError(
+            f"{what} has negative entries (min {vector.min():.3e}); "
+            "the model or solver is inconsistent"
+        )
+    clipped = np.where(vector < _NEGATIVE_TOLERANCE, 0.0, vector)
+    total = clipped.sum()
+    if total <= 0.0:
+        raise SolverError(f"{what} sums to {total}; cannot normalize")
+    return clipped / total
+
+
+def solve_stationary(matrix: np.ndarray, *, what: str) -> np.ndarray:
+    """Solve ``pi @ matrix = 0`` (CTMC) with ``sum(pi) = 1``.
+
+    ``matrix`` must be a generator (rows summing to zero).  Uses a
+    least-squares solve of the over-determined system ``[Q^T; 1] pi =
+    [0; 1]``, which remains well-behaved for chains with transient
+    states, then validates the residual.
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise SolverError(f"{what}: generator must be square, got {matrix.shape}")
+    system = np.vstack([matrix.T, np.ones((1, n))])
+    rhs = np.zeros(n + 1)
+    rhs[-1] = 1.0
+    if np.linalg.matrix_rank(system) < n:
+        raise SolverError(
+            f"{what}: stationary distribution is not unique; the chain is "
+            "reducible with multiple recurrent classes"
+        )
+    solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+    residual = np.linalg.norm(system @ solution - rhs, ord=np.inf)
+    if residual > _RESIDUAL_TOLERANCE * max(1.0, np.abs(matrix).max()):
+        raise SolverError(
+            f"{what}: stationary solve residual {residual:.3e} too large; "
+            "the chain may be reducible with multiple recurrent classes"
+        )
+    return normalize_distribution(solution, what=what)
+
+
+def solve_stationary_stochastic(matrix: np.ndarray, *, what: str) -> np.ndarray:
+    """Solve ``pi @ P = pi`` (DTMC) with ``sum(pi) = 1``."""
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise SolverError(f"{what}: matrix must be square, got {matrix.shape}")
+    return solve_stationary(matrix - np.eye(n), what=what)
+
+
+def check_generator(matrix: np.ndarray, *, what: str) -> np.ndarray:
+    """Validate a CTMC generator: non-negative off-diagonal, zero row sums."""
+    matrix = np.asarray(matrix, dtype=float)
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise SolverError(f"{what}: generator must be square, got {matrix.shape}")
+    off_diagonal = matrix - np.diag(np.diag(matrix))
+    if np.any(off_diagonal < -1e-12):
+        raise SolverError(f"{what}: generator has negative off-diagonal entries")
+    row_sums = np.abs(matrix.sum(axis=1))
+    scale = max(1.0, np.abs(matrix).max())
+    if np.any(row_sums > 1e-9 * scale):
+        raise SolverError(
+            f"{what}: generator rows do not sum to zero (max |sum| = {row_sums.max():.3e})"
+        )
+    return matrix
+
+
+def check_stochastic(matrix: np.ndarray, *, what: str, substochastic: bool = False) -> np.ndarray:
+    """Validate a (sub)stochastic matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise SolverError(f"{what}: matrix must be square, got {matrix.shape}")
+    if np.any(matrix < -1e-12):
+        raise SolverError(f"{what}: matrix has negative entries")
+    row_sums = matrix.sum(axis=1)
+    if substochastic:
+        if np.any(row_sums > 1.0 + 1e-9):
+            raise SolverError(f"{what}: row sums exceed 1")
+    else:
+        if np.any(np.abs(row_sums - 1.0) > 1e-9):
+            raise SolverError(
+                f"{what}: rows do not sum to 1 (max deviation "
+                f"{np.abs(row_sums - 1.0).max():.3e})"
+            )
+    return matrix

@@ -1,0 +1,101 @@
+"""Steady-state solution of Markov-regenerative processes.
+
+A Markov-regenerative process (MRGP) is described at its regeneration
+points by
+
+* the **global kernel** ``K``: ``K[s, s']`` is the probability that a
+  cycle starting in regeneration state ``s`` ends in regeneration state
+  ``s'``, and
+* the **local sojourn matrix** ``U``: ``U[s, i]`` is the expected time
+  the process spends in state ``i`` during one cycle started in ``s``.
+
+By the Markov renewal theorem the long-run fraction of time spent in
+state ``i`` is
+
+    pi_i = (phi @ U)_i / (phi @ U @ 1)
+
+with ``phi`` the stationary distribution of the embedded chain ``K``.
+The kernels themselves are constructed from a DSPN's reachability graph
+in :mod:`repro.dspn.mrgp_builder` (subordinated CTMCs per deterministic
+transition); this module contains only the renewal-theorem numerics so
+it can be tested and reused independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.markov.dtmc import DTMC
+from repro.markov.linear import normalize_distribution
+
+
+@dataclass(frozen=True)
+class MRGPResult:
+    """Solution of an MRGP steady-state problem.
+
+    Attributes
+    ----------
+    pi:
+        Long-run time-average distribution over the process states.
+    phi:
+        Stationary distribution of the embedded chain at regeneration
+        points.
+    expected_cycle_length:
+        Mean regeneration-cycle duration under ``phi``.
+    """
+
+    pi: np.ndarray
+    phi: np.ndarray
+    expected_cycle_length: float
+
+
+def solve_mrgp(kernel: np.ndarray, sojourn: np.ndarray) -> MRGPResult:
+    """Solve an MRGP given its global kernel and local sojourn matrix.
+
+    Parameters
+    ----------
+    kernel:
+        ``(n, n)`` stochastic matrix ``K`` of the embedded chain.
+    sojourn:
+        ``(n, m)`` matrix ``U`` of expected per-cycle sojourn times;
+        ``m`` may exceed ``n`` if the process visits states that are not
+        regeneration states (not the case for DSPN kernels, where every
+        tangible marking is a regeneration state).
+
+    Raises
+    ------
+    SolverError
+        If the kernel is not stochastic, the sojourn matrix has negative
+        entries, or expected cycle lengths are not strictly positive.
+    """
+    kernel = np.asarray(kernel, dtype=float)
+    sojourn = np.asarray(sojourn, dtype=float)
+    n = kernel.shape[0]
+    if kernel.shape != (n, n):
+        raise SolverError(f"kernel must be square, got {kernel.shape}")
+    if sojourn.shape[0] != n:
+        raise SolverError(
+            f"sojourn matrix has {sojourn.shape[0]} rows for {n} regeneration states"
+        )
+    if np.any(sojourn < -1e-12):
+        raise SolverError("sojourn matrix has negative entries")
+
+    cycle_lengths = sojourn.sum(axis=1)
+    if np.any(cycle_lengths <= 0.0):
+        bad = int(np.argmin(cycle_lengths))
+        raise SolverError(
+            f"regeneration state {bad} has non-positive expected cycle "
+            f"length {cycle_lengths[bad]}"
+        )
+
+    embedded = DTMC(kernel)
+    phi = embedded.stationary_distribution()
+    weighted_time = phi @ sojourn
+    mean_cycle = float(phi @ cycle_lengths)
+    if mean_cycle <= 0.0:
+        raise SolverError(f"mean cycle length is {mean_cycle}; cannot normalize")
+    pi = normalize_distribution(weighted_time / mean_cycle, what="MRGP distribution")
+    return MRGPResult(pi=pi, phi=phi, expected_cycle_length=mean_cycle)

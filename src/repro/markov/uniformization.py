@@ -1,0 +1,97 @@
+"""Transient analysis helpers: uniformization and matrix-exponential integrals."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.errors import SolverError
+from repro.markov.linear import check_generator
+
+
+def transient_distribution(
+    generator: np.ndarray,
+    initial: np.ndarray,
+    time: float,
+    *,
+    tolerance: float = 1e-12,
+    max_terms: int = 1_000_000,
+) -> np.ndarray:
+    """Distribution at ``time`` via uniformization (Jensen's method).
+
+    Computes ``initial @ expm(Q t)`` without forming the matrix
+    exponential: with uniformization rate ``L >= max |Q_ii|`` and
+    ``P = I + Q / L``,
+
+        pi(t) = sum_k  Poisson(k; L t) · initial @ P^k
+
+    truncated once the Poisson tail falls below ``tolerance``.
+    """
+    generator = check_generator(generator, what="transient generator")
+    if time < 0:
+        raise SolverError(f"time must be >= 0, got {time}")
+    initial = np.asarray(initial, dtype=float)
+    if time == 0.0:
+        return initial.copy()
+
+    rate = max(-generator.diagonal().min(), 1e-300)
+    probability_matrix = np.eye(generator.shape[0]) + generator / rate
+
+    poisson_mean = rate * time
+    # log-space Poisson weights to survive large L*t
+    log_weight = -poisson_mean  # log P(k=0)
+    accumulated = 0.0
+    term_vector = initial.copy()
+    result = np.zeros_like(initial)
+    k = 0
+    # Poisson tail bound: once past the mean, stop when the remaining
+    # mass (bounded by current weight / (1 - mean/k)) is below tolerance.
+    while True:
+        weight = math.exp(log_weight) if log_weight > -745 else 0.0
+        result += weight * term_vector
+        accumulated += weight
+        if accumulated >= 1.0 - tolerance:
+            break
+        if k > poisson_mean and weight > 0.0:
+            ratio = poisson_mean / (k + 1)
+            if ratio < 1.0 and weight * ratio / (1.0 - ratio) < tolerance:
+                break
+        k += 1
+        if k > max_terms:
+            raise SolverError(
+                f"uniformization did not converge within {max_terms} terms "
+                f"(L*t = {poisson_mean:.3e})"
+            )
+        log_weight += math.log(poisson_mean) - math.log(k)
+        term_vector = term_vector @ probability_matrix
+    # compensate the (tiny) truncated Poisson mass so probability vectors
+    # remain normalized
+    if accumulated > 0.0:
+        result /= accumulated
+    return result
+
+
+def expm_and_integral(generator: np.ndarray, time: float) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(expm(A t), ∫_0^t expm(A s) ds)`` in one matrix exponential.
+
+    Uses the block-augmentation identity
+
+        expm([[A, I], [0, 0]] · t) = [[e^{At}, ∫_0^t e^{As} ds], [0, I]]
+
+    ``A`` need not be a proper generator — the MRGP kernel construction
+    passes sub-generators whose missing rate mass flows to absorbing
+    states that are handled separately.
+    """
+    matrix = np.asarray(generator, dtype=float)
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise SolverError(f"matrix must be square, got {matrix.shape}")
+    if time < 0:
+        raise SolverError(f"time must be >= 0, got {time}")
+    augmented = np.zeros((2 * n, 2 * n))
+    augmented[:n, :n] = matrix
+    augmented[:n, n:] = np.eye(n)
+    full = expm(augmented * time)
+    return full[:n, :n], full[:n, n:]

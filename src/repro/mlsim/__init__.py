@@ -1,0 +1,48 @@
+"""ML substitution layer: deriving p and p' like the paper's §V-A.
+
+The paper estimates the healthy-module inaccuracy ``p = 0.08`` as the
+average inaccuracy of LeNet, AlexNet and ResNet classifying the German
+Traffic Sign Recognition Benchmark, and sets the compromised inaccuracy
+``p' = 0.5`` ("outputs become random").  GTSRB and trained CNNs are not
+available offline, so this package substitutes:
+
+* :func:`~repro.mlsim.dataset.make_traffic_sign_dataset` — a synthetic
+  43-class dataset with class prototypes and per-sample noise, shaped
+  like the GTSRB classification task;
+* three *diverse* lightweight classifiers
+  (:mod:`~repro.mlsim.classifiers`): nearest-centroid, multinomial
+  logistic regression and a random-feature linear classifier — standing
+  in for the three CNN architectures;
+* :mod:`~repro.mlsim.corruption` — fault injection on trained models
+  (bit-flip-like weight corruption) and inputs (adversarial-style
+  perturbation), degrading accuracy the way the paper's threat model
+  describes;
+* :func:`~repro.mlsim.accuracy.estimate_parameters` — the end-to-end
+  derivation: train the ensemble, measure healthy and corrupted
+  inaccuracies, return the (p, p') estimates to feed the models.
+
+Only the *scalars* p and p' enter the reliability models, so this
+substitution preserves the paper's pipeline while remaining fully
+reproducible offline (see DESIGN.md §2).
+"""
+
+from repro.mlsim.accuracy import DerivedParameters, estimate_parameters
+from repro.mlsim.classifiers import (
+    LogisticRegressionClassifier,
+    NearestCentroidClassifier,
+    RandomFeatureClassifier,
+)
+from repro.mlsim.corruption import corrupt_inputs, corrupt_weights
+from repro.mlsim.dataset import Dataset, make_traffic_sign_dataset
+
+__all__ = [
+    "Dataset",
+    "DerivedParameters",
+    "LogisticRegressionClassifier",
+    "NearestCentroidClassifier",
+    "RandomFeatureClassifier",
+    "corrupt_inputs",
+    "corrupt_weights",
+    "estimate_parameters",
+    "make_traffic_sign_dataset",
+]

@@ -1,0 +1,174 @@
+"""Three diverse numpy classifiers standing in for LeNet/AlexNet/ResNet.
+
+Diversity between versions is the core premise of N-version programming;
+the three classifiers here use genuinely different decision mechanisms:
+
+* :class:`NearestCentroidClassifier` — distance to class means;
+* :class:`LogisticRegressionClassifier` — multinomial logistic
+  regression trained by full-batch gradient descent;
+* :class:`RandomFeatureClassifier` — a fixed random non-linear feature
+  expansion (random Fourier-style cosines) followed by a ridge
+  classifier.
+
+All share the ``fit(x, y) / predict(x) / accuracy(x, y)`` interface, and
+expose their parameters through ``weights`` (a flat view) so
+:mod:`repro.mlsim.corruption` can inject bit-flip-like faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+class _BaseClassifier:
+    """Shared fit/predict plumbing."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "_BaseClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ParameterError("x must be (n, d) with matching labels y")
+        self._fit(x, y)
+        self._fitted = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise ParameterError(f"{type(self).__name__} is not fitted")
+        return self._predict(np.asarray(x, dtype=float))
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of correct predictions on (x, y)."""
+        return float(np.mean(self.predict(x) == np.asarray(y, dtype=int)))
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Flat, writable view of the trainable parameters."""
+        raise NotImplementedError
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NearestCentroidClassifier(_BaseClassifier):
+    """Assigns the label of the closest class centroid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.centroids: np.ndarray | None = None
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        labels = np.unique(y)
+        self.centroids = np.vstack([x[y == label].mean(axis=0) for label in labels])
+        self._labels = labels
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        distances = np.linalg.norm(
+            x[:, None, :] - self.centroids[None, :, :], axis=2
+        )
+        return self._labels[np.argmin(distances, axis=1)]
+
+    @property
+    def weights(self) -> np.ndarray:
+        if self.centroids is None:
+            raise ParameterError("classifier is not fitted")
+        return self.centroids.reshape(-1)
+
+
+class LogisticRegressionClassifier(_BaseClassifier):
+    """Multinomial logistic regression via full-batch gradient descent."""
+
+    def __init__(
+        self,
+        *,
+        learning_rate: float = 0.5,
+        epochs: int = 300,
+        l2: float = 1e-4,
+    ) -> None:
+        super().__init__()
+        if learning_rate <= 0 or epochs < 1 or l2 < 0:
+            raise ParameterError("invalid hyperparameters for logistic regression")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.coef: np.ndarray | None = None
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        n, d = x.shape
+        classes = int(y.max()) + 1
+        design = np.hstack([x, np.ones((n, 1))])
+        onehot = np.zeros((n, classes))
+        onehot[np.arange(n), y] = 1.0
+        coef = np.zeros((d + 1, classes))
+        for _ in range(self.epochs):
+            logits = design @ coef
+            logits -= logits.max(axis=1, keepdims=True)
+            probabilities = np.exp(logits)
+            probabilities /= probabilities.sum(axis=1, keepdims=True)
+            gradient = design.T @ (probabilities - onehot) / n + self.l2 * coef
+            coef -= self.learning_rate * gradient
+        self.coef = coef
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        design = np.hstack([x, np.ones((len(x), 1))])
+        return np.argmax(design @ self.coef, axis=1)
+
+    @property
+    def weights(self) -> np.ndarray:
+        if self.coef is None:
+            raise ParameterError("classifier is not fitted")
+        return self.coef.reshape(-1)
+
+
+class RandomFeatureClassifier(_BaseClassifier):
+    """Random cosine feature expansion + closed-form ridge classifier."""
+
+    def __init__(self, *, n_features: int = 256, ridge: float = 1e-2, seed: int = 7) -> None:
+        super().__init__()
+        if n_features < 1 or ridge <= 0:
+            raise ParameterError("invalid hyperparameters for random features")
+        self.n_random = n_features
+        self.ridge = ridge
+        self.seed = seed
+        self.coef: np.ndarray | None = None
+
+    def _expand(self, x: np.ndarray) -> np.ndarray:
+        return np.cos(x @ self._projection + self._phase)
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        d = x.shape[1]
+        self._projection = rng.normal(scale=1.0, size=(d, self.n_random))
+        self._phase = rng.uniform(0, 2 * np.pi, size=self.n_random)
+        features = self._expand(x)
+        classes = int(y.max()) + 1
+        onehot = np.zeros((len(y), classes))
+        onehot[np.arange(len(y)), y] = 1.0
+        gram = features.T @ features + self.ridge * np.eye(self.n_random)
+        self.coef = np.linalg.solve(gram, features.T @ onehot)
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self._expand(x) @ self.coef, axis=1)
+
+    @property
+    def weights(self) -> np.ndarray:
+        if self.coef is None:
+            raise ParameterError("classifier is not fitted")
+        return self.coef.reshape(-1)
+
+
+def default_ensemble() -> list[_BaseClassifier]:
+    """The three-version ensemble used to derive the paper's p."""
+    return [
+        NearestCentroidClassifier(),
+        LogisticRegressionClassifier(),
+        RandomFeatureClassifier(),
+    ]

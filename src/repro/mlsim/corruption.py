@@ -1,0 +1,76 @@
+"""Fault and attack injection for the simulated ML modules.
+
+Implements the two threat channels of the paper's §IV-A:
+
+* **transient hardware faults** (bit flips, memory failures) —
+  :func:`corrupt_weights` flips sign/scale of a random fraction of a
+  classifier's parameters, the numpy analogue of bit-flip injection in
+  CNN weights;
+* **adversarial / evasion attacks** — :func:`corrupt_inputs` shifts
+  inputs toward a different class prototype direction, degrading the
+  classifier without stopping it.
+
+Both degrade accuracy toward the random-guess floor, which is exactly
+the paper's reading of a *compromised* module (p' ≈ 0.5 "since outputs
+in a compromised state become random").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_fraction, check_non_negative
+
+
+def corrupt_weights(
+    classifier,
+    *,
+    fraction: float = 0.2,
+    magnitude: float = 4.0,
+    rng: np.random.Generator | None = None,
+) -> None:
+    """Bit-flip-like corruption of a fitted classifier, in place.
+
+    A random ``fraction`` of the parameters is multiplied by
+    ``-magnitude`` — emulating high-order-bit flips, which change both
+    sign and scale of the stored float.
+
+    Raises
+    ------
+    ParameterError
+        If the classifier is not fitted (no weights to corrupt).
+    """
+    check_fraction("fraction", fraction)
+    check_non_negative("magnitude", magnitude)
+    rng = rng or np.random.default_rng()
+    weights = classifier.weights  # raises ParameterError when unfitted
+    n_corrupt = max(1, int(round(fraction * weights.size)))
+    indices = rng.choice(weights.size, size=n_corrupt, replace=False)
+    weights[indices] *= -magnitude
+
+
+def corrupt_inputs(
+    x: np.ndarray,
+    *,
+    strength: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Adversarial-style perturbation of inputs (returns a copy).
+
+    Adds a structured perturbation of norm ``strength`` per sample —
+    a shared random direction plus per-sample noise — emulating an
+    evasion attack that pushes samples across decision boundaries.
+    """
+    if strength < 0:
+        raise ParameterError(f"strength must be >= 0, got {strength}")
+    rng = rng or np.random.default_rng()
+    x = np.asarray(x, dtype=float).copy()
+    if strength == 0.0:
+        return x
+    direction = rng.normal(size=x.shape[1])
+    direction /= np.linalg.norm(direction)
+    jitter = rng.normal(scale=0.5, size=x.shape)
+    perturbation = direction[None, :] + jitter
+    perturbation /= np.linalg.norm(perturbation, axis=1, keepdims=True)
+    return x + strength * perturbation

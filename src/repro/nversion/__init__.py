@@ -1,0 +1,48 @@
+"""N-version reliability theory (the paper's §IV-D).
+
+This package contains the pure-combinatorics half of the paper's
+contribution, independent of any Petri net:
+
+* :mod:`~repro.nversion.voting` — BFT voting thresholds: ``2f+1`` correct
+  outputs without rejuvenation, ``2f+r+1`` with rejuvenation, plus the
+  classic majority/unanimity schemes;
+* :mod:`~repro.nversion.failure_models` — output-failure models for
+  healthy modules (the Ege et al. dependent-failure model with
+  dependency factor α, in the paper's verbatim form and a normalized
+  form) and compromised modules (independent with inaccuracy p');
+* :mod:`~repro.nversion.reliability` — the per-state reliability
+  functions ``R_{i,j,k}``: verbatim transcriptions of the paper's
+  Appendix A (four-version) and Appendix B (six-version), and a
+  generalized generator for any (N, f, r);
+* :mod:`~repro.nversion.conventions` — what "reliable" means when the
+  voter cannot reach its threshold (safe-skip, the paper's convention,
+  vs strict-correct).
+"""
+
+from repro.nversion.conventions import OutputConvention
+from repro.nversion.failure_models import (
+    CompromisedBinomialModel,
+    EgeDependentModel,
+    IndependentHealthyModel,
+)
+from repro.nversion.reliability import (
+    GeneralizedReliability,
+    PaperFourVersionReliability,
+    PaperSixVersionReliability,
+    ReliabilityFunction,
+    reliability_matrix,
+)
+from repro.nversion.voting import VotingScheme
+
+__all__ = [
+    "CompromisedBinomialModel",
+    "EgeDependentModel",
+    "GeneralizedReliability",
+    "IndependentHealthyModel",
+    "OutputConvention",
+    "PaperFourVersionReliability",
+    "PaperSixVersionReliability",
+    "ReliabilityFunction",
+    "VotingScheme",
+    "reliability_matrix",
+]

@@ -1,0 +1,30 @@
+"""Output conventions: what counts as a reliable perception output.
+
+The paper's assumptions A.2/A.3 define a three-way outcome per request:
+
+* **correct** — at least ``threshold`` modules output correctly;
+* **perception error** — at least ``threshold`` modules output
+  *incorrectly*;
+* **inconclusive but safe** — neither side reaches the threshold; the
+  voter "safely skips the output".
+
+The printed reliability functions treat the safe skip as reliable:
+``R = 1 - P(error)``.  We call this convention ``SAFE_SKIP``.  The
+alternative ``STRICT_CORRECT`` counts only actually-correct outputs:
+``R = P(correct)``.  Under strict-correct, taking modules offline to
+rejuvenate carries a real reliability cost (fewer voters make the
+threshold harder to reach); at the paper's Table II operating point this
+cost is still dominated by the benefit of cleansing compromised modules,
+so both conventions yield monotone Fig.-3 curves (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OutputConvention(enum.Enum):
+    """How inconclusive voter outcomes enter the reliability metric."""
+
+    SAFE_SKIP = "safe-skip"
+    STRICT_CORRECT = "strict-correct"

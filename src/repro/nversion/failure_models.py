@@ -1,0 +1,143 @@
+"""Output-failure models for healthy and compromised ML modules.
+
+The paper builds on the dependent-failure model of Ege et al. [8]: a
+healthy module misclassifies with probability ``p``; *given* that some
+healthy module misclassifies, every other healthy module misclassifies
+the same input with dependency probability ``alpha`` (α = 1 means all
+healthy modules fail together, α → 0 means a lone failure).
+
+Two variants are provided:
+
+* ``EgeDependentModel(..., paper_combinatorics=True)`` reproduces the
+  coefficient pattern of the paper's printed formulas, where the
+  probability that exactly ``m >= 1`` of ``i`` healthy modules fail is
+
+      C(i, m) · p · α^(m-1) · (1-α)^(i-m)
+
+  This is *not* a normalized probability mass function (the coefficient
+  should combinatorially be ``C(i-1, m-1)``), but it is what Appendix
+  A/B expand, so it is the default for paper-faithful evaluation.
+
+* ``paper_combinatorics=False`` gives the normalized model
+  ``P(0) = 1 - p``, ``P(m) = p · C(i-1, m-1) · α^(m-1) · (1-α)^(i-m)``,
+  which sums to one and is used by the generalized (any N, f, r)
+  reliability functions.
+
+Compromised modules fail independently with probability ``p' > p``
+(:class:`CompromisedBinomialModel`), reflecting that a compromised
+module's outputs are essentially random and no longer correlated with
+its peers (assumption A.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.utils.validation import check_non_negative_int, check_probability
+
+
+@dataclass(frozen=True)
+class EgeDependentModel:
+    """Dependent failures among healthy modules (Ege et al., 2001).
+
+    Parameters
+    ----------
+    p:
+        Inaccuracy (output failure probability) of a healthy module.
+    alpha:
+        Error-dependency factor between healthy modules in [0, 1].
+    paper_combinatorics:
+        Use the paper's ``C(i, m)`` coefficients (default) or the
+        normalized ``C(i-1, m-1)`` coefficients.
+    """
+
+    p: float
+    alpha: float
+    paper_combinatorics: bool = True
+
+    def __post_init__(self) -> None:
+        check_probability("p", self.p)
+        check_probability("alpha", self.alpha)
+
+    def probability_exactly(self, failures: int, group_size: int) -> float:
+        """P(exactly ``failures`` of ``group_size`` healthy modules err)."""
+        m = check_non_negative_int("failures", failures)
+        i = check_non_negative_int("group_size", group_size)
+        if m > i:
+            return 0.0
+        if i == 0:
+            return 1.0 if m == 0 else 0.0
+        if m == 0:
+            return 1.0 - self.p
+        coefficient = comb(i, m) if self.paper_combinatorics else comb(i - 1, m - 1)
+        return (
+            coefficient
+            * self.p
+            * self.alpha ** (m - 1)
+            * (1.0 - self.alpha) ** (i - m)
+        )
+
+    def probability_at_least(self, failures: int, group_size: int) -> float:
+        """P(at least ``failures`` healthy modules err).
+
+        In the paper's convention, "at least one healthy module errs"
+        has probability exactly ``p`` regardless of the group size.
+        """
+        m = check_non_negative_int("failures", failures)
+        i = check_non_negative_int("group_size", group_size)
+        if m == 0:
+            return 1.0
+        if m > i:
+            return 0.0
+        if m == 1:
+            return self.p if i > 0 else 0.0
+        return sum(self.probability_exactly(k, i) for k in range(m, i + 1))
+
+
+@dataclass(frozen=True)
+class IndependentHealthyModel:
+    """Independent healthy failures: ``failures ~ Binomial(i, p)``.
+
+    The α → 0 limit of the normalized dependent model generalizes to
+    this for comparison studies.
+    """
+
+    p: float
+
+    def __post_init__(self) -> None:
+        check_probability("p", self.p)
+
+    def probability_exactly(self, failures: int, group_size: int) -> float:
+        m = check_non_negative_int("failures", failures)
+        i = check_non_negative_int("group_size", group_size)
+        if m > i:
+            return 0.0
+        return comb(i, m) * self.p**m * (1.0 - self.p) ** (i - m)
+
+    def probability_at_least(self, failures: int, group_size: int) -> float:
+        m = check_non_negative_int("failures", failures)
+        i = check_non_negative_int("group_size", group_size)
+        return sum(self.probability_exactly(k, i) for k in range(m, i + 1))
+
+
+@dataclass(frozen=True)
+class CompromisedBinomialModel:
+    """Independent failures of compromised modules with inaccuracy ``p'``."""
+
+    p_prime: float
+
+    def __post_init__(self) -> None:
+        check_probability("p_prime", self.p_prime)
+
+    def probability_exactly(self, failures: int, group_size: int) -> float:
+        m = check_non_negative_int("failures", failures)
+        j = check_non_negative_int("group_size", group_size)
+        if m > j:
+            return 0.0
+        return comb(j, m) * self.p_prime**m * (1.0 - self.p_prime) ** (j - m)
+
+    def probability_at_least(self, failures: int, group_size: int) -> float:
+        m = check_non_negative_int("failures", failures)
+        j = check_non_negative_int("group_size", group_size)
+        return sum(self.probability_exactly(k, j) for k in range(m, j + 1))

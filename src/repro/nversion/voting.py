@@ -1,0 +1,122 @@
+"""Voting schemes for N-version perception systems.
+
+The paper analyzes BFT-style voting: with up to ``f`` compromised
+modules (and, when rejuvenation is used, up to ``r`` modules
+simultaneously rejuvenating or recovering), the voter needs
+
+* ``2f + 1`` agreeing outputs without rejuvenation, requiring
+  ``n >= 3f + 1`` modules, and
+* ``2f + r + 1`` agreeing outputs with rejuvenation, requiring
+  ``n >= 3f + 2r + 1`` modules
+
+(Castro-Liskov bounds, and Sousa et al. for the rejuvenating variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+def bft_minimum_modules(f: int) -> int:
+    """Minimum module count ``3f + 1`` to tolerate ``f`` Byzantine faults."""
+    return 3 * check_positive_int("f", f) + 1
+
+
+def bft_rejuvenation_minimum_modules(f: int, r: int) -> int:
+    """Minimum count ``3f + 2r + 1`` with ``r`` simultaneous rejuvenations."""
+    return 3 * check_positive_int("f", f) + 2 * check_positive_int("r", r) + 1
+
+
+@dataclass(frozen=True)
+class VotingScheme:
+    """A fixed-threshold voting rule over ``n_modules`` versions.
+
+    ``threshold`` is the number of agreeing outputs needed both to accept
+    a result as correct and (symmetrically, per assumptions A.2/A.3) for
+    a perception *error* to occur.
+    """
+
+    name: str
+    n_modules: int
+    threshold: int
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_modules", self.n_modules)
+        check_positive_int("threshold", self.threshold)
+        if self.threshold > self.n_modules:
+            raise ParameterError(
+                f"threshold {self.threshold} exceeds module count {self.n_modules}"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors for the schemes discussed in the paper
+    # ------------------------------------------------------------------
+    @classmethod
+    def bft(cls, f: int, *, n_modules: int | None = None) -> "VotingScheme":
+        """The ``2f+1``-out-of-``n`` scheme (no rejuvenation), A.2."""
+        minimum = bft_minimum_modules(f)
+        n = minimum if n_modules is None else int(n_modules)
+        if n < minimum:
+            raise ParameterError(
+                f"BFT voting with f={f} needs n >= {minimum} modules, got {n}"
+            )
+        return cls(name=f"bft(f={f})", n_modules=n, threshold=2 * f + 1)
+
+    @classmethod
+    def bft_with_rejuvenation(
+        cls, f: int, r: int, *, n_modules: int | None = None
+    ) -> "VotingScheme":
+        """The ``2f+r+1``-out-of-``n`` scheme (with rejuvenation), A.3."""
+        minimum = bft_rejuvenation_minimum_modules(f, r)
+        n = minimum if n_modules is None else int(n_modules)
+        if n < minimum:
+            raise ParameterError(
+                f"BFT voting with rejuvenation (f={f}, r={r}) needs "
+                f"n >= {minimum} modules, got {n}"
+            )
+        return cls(
+            name=f"bft-rejuvenation(f={f}, r={r})",
+            n_modules=n,
+            threshold=2 * f + r + 1,
+        )
+
+    @classmethod
+    def majority(cls, n_modules: int) -> "VotingScheme":
+        """Simple majority, e.g. 2-out-of-3."""
+        n = check_positive_int("n_modules", n_modules)
+        return cls(name="majority", n_modules=n, threshold=n // 2 + 1)
+
+    @classmethod
+    def unanimity(cls, n_modules: int) -> "VotingScheme":
+        """All modules must agree, e.g. 5-out-of-5."""
+        n = check_positive_int("n_modules", n_modules)
+        return cls(name="unanimity", n_modules=n, threshold=n)
+
+    # ------------------------------------------------------------------
+    # outcome classification
+    # ------------------------------------------------------------------
+    def classify(self, correct: int, incorrect: int) -> str:
+        """Classify a vote: ``"correct"``, ``"error"`` or ``"inconclusive"``.
+
+        ``correct + incorrect`` may be below ``n_modules`` when some
+        modules are non-operational or rejuvenating and produce no
+        output.
+        """
+        correct = check_non_negative_int("correct", correct)
+        incorrect = check_non_negative_int("incorrect", incorrect)
+        if correct + incorrect > self.n_modules:
+            raise ParameterError(
+                f"{correct}+{incorrect} votes from {self.n_modules} modules"
+            )
+        if correct >= self.threshold:
+            return "correct"
+        if incorrect >= self.threshold:
+            return "error"
+        return "inconclusive"
+
+    def can_reach_threshold(self, operational: int) -> bool:
+        """Whether ``operational`` modules can still produce a decision."""
+        return operational >= self.threshold

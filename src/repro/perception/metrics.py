@@ -1,0 +1,151 @@
+"""Domain-level dependability metrics beyond the paper's E[R_sys].
+
+The paper evaluates long-run output reliability.  Operators of a real
+perception system also ask *time-domain* questions this module answers
+exactly (for the clockless models, which are CTMCs):
+
+* **mean time to quorum loss** — expected time until so many modules
+  are simultaneously unavailable that the voter cannot assemble its
+  ``2f+1`` outputs (``k > f``, the paper's "reliability is 0" states);
+* **quorum-loss probability within a mission** — e.g. "what is the
+  chance a 2-hour drive ever loses the voting quorum?";
+* **exact parameter sensitivities** of E[R_sys] via the Blake/Reibman/
+  Trivedi linear system (no finite differences).
+
+For rejuvenating (clocked) systems these quantities are available by
+simulation through :class:`repro.simulation.PerceptionRuntime`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dspn.ctmc_builder import build_ctmc, generator_derivative
+from repro.dspn.rewards import reward_vector
+from repro.errors import UnsupportedModelError
+from repro.markov.first_passage import hitting_probability_by, mean_time_to_hit
+from repro.markov.sensitivity import rate_elasticity
+from repro.nversion.reliability import ReliabilityFunction
+from repro.perception.evaluation import default_reliability_function
+from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.statemap import module_counts
+from repro.statespace import TangibleGraph, tangible_reachability
+
+# rate parameter -> the DSPN transition carrying it
+_RATE_TRANSITIONS = {"mttc": "Tc", "mttf": "Tf", "mttr": "Tr"}
+
+
+def _clockless_ctmc(parameters: PerceptionParameters):
+    if parameters.rejuvenation:
+        raise UnsupportedModelError(
+            "time-domain metrics are analytic for clockless systems only; "
+            "simulate the rejuvenating system instead"
+        )
+    graph = tangible_reachability(build_no_rejuvenation_net(parameters))
+    return graph, build_ctmc(graph)
+
+
+def _quorum_lost_states(graph: TangibleGraph, parameters: PerceptionParameters):
+    threshold = parameters.voting_scheme.threshold
+    return [
+        index
+        for index, marking in enumerate(graph.markings)
+        if module_counts(marking).operational < threshold
+    ]
+
+
+def mean_time_to_quorum_loss(parameters: PerceptionParameters) -> float:
+    """Expected time from a fresh deployment until the voter first lacks
+    ``2f+1`` operational modules."""
+    graph, chain = _clockless_ctmc(parameters)
+    targets = _quorum_lost_states(graph, parameters)
+    if not targets:
+        raise UnsupportedModelError(
+            "no reachable marking loses the quorum for this configuration"
+        )
+    initial = np.asarray(graph.initial_distribution, dtype=float)
+    return mean_time_to_hit(chain, targets, initial)
+
+
+def quorum_loss_probability(
+    parameters: PerceptionParameters, mission_time: float
+) -> float:
+    """P(the voting quorum is lost at least once within ``mission_time``)."""
+    graph, chain = _clockless_ctmc(parameters)
+    targets = _quorum_lost_states(graph, parameters)
+    if not targets:
+        return 0.0
+    initial = np.asarray(graph.initial_distribution, dtype=float)
+    return hitting_probability_by(chain, targets, initial, mission_time)
+
+
+def expected_misperceptions(
+    parameters: PerceptionParameters,
+    mission_time: float,
+    request_rate: float,
+    *,
+    reliability: ReliabilityFunction | None = None,
+) -> float:
+    """Expected number of perception errors during a mission.
+
+    With requests arriving at ``request_rate`` per second and the
+    per-request error probability ``1 - R(state)``, the expectation is
+
+        request_rate · ∫_0^T (1 - E[R(t)]) dt
+
+    computed exactly on the transient CTMC (clockless systems).  A fresh
+    deployment (all modules healthy) is assumed.
+    """
+    if mission_time < 0:
+        raise UnsupportedModelError(f"mission_time must be >= 0, got {mission_time}")
+    if request_rate <= 0:
+        raise UnsupportedModelError(f"request_rate must be > 0, got {request_rate}")
+    graph, chain = _clockless_ctmc(parameters)
+    if reliability is None:
+        reliability = default_reliability_function(parameters)
+
+    def reward(marking):
+        counts = module_counts(marking)
+        return reliability(counts.healthy, counts.compromised, counts.unavailable)
+
+    rewards = reward_vector(graph.markings, reward)
+    initial = np.asarray(graph.initial_distribution, dtype=float)
+    accumulated_reliability = chain.accumulated_reward(initial, rewards, mission_time)
+    return request_rate * (mission_time - accumulated_reliability)
+
+
+def exact_rate_elasticities(
+    parameters: PerceptionParameters,
+    *,
+    reliability: ReliabilityFunction | None = None,
+) -> dict[str, float]:
+    """Exact elasticities of E[R_sys] w.r.t. the three rate parameters.
+
+    Returns ``{"mttc": e, "mttf": e, "mttr": e}`` where each value is
+    the percent change of E[R] per percent change of the *mean time*
+    (note: elasticity w.r.t. a mean time is the negative of the
+    elasticity w.r.t. its rate).
+    """
+    graph, chain = _clockless_ctmc(parameters)
+    if reliability is None:
+        reliability = default_reliability_function(parameters)
+
+    def reward(marking):
+        counts = module_counts(marking)
+        return reliability(counts.healthy, counts.compromised, counts.unavailable)
+
+    rewards = reward_vector(graph.markings, reward)
+    rates = {
+        "mttc": parameters.lambda_c,
+        "mttf": parameters.lambda_f,
+        "mttr": parameters.mu,
+    }
+    elasticities = {}
+    for name, transition in _RATE_TRANSITIONS.items():
+        derivative = generator_derivative(graph, transition)
+        with_respect_to_rate = rate_elasticity(
+            chain, rewards, derivative, rates[name]
+        )
+        elasticities[name] = -with_respect_to_rate  # d/d(mean) = -d/d(rate)
+    return elasticities

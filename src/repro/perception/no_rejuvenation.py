@@ -1,0 +1,63 @@
+"""The DSPN of Fig. 2(a): an N-version perception system without rejuvenation.
+
+Three places model the pool of ML modules — healthy (``Pmh``, initially
+N tokens), compromised (``Pmc``) and non-operational (``Pmf``) — and
+three exponential transitions move modules between them:
+
+* ``Tc`` (rate λc): faults/attacks partially compromise a healthy module;
+* ``Tf`` (rate λ): a compromised module eventually crashes;
+* ``Tr`` (rate μ): a crashed module is repaired back to healthy.
+
+All transitions use single-server (exclusive) semantics, matching the
+TimeNET defaults against which the paper's headline number was
+calibrated (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from repro.perception.parameters import PerceptionParameters
+from repro.petri import NetBuilder, PetriNet, ServerSemantics
+
+PLACE_HEALTHY = "Pmh"
+PLACE_COMPROMISED = "Pmc"
+PLACE_FAILED = "Pmf"
+PLACE_REJUVENATING = "Pmr"  # exists only in the rejuvenation net
+
+
+def build_no_rejuvenation_net(
+    parameters: PerceptionParameters,
+    *,
+    server: ServerSemantics = ServerSemantics.SINGLE,
+) -> PetriNet:
+    """Build the Fig. 2(a) net for ``parameters``.
+
+    The ``rejuvenation`` flag of ``parameters`` is ignored here; this
+    builder always produces the clockless model (useful for baseline
+    comparisons at any N).
+    """
+    builder = NetBuilder(f"perception-{parameters.n_modules}v-no-rejuvenation")
+    builder.place(PLACE_HEALTHY, tokens=parameters.n_modules, label="healthy")
+    builder.place(PLACE_COMPROMISED, label="compromised")
+    builder.place(PLACE_FAILED, label="non-operational")
+    builder.exponential(
+        "Tc",
+        rate=parameters.lambda_c,
+        server=server,
+        inputs={PLACE_HEALTHY: 1},
+        outputs={PLACE_COMPROMISED: 1},
+    )
+    builder.exponential(
+        "Tf",
+        rate=parameters.lambda_f,
+        server=server,
+        inputs={PLACE_COMPROMISED: 1},
+        outputs={PLACE_FAILED: 1},
+    )
+    builder.exponential(
+        "Tr",
+        rate=parameters.mu,
+        server=server,
+        inputs={PLACE_FAILED: 1},
+        outputs={PLACE_HEALTHY: 1},
+    )
+    return builder.build()

@@ -1,0 +1,48 @@
+"""Mapping DSPN markings to the paper's (i, j, k) state triples."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.perception.no_rejuvenation import (
+    PLACE_COMPROMISED,
+    PLACE_FAILED,
+    PLACE_HEALTHY,
+    PLACE_REJUVENATING,
+)
+from repro.petri.marking import Marking
+
+
+class ModuleCounts(NamedTuple):
+    """The (i, j, k) triple of §IV-D.
+
+    ``unavailable`` counts both non-operational and rejuvenating modules
+    — neither produces a perception output.
+    """
+
+    healthy: int
+    compromised: int
+    unavailable: int
+
+    @property
+    def operational(self) -> int:
+        """Modules currently producing outputs."""
+        return self.healthy + self.compromised
+
+    @property
+    def total(self) -> int:
+        return self.healthy + self.compromised + self.unavailable
+
+
+def module_counts(marking: Marking) -> ModuleCounts:
+    """Extract (i, j, k) from a perception-net marking.
+
+    Works for both the no-rejuvenation net (no ``Pmr`` place) and the
+    rejuvenation net.
+    """
+    rejuvenating = marking.get(PLACE_REJUVENATING, 0)
+    return ModuleCounts(
+        healthy=marking[PLACE_HEALTHY],
+        compromised=marking[PLACE_COMPROMISED],
+        unavailable=marking[PLACE_FAILED] + rejuvenating,
+    )

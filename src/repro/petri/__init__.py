@@ -1,0 +1,60 @@
+"""Stochastic Petri net core.
+
+This package provides the modelling formalism used throughout the library:
+Deterministic and Stochastic Petri Nets (DSPNs) with
+
+* places holding non-negative integer token counts,
+* **immediate** transitions (zero delay, weights and priorities),
+* **exponential** transitions (stochastic, single- or infinite-server
+  semantics, optionally marking-dependent rates),
+* **deterministic** transitions (fixed delay),
+* input, output and inhibitor arcs with (optionally marking-dependent)
+  multiplicities, and
+* guard functions that enable or disable transitions based on the current
+  marking.
+
+The formalism mirrors the capabilities of TimeNET used by the paper
+(guards g1-g3 and marking-dependent weights w1-w6 of Table I map directly
+onto :class:`~repro.petri.transition.ImmediateTransition` weights and
+guards).
+
+Typical usage::
+
+    from repro.petri import NetBuilder, count
+
+    builder = NetBuilder("two-state")
+    builder.place("Up", tokens=1)
+    builder.place("Down")
+    builder.exponential("fail", rate=0.01, inputs={"Up": 1}, outputs={"Down": 1})
+    builder.exponential("repair", rate=0.5, inputs={"Down": 1}, outputs={"Up": 1})
+    net = builder.build()
+"""
+
+from repro.petri.arc import ArcKind, Arc
+from repro.petri.builder import NetBuilder
+from repro.petri.guards import count
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.place import Place
+from repro.petri.transition import (
+    DeterministicTransition,
+    ExponentialTransition,
+    ImmediateTransition,
+    ServerSemantics,
+    Transition,
+)
+
+__all__ = [
+    "Arc",
+    "ArcKind",
+    "DeterministicTransition",
+    "ExponentialTransition",
+    "ImmediateTransition",
+    "Marking",
+    "NetBuilder",
+    "PetriNet",
+    "Place",
+    "ServerSemantics",
+    "Transition",
+    "count",
+]

@@ -1,0 +1,191 @@
+"""Structural analysis of Petri nets: incidence matrix and invariants.
+
+P-invariants (place invariants) are integer vectors ``y >= 0`` with
+``y^T · C = 0`` for the incidence matrix ``C``; any such ``y`` defines a
+weighted token sum conserved by every firing.  The paper's perception
+models conserve the total number of ML modules (``#Pmh + #Pmc + #Pmf
+[+ #Pmr] = N``), which the tests assert through this module.
+
+Marking-dependent arc multiplicities have no single incidence value; they
+are evaluated at the net's initial marking and the affected transitions
+are reported so callers can interpret invariants with care.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.petri.arc import ArcKind
+from repro.petri.net import PetriNet
+
+
+@dataclass(frozen=True)
+class IncidenceMatrix:
+    """Incidence matrix ``C[place, transition] = produced - consumed``."""
+
+    places: tuple[str, ...]
+    transitions: tuple[str, ...]
+    entries: tuple[tuple[int, ...], ...]
+    marking_dependent_transitions: tuple[str, ...]
+
+    def entry(self, place: str, transition: str) -> int:
+        return self.entries[self.places.index(place)][self.transitions.index(transition)]
+
+
+def incidence_matrix(net: PetriNet) -> IncidenceMatrix:
+    """Compute the incidence matrix of ``net``.
+
+    Arc multiplicities that depend on the marking are evaluated at the
+    initial marking; the affected transitions are listed in
+    ``marking_dependent_transitions``.
+    """
+    places = tuple(net.places)
+    transitions = tuple(net.transitions)
+    initial = net.initial_marking()
+    place_pos = {name: i for i, name in enumerate(places)}
+    dependent: set[str] = set()
+
+    columns: list[list[int]] = [[0] * len(transitions) for _ in places]
+    for t_pos, t_name in enumerate(transitions):
+        for arc in net.input_arcs(t_name):
+            if arc._multiplicity is not None:  # noqa: SLF001 - structural introspection
+                dependent.add(t_name)
+            columns[place_pos[arc.place]][t_pos] -= arc.multiplicity_in(initial)
+        for arc in net.output_arcs(t_name):
+            if arc._multiplicity is not None:  # noqa: SLF001
+                dependent.add(t_name)
+            columns[place_pos[arc.place]][t_pos] += arc.multiplicity_in(initial)
+    return IncidenceMatrix(
+        places=places,
+        transitions=transitions,
+        entries=tuple(tuple(row) for row in columns),
+        marking_dependent_transitions=tuple(sorted(dependent)),
+    )
+
+
+def _rational_nullspace(rows: list[list[Fraction]]) -> list[list[Fraction]]:
+    """Exact nullspace basis of a rational matrix via Gauss-Jordan."""
+    if not rows:
+        return []
+    n_cols = len(rows[0])
+    matrix = [row[:] for row in rows]
+    pivot_cols: list[int] = []
+    row_index = 0
+    for col in range(n_cols):
+        pivot_row = next(
+            (r for r in range(row_index, len(matrix)) if matrix[r][col] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        matrix[row_index], matrix[pivot_row] = matrix[pivot_row], matrix[row_index]
+        pivot = matrix[row_index][col]
+        matrix[row_index] = [value / pivot for value in matrix[row_index]]
+        for r in range(len(matrix)):
+            if r != row_index and matrix[r][col] != 0:
+                factor = matrix[r][col]
+                matrix[r] = [
+                    value - factor * pivot_value
+                    for value, pivot_value in zip(matrix[r], matrix[row_index])
+                ]
+        pivot_cols.append(col)
+        row_index += 1
+        if row_index == len(matrix):
+            break
+
+    free_cols = [c for c in range(n_cols) if c not in pivot_cols]
+    basis: list[list[Fraction]] = []
+    for free in free_cols:
+        vector = [Fraction(0)] * n_cols
+        vector[free] = Fraction(1)
+        for r, pivot_col in enumerate(pivot_cols):
+            vector[pivot_col] = -matrix[r][free]
+        basis.append(vector)
+    return basis
+
+
+def _to_integer_vector(vector: list[Fraction]) -> tuple[int, ...]:
+    """Scale a rational vector to the smallest integer multiple."""
+    denominators = [value.denominator for value in vector]
+    scale = 1
+    for d in denominators:
+        scale = scale * d // _gcd(scale, d)
+    integers = [int(value * scale) for value in vector]
+    divisor = 0
+    for value in integers:
+        divisor = _gcd(divisor, abs(value))
+    if divisor > 1:
+        integers = [value // divisor for value in integers]
+    return tuple(integers)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def p_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """Place invariants of ``net`` as ``{place: weight}`` dictionaries.
+
+    Returns a basis of the left nullspace of the incidence matrix scaled
+    to integer weights.  An empty list means no invariant exists (or the
+    net's structure is marking-dependent in a way that hides it).
+    """
+    matrix = incidence_matrix(net)
+    # left nullspace of C == nullspace of C^T
+    transposed = [
+        [Fraction(matrix.entries[p][t]) for p in range(len(matrix.places))]
+        for t in range(len(matrix.transitions))
+    ]
+    basis = _rational_nullspace(transposed)
+    invariants = []
+    for vector in basis:
+        integer = _to_integer_vector(vector)
+        if all(v <= 0 for v in integer):
+            integer = tuple(-v for v in integer)
+        invariants.append(
+            {place: weight for place, weight in zip(matrix.places, integer) if weight}
+        )
+    return invariants
+
+
+def t_invariants(net: PetriNet) -> list[dict[str, int]]:
+    """Transition invariants (firing-count vectors reproducing a marking)."""
+    matrix = incidence_matrix(net)
+    rows = [
+        [Fraction(value) for value in matrix.entries[p]] for p in range(len(matrix.places))
+    ]
+    basis = _rational_nullspace(rows)
+    invariants = []
+    for vector in basis:
+        integer = _to_integer_vector(vector)
+        if all(v <= 0 for v in integer):
+            integer = tuple(-v for v in integer)
+        invariants.append(
+            {
+                transition: weight
+                for transition, weight in zip(matrix.transitions, integer)
+                if weight
+            }
+        )
+    return invariants
+
+
+def conserved_token_sum(net: PetriNet, places: list[str]) -> bool:
+    """Whether the unweighted token sum over ``places`` is invariant.
+
+    A convenience check used by the perception models: the number of ML
+    modules must be conserved across all firings.
+    """
+    matrix = incidence_matrix(net)
+    wanted = set(places)
+    for t_pos in range(len(matrix.transitions)):
+        total = sum(
+            matrix.entries[p_pos][t_pos]
+            for p_pos, place in enumerate(matrix.places)
+            if place in wanted
+        )
+        if total != 0:
+            return False
+    return True

@@ -1,0 +1,99 @@
+"""Arcs connecting places and transitions.
+
+Three arc kinds are supported:
+
+* ``INPUT`` — tokens flow from a place into a transition; the transition
+  is enabled only if the place holds at least ``multiplicity`` tokens.
+* ``OUTPUT`` — tokens flow from a transition into a place.
+* ``INHIBITOR`` — the transition is enabled only while the place holds
+  *fewer* than ``multiplicity`` tokens (the small-white-circle arcs of the
+  DSPN notation).
+
+Multiplicities may be marking-dependent callables; Table I's w3-w6 arc
+weights (e.g. "consume ``min(#Pmr, r)`` tokens") are expressed this way.
+A marking-dependent multiplicity is evaluated against the marking in
+which the transition fires.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from typing import Union
+
+from repro.errors import ModelDefinitionError
+from repro.petri.marking import Marking
+
+MultiplicityLike = Union[int, Callable[[Marking], int]]
+
+
+class ArcKind(enum.Enum):
+    """Kind of a Petri net arc."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INHIBITOR = "inhibitor"
+
+
+class Arc:
+    """A single arc between a place and a transition.
+
+    Parameters
+    ----------
+    place:
+        Name of the place endpoint.
+    transition:
+        Name of the transition endpoint.
+    kind:
+        Direction/semantics of the arc.
+    multiplicity:
+        Number of tokens moved (or the inhibition threshold); either a
+        positive integer or a callable ``Marking -> int``.
+    """
+
+    __slots__ = ("place", "transition", "kind", "_multiplicity", "_constant")
+
+    def __init__(
+        self,
+        place: str,
+        transition: str,
+        kind: ArcKind,
+        multiplicity: MultiplicityLike = 1,
+    ) -> None:
+        if not isinstance(kind, ArcKind):
+            raise ModelDefinitionError(f"arc kind must be an ArcKind, got {kind!r}")
+        self.place = place
+        self.transition = transition
+        self.kind = kind
+        if callable(multiplicity):
+            self._multiplicity = multiplicity
+            self._constant = 0
+        else:
+            value = int(multiplicity)
+            if value < 1:
+                raise ModelDefinitionError(
+                    f"multiplicity of arc {place!r}<->{transition!r} must be >= 1, "
+                    f"got {value}"
+                )
+            self._multiplicity = None
+            self._constant = value
+
+    def multiplicity_in(self, marking: Marking) -> int:
+        """Evaluate the multiplicity in ``marking``.
+
+        Marking-dependent multiplicities may evaluate to 0, which means
+        "move no tokens" for input/output arcs (used for batch arcs such
+        as w5/w6 of the paper); constant multiplicities are always >= 1.
+        """
+        if self._multiplicity is None:
+            return self._constant
+        value = int(self._multiplicity(marking))
+        if value < 0:
+            raise ModelDefinitionError(
+                f"multiplicity of arc {self.place!r}<->{self.transition!r} "
+                f"evaluated to {value}; must be >= 0"
+            )
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Arc({self.place!r}, {self.transition!r}, {self.kind.value})"

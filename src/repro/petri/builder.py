@@ -1,0 +1,128 @@
+"""Fluent construction of Petri nets.
+
+:class:`NetBuilder` wraps the low-level :class:`~repro.petri.net.PetriNet`
+API so that a transition and all of its arcs are declared in one call::
+
+    builder = NetBuilder("perception")
+    builder.place("Pmh", tokens=4)
+    builder.place("Pmc")
+    builder.exponential("Tc", rate=1 / 1523, inputs={"Pmh": 1}, outputs={"Pmc": 1})
+    net = builder.build()        # validates and returns the net
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.petri.arc import ArcKind, MultiplicityLike
+from repro.petri.net import PetriNet
+from repro.petri.place import Place
+from repro.petri.transition import (
+    DeterministicTransition,
+    ExponentialTransition,
+    GuardFunction,
+    ImmediateTransition,
+    RateLike,
+    ServerSemantics,
+    Transition,
+)
+
+ArcSpec = Mapping[str, MultiplicityLike]
+
+
+class NetBuilder:
+    """Incrementally assemble a :class:`PetriNet`."""
+
+    def __init__(self, name: str) -> None:
+        self._net = PetriNet(name)
+
+    def place(
+        self,
+        name: str,
+        *,
+        tokens: int = 0,
+        capacity: int | None = None,
+        label: str = "",
+    ) -> "NetBuilder":
+        """Add a place."""
+        self._net.add_place(Place(name, tokens=tokens, capacity=capacity, label=label))
+        return self
+
+    def _wire(
+        self,
+        transition: Transition,
+        inputs: ArcSpec | None,
+        outputs: ArcSpec | None,
+        inhibitors: ArcSpec | None,
+    ) -> None:
+        self._net.add_transition(transition)
+        for place, multiplicity in (inputs or {}).items():
+            self._net.add_arc(place, transition.name, ArcKind.INPUT, multiplicity)
+        for place, multiplicity in (outputs or {}).items():
+            self._net.add_arc(place, transition.name, ArcKind.OUTPUT, multiplicity)
+        for place, multiplicity in (inhibitors or {}).items():
+            self._net.add_arc(place, transition.name, ArcKind.INHIBITOR, multiplicity)
+
+    def immediate(
+        self,
+        name: str,
+        *,
+        weight: RateLike = 1.0,
+        priority: int = 1,
+        guard: GuardFunction | None = None,
+        inputs: ArcSpec | None = None,
+        outputs: ArcSpec | None = None,
+        inhibitors: ArcSpec | None = None,
+    ) -> "NetBuilder":
+        """Add an immediate transition together with its arcs."""
+        self._wire(
+            ImmediateTransition(name, weight=weight, priority=priority, guard=guard),
+            inputs,
+            outputs,
+            inhibitors,
+        )
+        return self
+
+    def exponential(
+        self,
+        name: str,
+        *,
+        rate: RateLike,
+        server: ServerSemantics = ServerSemantics.SINGLE,
+        guard: GuardFunction | None = None,
+        inputs: ArcSpec | None = None,
+        outputs: ArcSpec | None = None,
+        inhibitors: ArcSpec | None = None,
+    ) -> "NetBuilder":
+        """Add an exponential transition together with its arcs."""
+        self._wire(
+            ExponentialTransition(name, rate=rate, server=server, guard=guard),
+            inputs,
+            outputs,
+            inhibitors,
+        )
+        return self
+
+    def deterministic(
+        self,
+        name: str,
+        *,
+        delay: float,
+        guard: GuardFunction | None = None,
+        inputs: ArcSpec | None = None,
+        outputs: ArcSpec | None = None,
+        inhibitors: ArcSpec | None = None,
+    ) -> "NetBuilder":
+        """Add a deterministic transition together with its arcs."""
+        self._wire(
+            DeterministicTransition(name, delay=delay, guard=guard),
+            inputs,
+            outputs,
+            inhibitors,
+        )
+        return self
+
+    def build(self) -> PetriNet:
+        """Validate and return the assembled net."""
+        self._net.validate()
+        return self._net

@@ -1,0 +1,66 @@
+"""Graphviz (DOT) export of Petri nets.
+
+Renders the net with the conventional DSPN notation: circles for places,
+thin black boxes for immediate transitions, white boxes for exponential
+transitions and bold black boxes for deterministic transitions; inhibitor
+arcs end in an open dot.  Useful for checking a model visually against
+the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.petri.arc import ArcKind
+from repro.petri.net import PetriNet
+from repro.petri.transition import (
+    DeterministicTransition,
+    ExponentialTransition,
+    ImmediateTransition,
+)
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(net: PetriNet, *, rankdir: str = "LR") -> str:
+    """Serialize ``net`` to Graphviz DOT text."""
+    lines = [f'digraph "{_escape(net.name)}" {{', f"  rankdir={rankdir};"]
+    initial = net.initial_marking()
+
+    for place in net.places.values():
+        tokens = initial[place.name]
+        token_text = f"\\n{tokens}" if tokens else ""
+        label = place.label or place.name
+        lines.append(
+            f'  "{_escape(place.name)}" [shape=circle, label="{_escape(label)}{token_text}"];'
+        )
+
+    for transition in net.transitions.values():
+        if isinstance(transition, ImmediateTransition):
+            style = "shape=box, style=filled, fillcolor=black, height=0.1, width=0.4"
+        elif isinstance(transition, DeterministicTransition):
+            style = "shape=box, style=filled, fillcolor=black, height=0.3, width=0.5"
+        elif isinstance(transition, ExponentialTransition):
+            style = "shape=box, style=filled, fillcolor=white, height=0.3, width=0.5"
+        else:  # pragma: no cover - future transition kinds
+            style = "shape=box"
+        lines.append(
+            f'  "{_escape(transition.name)}" [{style}, label="{_escape(transition.name)}"];'
+        )
+
+    for arc in net.arcs:
+        multiplicity = ""
+        if arc._multiplicity is not None:  # noqa: SLF001 - presentation only
+            multiplicity = ' [label="f(m)"]'
+        elif arc._constant != 1:  # noqa: SLF001
+            multiplicity = f' [label="{arc._constant}"]'  # noqa: SLF001
+        if arc.kind is ArcKind.INPUT:
+            lines.append(f'  "{_escape(arc.place)}" -> "{_escape(arc.transition)}"{multiplicity};')
+        elif arc.kind is ArcKind.OUTPUT:
+            lines.append(f'  "{_escape(arc.transition)}" -> "{_escape(arc.place)}"{multiplicity};')
+        else:
+            suffix = multiplicity[:-1] + ", arrowhead=odot]" if multiplicity else " [arrowhead=odot]"
+            lines.append(f'  "{_escape(arc.place)}" -> "{_escape(arc.transition)}"{suffix};')
+
+    lines.append("}")
+    return "\n".join(lines)

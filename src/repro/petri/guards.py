@@ -1,0 +1,120 @@
+"""A tiny expression DSL for guards and marking-dependent quantities.
+
+The paper's Table I expresses guards like ``(#Pmf + #Pmr) < r`` and
+weights like ``#Pmc / (#Pmc + #Pmh)``.  This module lets such expressions
+be written almost verbatim::
+
+    from repro.petri.guards import count
+
+    g2 = (count("Pmf") + count("Pmr")) < r        # a Marking -> bool callable
+    w1 = count("Pmc") / (count("Pmc") + count("Pmh"))   # Marking -> float
+
+Expressions support ``+ - * /``, comparisons, and combination with plain
+numbers.  Evaluating an expression calls it with a marking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Union
+
+from repro.petri.marking import Marking
+
+Operand = Union["MarkingExpr", float, int]
+
+
+def _coerce(value: Operand) -> Callable[[Marking], float]:
+    if isinstance(value, MarkingExpr):
+        return value._evaluate
+    constant = float(value)
+    return lambda _marking: constant
+
+
+class MarkingExpr:
+    """An arithmetic expression over place token counts.
+
+    Instances are callables ``Marking -> float`` and compose with the
+    usual operators.  Comparison operators return *predicate* callables
+    ``Marking -> bool`` suitable as transition guards.
+    """
+
+    __slots__ = ("_evaluate", "_text")
+
+    def __init__(self, evaluate: Callable[[Marking], float], text: str) -> None:
+        self._evaluate = evaluate
+        self._text = text
+
+    def __call__(self, marking: Marking) -> float:
+        return self._evaluate(marking)
+
+    # -- arithmetic -----------------------------------------------------
+    def _binary(self, other: Operand, op, symbol: str, reflected: bool = False) -> "MarkingExpr":
+        left = _coerce(other) if reflected else self._evaluate
+        right = self._evaluate if reflected else _coerce(other)
+        other_text = other._text if isinstance(other, MarkingExpr) else repr(other)
+        text = (
+            f"({other_text} {symbol} {self._text})"
+            if reflected
+            else f"({self._text} {symbol} {other_text})"
+        )
+        return MarkingExpr(lambda m: op(left(m), right(m)), text)
+
+    def __add__(self, other: Operand) -> "MarkingExpr":
+        return self._binary(other, lambda a, b: a + b, "+")
+
+    def __radd__(self, other: Operand) -> "MarkingExpr":
+        return self._binary(other, lambda a, b: a + b, "+", reflected=True)
+
+    def __sub__(self, other: Operand) -> "MarkingExpr":
+        return self._binary(other, lambda a, b: a - b, "-")
+
+    def __rsub__(self, other: Operand) -> "MarkingExpr":
+        return self._binary(other, lambda a, b: a - b, "-", reflected=True)
+
+    def __mul__(self, other: Operand) -> "MarkingExpr":
+        return self._binary(other, lambda a, b: a * b, "*")
+
+    def __rmul__(self, other: Operand) -> "MarkingExpr":
+        return self._binary(other, lambda a, b: a * b, "*", reflected=True)
+
+    def __truediv__(self, other: Operand) -> "MarkingExpr":
+        return self._binary(other, lambda a, b: a / b, "/")
+
+    def __rtruediv__(self, other: Operand) -> "MarkingExpr":
+        return self._binary(other, lambda a, b: a / b, "/", reflected=True)
+
+    # -- comparisons (produce guards) -----------------------------------
+    def _compare(self, other: Operand, op, symbol: str) -> Callable[[Marking], bool]:
+        right = _coerce(other)
+        left = self._evaluate
+        predicate = lambda m: bool(op(left(m), right(m)))  # noqa: E731
+        predicate.__doc__ = f"guard: {self._text} {symbol} {other!r}"
+        return predicate
+
+    def __lt__(self, other: Operand):
+        return self._compare(other, lambda a, b: a < b, "<")
+
+    def __le__(self, other: Operand):
+        return self._compare(other, lambda a, b: a <= b, "<=")
+
+    def __gt__(self, other: Operand):
+        return self._compare(other, lambda a, b: a > b, ">")
+
+    def __ge__(self, other: Operand):
+        return self._compare(other, lambda a, b: a >= b, ">=")
+
+    def __eq__(self, other: Operand):  # type: ignore[override]
+        return self._compare(other, lambda a, b: a == b, "==")
+
+    def __ne__(self, other: Operand):  # type: ignore[override]
+        return self._compare(other, lambda a, b: a != b, "!=")
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MarkingExpr({self._text})"
+
+
+def count(place: str) -> MarkingExpr:
+    """The token count of ``place`` as an expression (``#place``)."""
+    return MarkingExpr(lambda marking: marking[place], f"#{place}")

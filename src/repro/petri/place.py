@@ -1,0 +1,45 @@
+"""Places of a Petri net."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelDefinitionError
+from repro.utils.validation import check_non_negative_int
+
+
+@dataclass(frozen=True)
+class Place:
+    """A place holds a non-negative integer number of tokens.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the net (e.g. ``"Pmh"`` for the pool of
+        healthy ML modules).
+    tokens:
+        Number of tokens in the initial marking.
+    capacity:
+        Optional upper bound on the token count.  Firing a transition that
+        would exceed the capacity is treated as disabled.  ``None`` means
+        unbounded.
+    label:
+        Optional human-readable description used in DOT exports.
+    """
+
+    name: str
+    tokens: int = 0
+    capacity: int | None = None
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ModelDefinitionError(f"place name must be a non-empty string, got {self.name!r}")
+        check_non_negative_int(f"tokens of place {self.name!r}", self.tokens)
+        if self.capacity is not None:
+            check_non_negative_int(f"capacity of place {self.name!r}", self.capacity)
+            if self.tokens > self.capacity:
+                raise ModelDefinitionError(
+                    f"place {self.name!r} starts with {self.tokens} tokens, "
+                    f"above its capacity {self.capacity}"
+                )

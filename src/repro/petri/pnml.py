@@ -1,0 +1,257 @@
+"""PNML import/export for DSPNs.
+
+PNML (Petri Net Markup Language, ISO/IEC 15909-2) is the standard
+interchange format Petri net tools — including TimeNET — speak.  Core
+PNML covers places, transitions, arcs and markings; the timing/stochastic
+attributes of a DSPN are not standardized, so this module stores them in
+the customary ``<toolspecific>`` extension element under the tool name
+``"repro"``:
+
+* transition kind (immediate / exponential / deterministic),
+* constant rate, delay, weight, priority and server semantics,
+* arc kind (input / output / inhibitor) and constant multiplicity.
+
+Only *constant* quantities round-trip: guards and marking-dependent
+rates/weights/multiplicities are Python callables with no standard XML
+form, so exporting a net that uses them raises
+:class:`~repro.errors.UnsupportedModelError` with the offending element
+named.  (The paper's Fig. 2(a) net is fully serializable; the Fig. 2(c)
+net uses Table I's marking-dependent weights and is not.)
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import ModelDefinitionError, UnsupportedModelError
+from repro.petri.arc import ArcKind
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.place import Place
+from repro.petri.transition import (
+    DeterministicTransition,
+    ExponentialTransition,
+    ImmediateTransition,
+    ServerSemantics,
+    Transition,
+)
+
+_PNML_NS = "http://www.pnml.org/version-2009/grammar/pnml"
+_TOOL = "repro"
+
+
+def _text_child(parent: ET.Element, tag: str, text: str) -> ET.Element:
+    element = ET.SubElement(parent, tag)
+    value = ET.SubElement(element, "text")
+    value.text = text
+    return element
+
+
+def _constant_rate(transition: Transition, net: PetriNet, what: str) -> float:
+    """Extract a constant rate/weight/delay or refuse."""
+    probe = net.initial_marking()
+    if isinstance(transition, DeterministicTransition):
+        return transition.delay
+    if isinstance(transition, ExponentialTransition):
+        getter = transition.rate
+    elif isinstance(transition, ImmediateTransition):
+        getter = transition.weight
+    else:  # pragma: no cover - exhaustive over kinds
+        raise UnsupportedModelError(f"unknown transition kind for {transition.name!r}")
+    # constant functions ignore the marking; detect dependence by probing
+    # a couple of distinct markings
+    baseline = getter(probe)
+    for place in net.places:
+        try:
+            shifted = probe.after({place: 1})
+        except ModelDefinitionError:  # pragma: no cover - all deltas valid
+            continue
+        if getter(shifted) != baseline:
+            raise UnsupportedModelError(
+                f"{what} of transition {transition.name!r} is marking-"
+                "dependent; PNML export supports constants only"
+            )
+    return float(baseline)
+
+
+def to_pnml(net: PetriNet) -> str:
+    """Serialize ``net`` to a PNML document string.
+
+    Raises
+    ------
+    UnsupportedModelError
+        For guards or marking-dependent rates/weights/multiplicities.
+    """
+    for transition in net.transitions.values():
+        if transition.guard is not None:
+            raise UnsupportedModelError(
+                f"transition {transition.name!r} has a guard; PNML export "
+                "supports guard-free nets only"
+            )
+
+    root = ET.Element("pnml", xmlns=_PNML_NS)
+    net_element = ET.SubElement(
+        root, "net", id=net.name, type="http://www.pnml.org/version-2009/grammar/ptnet"
+    )
+    _text_child(net_element, "name", net.name)
+    page = ET.SubElement(net_element, "page", id="page0")
+
+    initial = net.initial_marking()
+    for place in net.places.values():
+        place_element = ET.SubElement(page, "place", id=place.name)
+        _text_child(place_element, "name", place.label or place.name)
+        if initial[place.name]:
+            _text_child(place_element, "initialMarking", str(initial[place.name]))
+        if place.capacity is not None:
+            tool = ET.SubElement(place_element, "toolspecific", tool=_TOOL, version="1")
+            tool.set("capacity", str(place.capacity))
+
+    for transition in net.transitions.values():
+        transition_element = ET.SubElement(page, "transition", id=transition.name)
+        _text_child(transition_element, "name", transition.name)
+        tool = ET.SubElement(
+            transition_element, "toolspecific", tool=_TOOL, version="1"
+        )
+        tool.set("kind", transition.kind)
+        if isinstance(transition, ExponentialTransition):
+            tool.set("rate", repr(_constant_rate(transition, net, "rate")))
+            tool.set("server", transition.server.value)
+        elif isinstance(transition, ImmediateTransition):
+            tool.set("weight", repr(_constant_rate(transition, net, "weight")))
+            tool.set("priority", str(transition.priority))
+        elif isinstance(transition, DeterministicTransition):
+            tool.set("delay", repr(transition.delay))
+
+    for index, arc in enumerate(net.arcs):
+        if arc._multiplicity is not None:  # noqa: SLF001 - serialization needs internals
+            raise UnsupportedModelError(
+                f"arc {arc.place!r}<->{arc.transition!r} has a marking-"
+                "dependent multiplicity; PNML export supports constants only"
+            )
+        if arc.kind is ArcKind.OUTPUT:
+            source, target = arc.transition, arc.place
+        else:
+            source, target = arc.place, arc.transition
+        arc_element = ET.SubElement(
+            page, "arc", id=f"arc{index}", source=source, target=target
+        )
+        multiplicity = arc._constant  # noqa: SLF001
+        if multiplicity != 1:
+            _text_child(arc_element, "inscription", str(multiplicity))
+        tool = ET.SubElement(arc_element, "toolspecific", tool=_TOOL, version="1")
+        tool.set("kind", arc.kind.value)
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def _strip(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _find_text(element: ET.Element, tag: str) -> str | None:
+    for child in element:
+        if _strip(child.tag) == tag:
+            for grandchild in child:
+                if _strip(grandchild.tag) == "text":
+                    return grandchild.text
+    return None
+
+
+def _find_tool(element: ET.Element) -> ET.Element | None:
+    for child in element:
+        if _strip(child.tag) == "toolspecific" and child.get("tool") == _TOOL:
+            return child
+    return None
+
+
+def from_pnml(document: str) -> PetriNet:
+    """Parse a PNML document produced by :func:`to_pnml` back into a net.
+
+    Raises
+    ------
+    ModelDefinitionError
+        For structurally invalid documents (missing pages, arcs between
+        two places, unknown transition kinds, ...).
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ModelDefinitionError(f"not valid XML: {exc}") from exc
+    net_element = next(
+        (child for child in root if _strip(child.tag) == "net"), None
+    )
+    if net_element is None:
+        raise ModelDefinitionError("PNML document has no <net> element")
+    net = PetriNet(net_element.get("id") or "imported")
+
+    pages = [child for child in net_element if _strip(child.tag) == "page"]
+    if not pages:
+        raise ModelDefinitionError("PNML net has no <page>")
+
+    arcs: list[ET.Element] = []
+    for page in pages:
+        for element in page:
+            tag = _strip(element.tag)
+            identifier = element.get("id")
+            if tag == "place":
+                tokens = int(_find_text(element, "initialMarking") or 0)
+                tool = _find_tool(element)
+                capacity = (
+                    int(tool.get("capacity")) if tool is not None and tool.get("capacity") else None
+                )
+                label = _find_text(element, "name") or ""
+                net.add_place(
+                    Place(identifier, tokens=tokens, capacity=capacity, label=label)
+                )
+            elif tag == "transition":
+                tool = _find_tool(element)
+                kind = tool.get("kind") if tool is not None else "exponential"
+                if kind == "exponential":
+                    server = ServerSemantics(
+                        tool.get("server", "single") if tool is not None else "single"
+                    )
+                    rate = float(tool.get("rate", "1.0")) if tool is not None else 1.0
+                    net.add_transition(
+                        ExponentialTransition(identifier, rate=rate, server=server)
+                    )
+                elif kind == "immediate":
+                    net.add_transition(
+                        ImmediateTransition(
+                            identifier,
+                            weight=float(tool.get("weight", "1.0")),
+                            priority=int(tool.get("priority", "1")),
+                        )
+                    )
+                elif kind == "deterministic":
+                    net.add_transition(
+                        DeterministicTransition(
+                            identifier, delay=float(tool.get("delay", "1.0"))
+                        )
+                    )
+                else:
+                    raise ModelDefinitionError(
+                        f"unknown transition kind {kind!r} for {identifier!r}"
+                    )
+            elif tag == "arc":
+                arcs.append(element)
+
+    for element in arcs:
+        source = element.get("source")
+        target = element.get("target")
+        multiplicity = int(_find_text(element, "inscription") or 1)
+        tool = _find_tool(element)
+        kind_name = tool.get("kind") if tool is not None else None
+        if source in net.places and target in net.transitions:
+            kind = ArcKind(kind_name) if kind_name else ArcKind.INPUT
+            net.add_arc(source, target, kind, multiplicity)
+        elif source in net.transitions and target in net.places:
+            net.add_arc(target, source, ArcKind.OUTPUT, multiplicity)
+        else:
+            raise ModelDefinitionError(
+                f"arc {element.get('id')!r} must connect a place and a "
+                f"transition (got {source!r} -> {target!r})"
+            )
+
+    net.validate()
+    return net

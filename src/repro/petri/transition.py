@@ -1,0 +1,194 @@
+"""Transitions of a DSPN: immediate, exponential and deterministic.
+
+Marking-dependent quantities (exponential rates, immediate weights,
+deterministic delays) are expressed as callables ``Marking -> float``.
+Plain numbers are accepted everywhere a callable is and are wrapped
+automatically.
+
+Server semantics
+----------------
+Exponential transitions support the two classical firing semantics:
+
+* ``ServerSemantics.SINGLE`` (TimeNET's *ExclusiveServer*, the default and
+  the semantics calibrated against the paper's numbers): the firing rate
+  is the base rate whenever the transition is enabled, regardless of the
+  enabling degree.
+* ``ServerSemantics.INFINITE``: the rate is multiplied by the enabling
+  degree (the maximum number of concurrent firings the marking allows).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from typing import Union
+
+from repro.errors import ModelDefinitionError, ParameterError
+from repro.petri.marking import Marking
+
+GuardFunction = Callable[[Marking], bool]
+MarkingFunction = Callable[[Marking], float]
+RateLike = Union[float, int, MarkingFunction]
+
+
+class ServerSemantics(enum.Enum):
+    """Firing semantics of an exponential transition."""
+
+    SINGLE = "single"
+    INFINITE = "infinite"
+
+
+def as_marking_function(name: str, value: RateLike) -> MarkingFunction:
+    """Wrap a constant into a marking function; pass callables through."""
+    if callable(value):
+        return value
+    try:
+        constant = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a number or callable, got {value!r}") from exc
+
+    def constant_function(_: Marking, _constant: float = constant) -> float:
+        return _constant
+
+    return constant_function
+
+
+class Transition:
+    """Common behaviour of all transition kinds.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the net.
+    guard:
+        Optional predicate on the current marking; the transition is
+        disabled whenever the guard evaluates to false (Table I's
+        g1-g3 are guards).
+    """
+
+    kind: str = "abstract"
+
+    def __init__(self, name: str, *, guard: GuardFunction | None = None) -> None:
+        if not name or not isinstance(name, str):
+            raise ModelDefinitionError(
+                f"transition name must be a non-empty string, got {name!r}"
+            )
+        if guard is not None and not callable(guard):
+            raise ModelDefinitionError(f"guard of transition {name!r} must be callable")
+        self.name = name
+        self.guard = guard
+
+    def guard_satisfied(self, marking: Marking) -> bool:
+        """Evaluate the guard (vacuously true when absent)."""
+        return self.guard is None or bool(self.guard(marking))
+
+    @property
+    def is_timed(self) -> bool:
+        """Whether the transition takes (stochastic or fixed) time to fire."""
+        return self.kind != "immediate"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ImmediateTransition(Transition):
+    """Zero-delay transition with a priority and a (possibly
+    marking-dependent) firing weight.
+
+    When several immediate transitions are enabled in a marking, only
+    those at the *highest* priority level compete; each fires with
+    probability proportional to its weight (this is how the w1/w2
+    selection probabilities of the paper's rejuvenation net are encoded).
+    """
+
+    kind = "immediate"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        weight: RateLike = 1.0,
+        priority: int = 1,
+        guard: GuardFunction | None = None,
+    ) -> None:
+        super().__init__(name, guard=guard)
+        self.weight = as_marking_function(f"weight of {name!r}", weight)
+        if priority < 0:
+            raise ModelDefinitionError(
+                f"priority of transition {name!r} must be >= 0, got {priority}"
+            )
+        self.priority = int(priority)
+
+    def weight_in(self, marking: Marking) -> float:
+        """Evaluate the firing weight; must be positive when enabled."""
+        value = float(self.weight(marking))
+        if value <= 0.0:
+            raise ParameterError(
+                f"weight of immediate transition {self.name!r} evaluated to "
+                f"{value}; weights must be > 0 in enabled markings"
+            )
+        return value
+
+
+class ExponentialTransition(Transition):
+    """Stochastic transition with exponentially distributed firing time."""
+
+    kind = "exponential"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        rate: RateLike,
+        server: ServerSemantics = ServerSemantics.SINGLE,
+        guard: GuardFunction | None = None,
+    ) -> None:
+        super().__init__(name, guard=guard)
+        self.rate = as_marking_function(f"rate of {name!r}", rate)
+        if not isinstance(server, ServerSemantics):
+            raise ModelDefinitionError(
+                f"server of transition {name!r} must be a ServerSemantics value"
+            )
+        self.server = server
+
+    def rate_in(self, marking: Marking, enabling_degree: int) -> float:
+        """Effective firing rate in ``marking``.
+
+        For ``SINGLE`` semantics this is the base rate; for ``INFINITE``
+        semantics the base rate times the enabling degree.
+        """
+        base = float(self.rate(marking))
+        if base <= 0.0:
+            raise ParameterError(
+                f"rate of exponential transition {self.name!r} evaluated to "
+                f"{base}; rates must be > 0 in enabled markings"
+            )
+        if self.server is ServerSemantics.INFINITE:
+            return base * enabling_degree
+        return base
+
+
+class DeterministicTransition(Transition):
+    """Transition with a fixed (deterministic) firing delay.
+
+    The paper's rejuvenation clock ``Trc`` is the only deterministic
+    transition in its models; the analytic solver supports any DSPN in
+    which at most one deterministic transition is enabled per marking.
+    """
+
+    kind = "deterministic"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        delay: float,
+        guard: GuardFunction | None = None,
+    ) -> None:
+        super().__init__(name, guard=guard)
+        try:
+            self.delay = float(delay)
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(f"delay of {name!r} must be a number") from exc
+        if not self.delay > 0.0:
+            raise ParameterError(f"delay of {name!r} must be > 0, got {self.delay}")

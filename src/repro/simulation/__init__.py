@@ -1,0 +1,58 @@
+"""Event-driven N-version perception runtime.
+
+The paper's models are analytic; its stated future work is to
+"experimentally analyze our proposed approach in perception and other
+systems".  This package provides that executable counterpart: a
+discrete-event runtime with
+
+* :class:`~repro.simulation.modules.MLModule` — simulated ML module
+  instances with healthy/compromised/failed/rejuvenating states and the
+  paper's output-failure behaviour (dependent errors among healthy
+  modules, random errors when compromised);
+* :class:`~repro.simulation.faults.FaultInjector` — stochastic
+  compromise/failure/repair processes matching the DSPN's transitions
+  ``Tc``/``Tf``/``Tr`` (channel semantics = the calibrated single-server
+  reading, or per-module semantics for physical realism);
+* :class:`~repro.simulation.voter.Voter` — BFT-threshold voting over
+  module outputs with worst-case (analytic-model-faithful) or per-label
+  agreement;
+* :class:`~repro.simulation.rejuvenator.Rejuvenator` — the time-based
+  rejuvenation clock of Fig. 2(b);
+* :class:`~repro.simulation.runtime.PerceptionRuntime` — the composed
+  system, measuring *empirical* output reliability over a stream of
+  perception requests.
+
+The integration tests drive this runtime with Table II parameters and
+check that the measured reliability agrees with the analytic E[R_sys].
+"""
+
+from repro.simulation.campaigns import AttackCampaign, AttackWave
+from repro.simulation.faults import FaultInjector, FaultSemantics
+from repro.simulation.modules import MLModule, ModuleState, module_census
+from repro.simulation.rejuvenator import Rejuvenator
+from repro.simulation.runtime import PerceptionRuntime, RuntimeReport
+from repro.simulation.trace import (
+    OccupancyComparison,
+    StateOccupancy,
+    compare_with_analytic,
+)
+from repro.simulation.voter import AgreementModel, VoteOutcome, Voter
+
+__all__ = [
+    "AgreementModel",
+    "AttackCampaign",
+    "AttackWave",
+    "FaultInjector",
+    "FaultSemantics",
+    "MLModule",
+    "ModuleState",
+    "OccupancyComparison",
+    "PerceptionRuntime",
+    "Rejuvenator",
+    "RuntimeReport",
+    "StateOccupancy",
+    "VoteOutcome",
+    "Voter",
+    "compare_with_analytic",
+    "module_census",
+]

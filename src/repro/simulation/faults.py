@@ -1,0 +1,120 @@
+"""Stochastic fault/attack and repair processes (DSPN transitions Tc/Tf/Tr).
+
+Two semantics are supported, mirroring the server-semantics choice of
+the analytic models:
+
+* ``CHANNEL`` (default) — one shared compromise channel, one failure
+  channel and one repair channel, each exponential with the base rate
+  and picking a random eligible module when it fires.  This is exactly
+  the single-server semantics the paper's numbers were calibrated
+  against.
+* ``PER_MODULE`` — every module carries its own independent clocks
+  (infinite-server); physically the more natural reading when modules
+  run on separate hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.simulation.modules import MLModule, ModuleState
+from repro.utils.validation import check_positive
+
+
+class FaultSemantics(enum.Enum):
+    """How fault/repair rates scale with the number of eligible modules."""
+
+    CHANNEL = "channel"
+    PER_MODULE = "per-module"
+
+
+class FaultInjector:
+    """Samples the next fault/repair event over a module pool.
+
+    Parameters
+    ----------
+    lambda_c:
+        Compromise rate (1/mttc), transition ``Tc``.
+    lambda_f:
+        Failure rate of compromised modules (1/mttf), transition ``Tf``.
+    mu:
+        Repair rate (1/mttr), transition ``Tr``.
+    semantics:
+        Rate scaling; see :class:`FaultSemantics`.
+    """
+
+    def __init__(
+        self,
+        *,
+        lambda_c: float,
+        lambda_f: float,
+        mu: float,
+        semantics: FaultSemantics = FaultSemantics.CHANNEL,
+    ) -> None:
+        self.lambda_c = check_positive("lambda_c", lambda_c)
+        self.lambda_f = check_positive("lambda_f", lambda_f)
+        self.mu = check_positive("mu", mu)
+        self.semantics = semantics
+
+    def _effective_rates(
+        self, modules: list[MLModule], compromise_scale: float = 1.0
+    ) -> dict[str, float]:
+        healthy = sum(1 for m in modules if m.state is ModuleState.HEALTHY)
+        compromised = sum(1 for m in modules if m.state is ModuleState.COMPROMISED)
+        failed = sum(1 for m in modules if m.state is ModuleState.FAILED)
+        if self.semantics is FaultSemantics.PER_MODULE:
+            scale = (healthy, compromised, failed)
+        else:
+            scale = (min(healthy, 1), min(compromised, 1), min(failed, 1))
+        return {
+            "compromise": self.lambda_c * scale[0] * compromise_scale,
+            "fail": self.lambda_f * scale[1],
+            "repair": self.mu * scale[2],
+        }
+
+    def next_event(
+        self,
+        modules: list[MLModule],
+        rng: np.random.Generator,
+        *,
+        compromise_scale: float = 1.0,
+    ) -> tuple[float, str] | None:
+        """Sample (delay, event kind) for the next fault/repair event.
+
+        Returns ``None`` when no event is possible (no module in any
+        eligible state).  The returned delay is exponential with the
+        total effective rate; the kind is chosen proportionally.
+        ``compromise_scale`` modulates λc (attack campaigns).
+        """
+        rates = self._effective_rates(modules, compromise_scale)
+        total = sum(rates.values())
+        if total <= 0.0:
+            return None
+        delay = rng.exponential(1.0 / total)
+        kinds = list(rates)
+        weights = np.array([rates[k] for k in kinds])
+        kind = kinds[rng.choice(len(kinds), p=weights / weights.sum())]
+        return delay, kind
+
+    def apply(
+        self, kind: str, modules: list[MLModule], rng: np.random.Generator
+    ) -> MLModule:
+        """Apply an event of ``kind`` to a uniformly chosen eligible module."""
+        eligible_state = {
+            "compromise": ModuleState.HEALTHY,
+            "fail": ModuleState.COMPROMISED,
+            "repair": ModuleState.FAILED,
+        }[kind]
+        eligible = [m for m in modules if m.state is eligible_state]
+        if not eligible:
+            raise ValueError(f"no module eligible for event {kind!r}")
+        module = eligible[rng.integers(len(eligible))]
+        if kind == "compromise":
+            module.compromise()
+        elif kind == "fail":
+            module.fail()
+        else:
+            module.repair()
+        return module

@@ -1,0 +1,94 @@
+"""The time-based rejuvenation manager (Fig. 2b's clock, operationally).
+
+Every ``interval`` seconds the manager attempts to take up to ``r``
+modules offline for rejuvenation, mirroring the DSPN selection chain:
+
+* the selection only proceeds while fewer than ``r`` modules are failed
+  or rejuvenating (guard g2);
+* candidates are drawn uniformly from the operational modules — the
+  mechanism cannot distinguish healthy from compromised (weights w1/w2);
+* ticks blocked by g2 remain pending and complete as soon as the guard
+  allows (the deferred reading of Table I);
+* a batch of ``b`` modules rejuvenates for an exponential time with mean
+  ``b x time_per_module`` (transition Trj with w5/w6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.modules import MLModule, ModuleState
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class Rejuvenator:
+    """Periodic rejuvenation of a module pool."""
+
+    def __init__(
+        self,
+        *,
+        interval: float,
+        r: int,
+        time_per_module: float,
+    ) -> None:
+        self.interval = check_positive("interval", interval)
+        self.r = check_positive_int("r", r)
+        self.time_per_module = check_positive("time_per_module", time_per_module)
+        self.pending_selections = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def next_tick_after(self, now: float) -> float:
+        """Absolute time of the first tick strictly after ``now``."""
+        ticks_so_far = int(now / self.interval)
+        return (ticks_so_far + 1) * self.interval
+
+    def on_tick(self, modules: list[MLModule], rng: np.random.Generator) -> list[MLModule]:
+        """Handle a clock tick: queue ``r`` selections and apply what g2 allows.
+
+        Mirrors guard g1: the acknowledgement fires only while no
+        selection is pending and nothing is rejuvenating; whether the
+        queued selections can *start* is guard g2's business
+        (:meth:`apply_pending`), so a tick during a failure stays queued.
+        """
+        rejuvenating = sum(
+            1 for m in modules if m.state is ModuleState.REJUVENATING
+        )
+        if rejuvenating == 0 and self.pending_selections == 0:
+            self.pending_selections = self.r
+        return self.apply_pending(modules, rng)
+
+    def apply_pending(
+        self, modules: list[MLModule], rng: np.random.Generator
+    ) -> list[MLModule]:
+        """Start rejuvenations for queued selections while g2 holds.
+
+        Returns the modules that began rejuvenating (callers schedule
+        the completion event for them).
+        """
+        started: list[MLModule] = []
+        while self.pending_selections > 0:
+            if self._budget_used(modules) >= self.r:
+                break
+            operational = [m for m in modules if m.is_operational]
+            if not operational:
+                break
+            module = operational[rng.integers(len(operational))]
+            module.start_rejuvenation()
+            self.pending_selections -= 1
+            started.append(module)
+        return started
+
+    def completion_delay(self, batch_size: int, rng: np.random.Generator) -> float:
+        """Exponential rejuvenation duration with mean ``batch x per-module``."""
+        return rng.exponential(self.time_per_module * max(1, batch_size))
+
+    @staticmethod
+    def _budget_used(modules: list[MLModule]) -> int:
+        """#failed + #rejuvenating (the quantity guard g2 bounds)."""
+        return sum(
+            1
+            for m in modules
+            if m.state in (ModuleState.FAILED, ModuleState.REJUVENATING)
+        )

@@ -1,0 +1,91 @@
+"""State-occupancy tracing and empirical-vs-analytic comparison.
+
+The analytic pipeline produces the stationary distribution π over module
+states (i, j, k).  The runtime can record how long it actually dwells in
+each census; this module compares the two — the strongest validation the
+executable system offers, because it checks the whole distribution
+rather than one scalar reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.perception.evaluation import evaluate
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.statemap import ModuleCounts
+from repro.utils.tables import render_table
+
+
+@dataclass
+class StateOccupancy:
+    """Accumulated dwell time per (healthy, compromised, unavailable) census."""
+
+    dwell: dict[ModuleCounts, float] = field(default_factory=dict)
+    total: float = 0.0
+
+    def record(self, census: ModuleCounts, duration: float) -> None:
+        """Add ``duration`` seconds spent in ``census``."""
+        if duration < 0:
+            raise SimulationError(f"negative dwell duration {duration}")
+        if duration == 0.0:
+            return
+        self.dwell[census] = self.dwell.get(census, 0.0) + duration
+        self.total += duration
+
+    def fractions(self) -> dict[ModuleCounts, float]:
+        """Normalized empirical state distribution."""
+        if self.total <= 0:
+            return {}
+        return {census: t / self.total for census, t in self.dwell.items()}
+
+
+@dataclass(frozen=True)
+class OccupancyComparison:
+    """Empirical vs analytic state distribution, with summary distance."""
+
+    rows: list[tuple[ModuleCounts, float, float]]  # (state, empirical, analytic)
+    total_variation_distance: float
+
+    def render(self, *, limit: int = 12) -> str:
+        """Aligned table of the largest-probability states."""
+        ranked = sorted(self.rows, key=lambda row: -max(row[1], row[2]))[:limit]
+        table = render_table(
+            ["(i, j, k)", "empirical", "analytic", "difference"],
+            [
+                [f"({s.healthy}, {s.compromised}, {s.unavailable})", e, a, e - a]
+                for s, e, a in ranked
+            ],
+            float_format=".5f",
+        )
+        return (
+            table
+            + f"\ntotal variation distance: {self.total_variation_distance:.5f}"
+        )
+
+
+def compare_with_analytic(
+    occupancy: StateOccupancy,
+    parameters: PerceptionParameters,
+) -> OccupancyComparison:
+    """Compare measured dwell fractions with the analytic π.
+
+    Returns the union of states seen by either side and the total
+    variation distance ``0.5 * Σ |empirical - analytic|``.
+    """
+    empirical = occupancy.fractions()
+    if not empirical:
+        raise SimulationError("occupancy is empty; nothing to compare")
+    analytic = evaluate(parameters).state_probabilities
+
+    states = sorted(
+        set(empirical) | set(analytic),
+        key=lambda s: (-s.healthy, -s.compromised),
+    )
+    rows = [
+        (state, empirical.get(state, 0.0), analytic.get(state, 0.0))
+        for state in states
+    ]
+    distance = 0.5 * sum(abs(e - a) for _, e, a in rows)
+    return OccupancyComparison(rows=rows, total_variation_distance=distance)

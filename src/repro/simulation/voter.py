@@ -1,0 +1,88 @@
+"""Runtime voting over module outputs.
+
+Modules emit per-request outputs; the voter classifies each request as
+``CORRECT``, ``ERROR`` or ``INCONCLUSIVE`` against the BFT threshold of
+a :class:`~repro.nversion.voting.VotingScheme` (assumptions A.2/A.3).
+
+Two agreement models are available:
+
+* ``WORST_CASE`` — all incorrect outputs are assumed to agree with each
+  other (e.g. a coordinated adversarial perturbation).  This matches the
+  analytic reliability functions, which only count how *many* modules
+  err, and is the default for cross-validation.
+* ``PER_LABEL`` — incorrect outputs carry concrete (possibly differing)
+  labels and only identical labels pool votes; wrong-but-disagreeing
+  modules then push the vote towards ``INCONCLUSIVE`` rather than
+  ``ERROR``.  This is the realistic multi-class behaviour and shows how
+  conservative the analytic model is.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.nversion.voting import VotingScheme
+
+
+class VoteOutcome(enum.Enum):
+    """Classification of one perception request."""
+
+    CORRECT = "correct"
+    ERROR = "error"
+    INCONCLUSIVE = "inconclusive"
+
+
+class AgreementModel(enum.Enum):
+    """How incorrect outputs coalesce into votes."""
+
+    WORST_CASE = "worst-case"
+    PER_LABEL = "per-label"
+
+
+class Voter:
+    """BFT-threshold voter over per-request module outputs."""
+
+    def __init__(
+        self,
+        scheme: VotingScheme,
+        *,
+        agreement: AgreementModel = AgreementModel.WORST_CASE,
+    ) -> None:
+        self.scheme = scheme
+        self.agreement = agreement
+
+    def decide(
+        self,
+        outputs: Sequence[Optional[int]],
+        ground_truth: int,
+    ) -> VoteOutcome:
+        """Classify a request.
+
+        Parameters
+        ----------
+        outputs:
+            One entry per module: the predicted label, or ``None`` for a
+            module that produced no output (failed/rejuvenating).
+        ground_truth:
+            The true label.
+        """
+        votes = [label for label in outputs if label is not None]
+        correct = sum(1 for label in votes if label == ground_truth)
+        threshold = self.scheme.threshold
+
+        if correct >= threshold:
+            return VoteOutcome.CORRECT
+
+        if self.agreement is AgreementModel.WORST_CASE:
+            incorrect = len(votes) - correct
+            if incorrect >= threshold:
+                return VoteOutcome.ERROR
+            return VoteOutcome.INCONCLUSIVE
+
+        wrong_counts = Counter(label for label in votes if label != ground_truth)
+        if wrong_counts and max(wrong_counts.values()) >= threshold:
+            return VoteOutcome.ERROR
+        return VoteOutcome.INCONCLUSIVE

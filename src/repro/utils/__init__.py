@@ -1,0 +1,21 @@
+"""Shared utilities: argument validation, table rendering, ASCII plots."""
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "check_fraction",
+    "check_in_range",
+    "check_non_negative",
+    "check_non_negative_int",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,78 @@
+"""Minimal terminal line plots.
+
+Benchmarks regenerate the paper's figures as data series; this module
+draws a quick ASCII rendition so the *shape* (monotonicity, optima,
+crossovers) is visible directly in the benchmark output without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_MARKERS = "*o+x#@"
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more ``y``-series over a shared ``x`` axis.
+
+    Each series is drawn with its own marker character; a legend maps
+    markers back to series names.  Values are linearly mapped onto a
+    ``width`` x ``height`` character grid.
+    """
+    if not x:
+        raise ValueError("x must not be empty")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} has {len(ys)} points, expected {len(x)}")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+
+    x_min, x_max = min(x), max(x)
+    all_y = [value for ys in series.values() for value in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        for xv, yv in zip(x, ys):
+            col = round((xv - x_min) / x_span * (width - 1))
+            row = round((yv - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = 12
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = format(y_max, ".4g").rjust(label_width)
+        elif row_index == height - 1:
+            label = format(y_min, ".4g").rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = format(x_min, ".4g").ljust(width // 2) + format(x_max, ".4g").rjust(
+        width - width // 2
+    )
+    lines.append(" " * (label_width + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (label_width + 2) + x_label.center(width))
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(f"{'legend:'.rjust(label_width)}  {legend}")
+    if y_label:
+        lines.insert(1 if title else 0, f"y: {y_label}")
+    return "\n".join(lines)

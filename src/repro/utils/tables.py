@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment and benchmark reports.
+
+The experiment harness prints the same rows the paper reports; this module
+renders them as aligned ASCII or GitHub-flavoured-markdown tables without
+any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+
+def _stringify(cell: Any, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return format(cell, float_format)
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_format: str = ".6f",
+    markdown: bool = False,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` cells.
+        Floats are formatted with ``float_format``.
+    markdown:
+        If true, emit a GitHub-flavoured markdown table; otherwise an
+        ASCII table with a dashed separator line.
+    """
+    string_rows = []
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row {cells!r} has {len(cells)} cells, expected {len(headers)}"
+            )
+        string_rows.append([_stringify(cell, float_format) for cell in cells])
+
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        if markdown:
+            return "| " + " | ".join(padded) + " |"
+        return "  ".join(padded).rstrip()
+
+    lines = [fmt_row(list(headers))]
+    if markdown:
+        lines.append("| " + " | ".join("-" * w for w in widths) + " |")
+    else:
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in string_rows)
+    return "\n".join(lines)

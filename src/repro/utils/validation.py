@@ -1,0 +1,107 @@
+"""Input-parameter validation helpers.
+
+Every public entry point of the library validates its numeric inputs with
+these helpers so that domain errors surface immediately, with the parameter
+name in the message, instead of as NaNs deep inside a solver.
+
+All helpers return the validated value so they can be used inline::
+
+    self.rate = check_positive("rate", rate)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import SupportsFloat, SupportsInt
+
+from repro.errors import ParameterError
+
+
+def _as_float(name: str, value: SupportsFloat) -> float:
+    if isinstance(value, bool):
+        raise ParameterError(f"{name} must be a real number, got a bool")
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(result):
+        raise ParameterError(f"{name} must not be NaN")
+    return result
+
+
+def check_positive(name: str, value: SupportsFloat, *, allow_inf: bool = False) -> float:
+    """Validate that ``value`` is a finite (by default) number > 0."""
+    result = _as_float(name, value)
+    if result <= 0.0:
+        raise ParameterError(f"{name} must be > 0, got {result}")
+    if not allow_inf and math.isinf(result):
+        raise ParameterError(f"{name} must be finite, got {result}")
+    return result
+
+
+def check_non_negative(name: str, value: SupportsFloat, *, allow_inf: bool = False) -> float:
+    """Validate that ``value`` is a finite (by default) number >= 0."""
+    result = _as_float(name, value)
+    if result < 0.0:
+        raise ParameterError(f"{name} must be >= 0, got {result}")
+    if not allow_inf and math.isinf(result):
+        raise ParameterError(f"{name} must be finite, got {result}")
+    return result
+
+
+def check_probability(name: str, value: SupportsFloat) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    result = _as_float(name, value)
+    if not 0.0 <= result <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {result}")
+    return result
+
+
+def check_fraction(name: str, value: SupportsFloat) -> float:
+    """Validate that ``value`` lies in the half-open interval (0, 1]."""
+    result = _as_float(name, value)
+    if not 0.0 < result <= 1.0:
+        raise ParameterError(f"{name} must be in (0, 1], got {result}")
+    return result
+
+
+def check_in_range(
+    name: str,
+    value: SupportsFloat,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    result = _as_float(name, value)
+    if inclusive:
+        if not low <= result <= high:
+            raise ParameterError(f"{name} must be in [{low}, {high}], got {result}")
+    else:
+        if not low < result < high:
+            raise ParameterError(f"{name} must be in ({low}, {high}), got {result}")
+    return result
+
+
+def check_positive_int(name: str, value: SupportsInt) -> int:
+    """Validate that ``value`` is an integer >= 1."""
+    result = check_non_negative_int(name, value)
+    if result < 1:
+        raise ParameterError(f"{name} must be >= 1, got {result}")
+    return result
+
+
+def check_non_negative_int(name: str, value: SupportsInt) -> int:
+    """Validate that ``value`` is an integer >= 0."""
+    if isinstance(value, bool):
+        raise ParameterError(f"{name} must be an integer, got a bool")
+    try:
+        result = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be an integer, got {value!r}") from exc
+    if result != float(value):
+        raise ParameterError(f"{name} must be integral, got {value!r}")
+    if result < 0:
+        raise ParameterError(f"{name} must be >= 0, got {result}")
+    return result

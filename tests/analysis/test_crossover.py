@@ -1,0 +1,51 @@
+"""Tests for crossover detection."""
+
+import pytest
+
+from repro.analysis.crossover import find_crossovers
+from repro.errors import ParameterError
+from repro.perception.parameters import PerceptionParameters
+
+
+@pytest.fixture
+def configs():
+    return (
+        PerceptionParameters.four_version_defaults(),
+        PerceptionParameters.six_version_defaults(),
+    )
+
+
+class TestFindCrossovers:
+    def test_p_prime_crossover_near_paper_value(self, configs):
+        """The paper reports rejuvenation pays off for p' > 0.3."""
+        a, b = configs
+        crossings = find_crossovers(a, b, "p_prime", [0.1, 0.3, 0.5])
+        assert len(crossings) == 1
+        crossing = crossings[0]
+        assert 0.2 < crossing.value < 0.35
+        assert crossing.winner_above == "b"  # 6v wins for larger p'
+
+    def test_no_crossover_in_flat_region(self, configs):
+        a, b = configs
+        crossings = find_crossovers(a, b, "p_prime", [0.5, 0.6, 0.7])
+        assert crossings == []
+
+    def test_grid_too_small_rejected(self, configs):
+        a, b = configs
+        with pytest.raises(ParameterError):
+            find_crossovers(a, b, "p_prime", [0.5])
+
+    def test_unknown_parameter_rejected(self, configs):
+        a, b = configs
+        with pytest.raises(ParameterError):
+            find_crossovers(a, b, "f", [1, 2])
+
+    def test_reliability_at_crossover_consistent(self, configs):
+        from repro.perception.evaluation import evaluate
+
+        a, b = configs
+        (crossing,) = find_crossovers(a, b, "p_prime", [0.1, 0.5])
+        at_a = evaluate(a.replace(p_prime=crossing.value)).expected_reliability
+        at_b = evaluate(b.replace(p_prime=crossing.value)).expected_reliability
+        assert abs(at_a - at_b) < 1e-6
+        assert abs(crossing.reliability - at_a) < 1e-9

@@ -1,0 +1,52 @@
+"""Tests for optimal-interval search."""
+
+import pytest
+
+from repro.analysis.optimize import optimal_rejuvenation_interval
+from repro.errors import ParameterError
+from repro.nversion.conventions import OutputConvention
+from repro.perception.parameters import PerceptionParameters
+
+
+class TestOptimalInterval:
+    def test_requires_rejuvenating_configuration(self, four_version_parameters):
+        with pytest.raises(ParameterError, match="rejuvenat"):
+            optimal_rejuvenation_interval(four_version_parameters)
+
+    def test_bounds_validated(self, six_version_parameters):
+        with pytest.raises(ParameterError):
+            optimal_rejuvenation_interval(six_version_parameters, low=100, high=50)
+
+    def test_safe_skip_optimum_at_lower_bound(self, six_version_parameters):
+        """Under the printed formulas the curve is monotone decreasing,
+        so the bounded search lands at (or hugs) the left bracket."""
+        optimum = optimal_rejuvenation_interval(
+            six_version_parameters, low=200.0, high=1500.0, tolerance=5.0
+        )
+        assert optimum.interval < 300.0
+        assert optimum.reliability > 0.945
+
+    def test_optimum_beats_default(self, six_version_parameters):
+        from repro.perception.evaluation import evaluate
+
+        optimum = optimal_rejuvenation_interval(
+            six_version_parameters, low=200.0, high=1500.0, tolerance=10.0
+        )
+        default_reliability = evaluate(six_version_parameters).expected_reliability
+        assert optimum.reliability >= default_reliability
+
+    def test_reports_evaluation_count(self, six_version_parameters):
+        optimum = optimal_rejuvenation_interval(
+            six_version_parameters, low=300.0, high=900.0, tolerance=50.0
+        )
+        assert optimum.evaluations > 2
+
+    def test_strict_convention_supported(self, six_version_parameters):
+        optimum = optimal_rejuvenation_interval(
+            six_version_parameters,
+            low=200.0,
+            high=900.0,
+            tolerance=50.0,
+            convention=OutputConvention.STRICT_CORRECT,
+        )
+        assert 0.0 < optimum.reliability < 1.0

@@ -1,0 +1,67 @@
+"""Tests for two-parameter phase diagrams."""
+
+import pytest
+
+from repro.analysis.phase import phase_diagram
+from repro.errors import ParameterError
+from repro.perception.parameters import PerceptionParameters
+
+
+@pytest.fixture(scope="module")
+def small_diagram():
+    return phase_diagram(
+        PerceptionParameters.four_version_defaults(),
+        PerceptionParameters.six_version_defaults(),
+        "p_prime", [0.15, 0.5],
+        "mttc", [400.0, 1523.0],
+        label_a="4v", label_b="6v",
+    )
+
+
+class TestPhaseDiagram:
+    def test_advantage_shape(self, small_diagram):
+        assert len(small_diagram.advantage) == 2  # y rows
+        assert len(small_diagram.advantage[0]) == 2  # x columns
+
+    def test_known_winners(self, small_diagram):
+        # at (p'=0.5, mttc=1523): the paper's default, 6v wins
+        assert small_diagram.winner(1, 1) == "6v"
+        # at (p'=0.15, mttc=1523): Fig. 4d's left side, 4v wins
+        assert small_diagram.winner(1, 0) == "4v"
+
+    def test_advantage_signs_match_winner(self, small_diagram):
+        for row in range(2):
+            for column in range(2):
+                advantage = small_diagram.advantage[row][column]
+                winner = small_diagram.winner(row, column)
+                assert (advantage > 0) == (winner == "6v")
+
+    def test_render_contains_grid(self, small_diagram):
+        text = small_diagram.render()
+        assert "phase diagram" in text
+        assert "p_prime" in text and "mttc" in text
+        assert "6" in text and "4" in text
+
+    def test_same_parameter_rejected(self):
+        with pytest.raises(ParameterError):
+            phase_diagram(
+                PerceptionParameters.four_version_defaults(),
+                PerceptionParameters.six_version_defaults(),
+                "p", [0.1], "p", [0.2],
+            )
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ParameterError):
+            phase_diagram(
+                PerceptionParameters.four_version_defaults(),
+                PerceptionParameters.six_version_defaults(),
+                "n_modules", [4], "p", [0.1],
+            )
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ParameterError):
+            phase_diagram(
+                PerceptionParameters.four_version_defaults(),
+                PerceptionParameters.six_version_defaults(),
+                "p_prime", [], "mttc", [400.0],
+            )

@@ -1,0 +1,85 @@
+"""Tests for the provisioning optimizer."""
+
+import pytest
+
+from repro.analysis.provisioning import (
+    cheapest_configuration,
+    provisioning_options,
+)
+from repro.errors import ParameterError
+from repro.perception.parameters import PerceptionParameters
+
+
+@pytest.fixture(scope="module")
+def base():
+    return PerceptionParameters.four_version_defaults()
+
+
+class TestProvisioningOptions:
+    def test_sorted_by_cost(self, base):
+        options = provisioning_options(base, target_reliability=0.8)
+        costs = [option.cost for option in options]
+        assert costs == sorted(costs)
+
+    def test_all_meet_target(self, base):
+        target = 0.9
+        options = provisioning_options(base, target_reliability=target)
+        assert options  # the rejuvenating configurations reach 0.94+
+        assert all(option.reliability >= target for option in options)
+
+    def test_impossible_target_empty(self, base):
+        assert provisioning_options(base, target_reliability=0.9999) == []
+
+    def test_respects_bft_minimums(self, base):
+        options = provisioning_options(base, target_reliability=0.0)
+        for option in options:
+            p = option.parameters
+            minimum = 3 * p.f + (2 * p.r + 1 if p.rejuvenation else 1)
+            assert p.n_modules >= minimum
+
+    def test_costs_computed(self, base):
+        options = provisioning_options(
+            base,
+            target_reliability=0.0,
+            module_cost=2.0,
+            rejuvenation_cost=3.0,
+        )
+        for option in options:
+            expected = 2.0 * option.parameters.n_modules + (
+                3.0 if option.parameters.rejuvenation else 0.0
+            )
+            assert option.cost == expected
+
+    def test_bounds_validated(self, base):
+        with pytest.raises(ParameterError):
+            provisioning_options(base, target_reliability=0.8, max_modules=3)
+        with pytest.raises(ParameterError):
+            provisioning_options(base, target_reliability=1.5)
+
+
+class TestCheapestConfiguration:
+    def test_matches_first_option(self, base):
+        options = provisioning_options(base, target_reliability=0.9)
+        cheapest = cheapest_configuration(base, target_reliability=0.9)
+        assert cheapest == options[0]
+
+    def test_none_when_infeasible(self, base):
+        assert cheapest_configuration(base, target_reliability=0.9999) is None
+
+    def test_high_target_needs_rejuvenation(self, base):
+        """At Table II faults, only rejuvenating systems exceed 0.93."""
+        cheapest = cheapest_configuration(base, target_reliability=0.93)
+        assert cheapest is not None
+        assert cheapest.parameters.rejuvenation
+
+    def test_low_target_prefers_small_plain_pool(self, base):
+        cheapest = cheapest_configuration(
+            base, target_reliability=0.5, rejuvenation_cost=10.0
+        )
+        assert cheapest is not None
+        assert not cheapest.parameters.rejuvenation
+        assert cheapest.parameters.n_modules == 4
+
+    def test_description(self, base):
+        cheapest = cheapest_configuration(base, target_reliability=0.93)
+        assert "rejuvenation" in cheapest.description

@@ -1,0 +1,52 @@
+"""Tests for parameter sweeps."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.analysis.sweeps import sweep_parameter
+from repro.perception.parameters import PerceptionParameters
+
+
+class TestSweepParameter:
+    def test_values_align(self, four_version_parameters):
+        result = sweep_parameter(four_version_parameters, "p", [0.05, 0.1])
+        assert result.values == (0.05, 0.1)
+        assert len(result.reliabilities) == 2
+
+    def test_reliability_decreases_in_p(self, four_version_parameters):
+        result = sweep_parameter(four_version_parameters, "p", [0.01, 0.1, 0.2])
+        r = result.reliabilities
+        assert r[0] > r[1] > r[2]
+
+    def test_reliability_decreases_in_p_prime(self, four_version_parameters):
+        result = sweep_parameter(four_version_parameters, "p_prime", [0.2, 0.5, 0.8])
+        r = result.reliabilities
+        assert r[0] > r[1] > r[2]
+
+    def test_reliability_increases_in_mttc(self, four_version_parameters):
+        result = sweep_parameter(four_version_parameters, "mttc", [500, 2000, 8000])
+        r = result.reliabilities
+        assert r[0] < r[1] < r[2]
+
+    def test_argmax(self, four_version_parameters):
+        result = sweep_parameter(four_version_parameters, "mttc", [500, 8000])
+        value, reliability = result.argmax()
+        assert value == 8000
+        assert reliability == max(result.reliabilities)
+
+    def test_as_rows(self, four_version_parameters):
+        result = sweep_parameter(four_version_parameters, "p", [0.05])
+        ((x, y),) = result.as_rows()
+        assert x == 0.05
+
+    def test_unknown_parameter_rejected(self, four_version_parameters):
+        with pytest.raises(ParameterError, match="cannot sweep"):
+            sweep_parameter(four_version_parameters, "n_modules", [4, 6])
+
+    def test_empty_values_rejected(self, four_version_parameters):
+        with pytest.raises(ParameterError):
+            sweep_parameter(four_version_parameters, "p", [])
+
+    def test_base_parameters_unmodified(self, four_version_parameters):
+        sweep_parameter(four_version_parameters, "p", [0.2])
+        assert four_version_parameters.p == 0.08

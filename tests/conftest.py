@@ -1,0 +1,60 @@
+"""Shared fixtures: small reference nets and parameter sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perception.parameters import PerceptionParameters
+from repro.petri import NetBuilder
+
+
+@pytest.fixture
+def two_state_net():
+    """A minimal up/down repairable component (2-state CTMC)."""
+    builder = NetBuilder("two-state")
+    builder.place("Up", tokens=1)
+    builder.place("Down")
+    builder.exponential("fail", rate=0.01, inputs={"Up": 1}, outputs={"Down": 1})
+    builder.exponential("repair", rate=0.5, inputs={"Down": 1}, outputs={"Up": 1})
+    return builder.build()
+
+
+@pytest.fixture
+def immediate_chain_net():
+    """A net whose initial marking resolves through two immediate firings."""
+    builder = NetBuilder("immediate-chain")
+    builder.place("A", tokens=1)
+    builder.place("B")
+    builder.place("C")
+    builder.place("D")
+    builder.immediate("iAB", inputs={"A": 1}, outputs={"B": 1})
+    builder.immediate("iBC", inputs={"B": 1}, outputs={"C": 1})
+    builder.exponential("tCD", rate=1.0, inputs={"C": 1}, outputs={"D": 1})
+    builder.exponential("tDC", rate=2.0, inputs={"D": 1}, outputs={"C": 1})
+    return builder.build()
+
+
+@pytest.fixture
+def clocked_net():
+    """A deterministic clock resetting a token that decays exponentially.
+
+    One token decays Up -> Down at rate 0.1; a deterministic transition
+    with delay 2.0 moves Down back to Up (when Down is marked) — the
+    smallest net exercising the MRGP path.
+    """
+    builder = NetBuilder("clocked")
+    builder.place("Up", tokens=1)
+    builder.place("Down")
+    builder.exponential("decay", rate=0.1, inputs={"Up": 1}, outputs={"Down": 1})
+    builder.deterministic("reset", delay=2.0, inputs={"Down": 1}, outputs={"Up": 1})
+    return builder.build()
+
+
+@pytest.fixture
+def four_version_parameters():
+    return PerceptionParameters.four_version_defaults()
+
+
+@pytest.fixture
+def six_version_parameters():
+    return PerceptionParameters.six_version_defaults()

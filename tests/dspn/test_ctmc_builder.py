@@ -1,0 +1,56 @@
+"""Tests for building CTMCs from tangible graphs."""
+
+import numpy as np
+import pytest
+
+from repro.dspn.ctmc_builder import build_ctmc
+from repro.errors import UnsupportedModelError
+from repro.petri import NetBuilder
+from repro.statespace import tangible_reachability
+
+
+class TestBuildCTMC:
+    def test_two_state_generator(self, two_state_net):
+        graph = tangible_reachability(two_state_net)
+        ctmc = build_ctmc(graph)
+        up = next(i for i, m in enumerate(graph.markings) if m["Up"] == 1)
+        down = 1 - up
+        assert np.isclose(ctmc.generator[up, down], 0.01)
+        assert np.isclose(ctmc.generator[down, up], 0.5)
+        assert np.allclose(ctmc.generator.sum(axis=1), 0.0)
+
+    def test_rejects_deterministic(self, clocked_net):
+        graph = tangible_reachability(clocked_net)
+        with pytest.raises(UnsupportedModelError):
+            build_ctmc(graph)
+
+    def test_vanishing_split_spreads_rate(self):
+        builder = NetBuilder("split")
+        builder.place("A", tokens=1).place("V").place("B").place("C")
+        builder.exponential("go", rate=3.0, inputs={"A": 1}, outputs={"V": 1})
+        builder.immediate("vb", weight=2.0, inputs={"V": 1}, outputs={"B": 1})
+        builder.immediate("vc", weight=1.0, inputs={"V": 1}, outputs={"C": 1})
+        builder.exponential("bBack", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        builder.exponential("cBack", rate=1.0, inputs={"C": 1}, outputs={"A": 1})
+        net = builder.build()
+        graph = tangible_reachability(net)
+        ctmc = build_ctmc(graph)
+        a = next(i for i, m in enumerate(graph.markings) if m["A"] == 1)
+        b = next(i for i, m in enumerate(graph.markings) if m["B"] == 1)
+        c = next(i for i, m in enumerate(graph.markings) if m["C"] == 1)
+        assert np.isclose(ctmc.generator[a, b], 2.0)
+        assert np.isclose(ctmc.generator[a, c], 1.0)
+
+    def test_invisible_self_loop_dropped(self):
+        builder = NetBuilder("selfloop")
+        builder.place("A", tokens=1).place("B")
+        # transition that returns the token to A (self-loop in state space)
+        builder.exponential("noop", rate=5.0, inputs={"A": 1}, outputs={"A": 1})
+        builder.exponential("move", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        net = builder.build()
+        graph = tangible_reachability(net)
+        ctmc = build_ctmc(graph)
+        # the self-loop must not contribute to the exit rate
+        a = next(i for i, m in enumerate(graph.markings) if m["A"] == 1)
+        assert np.isclose(-ctmc.generator[a, a], 1.0)

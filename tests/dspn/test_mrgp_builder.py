@@ -1,0 +1,117 @@
+"""Tests for MRGP kernel construction from tangible graphs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dspn.mrgp_builder import build_mrgp_kernels
+from repro.errors import UnsupportedModelError
+from repro.markov.mrgp import solve_mrgp
+from repro.petri import NetBuilder
+from repro.statespace import tangible_reachability
+
+
+class TestClockOnlyNet:
+    """A pure deterministic cycle: token moves A -> B every tau seconds."""
+
+    def build(self, tau_ab=2.0, tau_ba=3.0):
+        builder = NetBuilder("det-cycle")
+        builder.place("A", tokens=1).place("B")
+        builder.deterministic("ab", delay=tau_ab, inputs={"A": 1}, outputs={"B": 1})
+        builder.deterministic("ba", delay=tau_ba, inputs={"B": 1}, outputs={"A": 1})
+        return builder.build()
+
+    def test_kernel_alternates(self):
+        graph = tangible_reachability(self.build())
+        kernel, sojourn = build_mrgp_kernels(graph)
+        assert np.allclose(kernel, [[0, 1], [1, 0]])
+
+    def test_sojourn_is_delay(self):
+        graph = tangible_reachability(self.build())
+        _, sojourn = build_mrgp_kernels(graph)
+        a = next(i for i, m in enumerate(graph.markings) if m["A"] == 1)
+        assert np.isclose(sojourn[a, a], 2.0)
+        assert np.isclose(sojourn[1 - a, 1 - a], 3.0)
+
+    def test_solution_time_fractions(self):
+        graph = tangible_reachability(self.build())
+        kernel, sojourn = build_mrgp_kernels(graph)
+        result = solve_mrgp(kernel, sojourn)
+        a = next(i for i, m in enumerate(graph.markings) if m["A"] == 1)
+        assert np.isclose(result.pi[a], 0.4)
+
+
+class TestPreemptedDeterministic:
+    """Deterministic transition racing an exponential one.
+
+    Token in place Race: deterministic d (delay tau) moves it to D,
+    exponential e (rate lam) moves it to E; from D and E exponential
+    transitions return it.  P(d wins) = exp(-lam*tau).
+    """
+
+    def build(self, tau=1.0, lam=0.7):
+        builder = NetBuilder("race")
+        builder.place("Race", tokens=1).place("D").place("E")
+        builder.deterministic("d", delay=tau, inputs={"Race": 1}, outputs={"D": 1})
+        builder.exponential("e", rate=lam, inputs={"Race": 1}, outputs={"E": 1})
+        builder.exponential("dBack", rate=1.0, inputs={"D": 1}, outputs={"Race": 1})
+        builder.exponential("eBack", rate=1.0, inputs={"E": 1}, outputs={"Race": 1})
+        return builder.build()
+
+    def test_kernel_race_probabilities(self):
+        tau, lam = 1.0, 0.7
+        graph = tangible_reachability(self.build(tau, lam))
+        kernel, _ = build_mrgp_kernels(graph)
+        race = next(i for i, m in enumerate(graph.markings) if m["Race"] == 1)
+        d = next(i for i, m in enumerate(graph.markings) if m["D"] == 1)
+        e = next(i for i, m in enumerate(graph.markings) if m["E"] == 1)
+        assert math.isclose(kernel[race, e], 1 - math.exp(-lam * tau), rel_tol=1e-9)
+        assert math.isclose(kernel[race, d], math.exp(-lam * tau), rel_tol=1e-9)
+
+    def test_sojourn_truncated_mean(self):
+        tau, lam = 1.0, 0.7
+        graph = tangible_reachability(self.build(tau, lam))
+        _, sojourn = build_mrgp_kernels(graph)
+        race = next(i for i, m in enumerate(graph.markings) if m["Race"] == 1)
+        # E[min(tau, Exp(lam))] = (1 - exp(-lam tau)) / lam
+        expected = (1 - math.exp(-lam * tau)) / lam
+        assert math.isclose(sojourn[race, race], expected, rel_tol=1e-9)
+
+    def test_full_solution_matches_simulation_free_formula(self):
+        """Renewal-reward hand calculation for the race model."""
+        tau, lam = 1.0, 0.7
+        graph = tangible_reachability(self.build(tau, lam))
+        kernel, sojourn = build_mrgp_kernels(graph)
+        result = solve_mrgp(kernel, sojourn)
+        assert np.isclose(result.pi.sum(), 1.0)
+        race = next(i for i, m in enumerate(graph.markings) if m["Race"] == 1)
+        # fraction of time in Race: E[min] / (E[min] + 1)  (returns take 1.0 mean)
+        e_min = (1 - math.exp(-lam * tau)) / lam
+        assert math.isclose(result.pi[race], e_min / (e_min + 1.0), rel_tol=1e-9)
+
+
+class TestUnsupportedShapes:
+    def test_two_concurrent_deterministic_rejected(self):
+        builder = NetBuilder("two-det")
+        builder.place("A", tokens=1).place("B", tokens=1).place("C")
+        builder.deterministic("d1", delay=1.0, inputs={"A": 1}, outputs={"C": 1})
+        builder.deterministic("d2", delay=2.0, inputs={"B": 1}, outputs={"C": 1})
+        builder.exponential("back", rate=1.0, inputs={"C": 2}, outputs={"A": 1, "B": 1})
+        net = builder.build()
+        graph = tangible_reachability(net)
+        with pytest.raises(UnsupportedModelError, match="deterministic"):
+            build_mrgp_kernels(graph)
+
+    def test_absorbing_state_self_cycles(self):
+        builder = NetBuilder("absorbing")
+        builder.place("A", tokens=1).place("B").place("Sink")
+        builder.deterministic("d", delay=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.exponential("e", rate=1.0, inputs={"B": 1}, outputs={"Sink": 1})
+        net = builder.build()
+        graph = tangible_reachability(net)
+        kernel, sojourn = build_mrgp_kernels(graph)
+        sink = next(i for i, m in enumerate(graph.markings) if m["Sink"] == 1)
+        assert kernel[sink, sink] == 1.0
+        result = solve_mrgp(kernel, sojourn)
+        assert np.isclose(result.pi[sink], 1.0)

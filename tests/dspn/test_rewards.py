@@ -1,0 +1,31 @@
+"""Tests for reward helpers."""
+
+import numpy as np
+
+from repro.dspn.rewards import indicator, reward_vector
+from repro.petri.marking import Marking
+
+INDEX = {"A": 0, "B": 1}
+
+
+def markings():
+    return [
+        Marking.from_dict(INDEX, {"A": 1}),
+        Marking.from_dict(INDEX, {"B": 2}),
+    ]
+
+
+class TestRewardVector:
+    def test_evaluates_each_marking(self):
+        vector = reward_vector(markings(), lambda m: m["A"] + 10 * m["B"])
+        assert np.allclose(vector, [1.0, 20.0])
+
+    def test_empty(self):
+        assert reward_vector([], lambda m: 1.0).shape == (0,)
+
+
+class TestIndicator:
+    def test_zero_one(self):
+        reward = indicator(lambda m: m["B"] > 0)
+        values = [reward(m) for m in markings()]
+        assert values == [0.0, 1.0]

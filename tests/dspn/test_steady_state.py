@@ -1,0 +1,56 @@
+"""Tests for the steady-state dispatch and result object."""
+
+import numpy as np
+
+from repro.dspn import solve_steady_state
+
+
+class TestDispatch:
+    def test_exponential_net_uses_ctmc(self, two_state_net):
+        result = solve_steady_state(two_state_net)
+        assert result.method == "ctmc"
+
+    def test_deterministic_net_uses_mrgp(self, clocked_net):
+        result = solve_steady_state(clocked_net)
+        assert result.method == "mrgp"
+
+    def test_pi_sums_to_one(self, two_state_net, clocked_net):
+        for net in (two_state_net, clocked_net):
+            result = solve_steady_state(net)
+            assert np.isclose(result.pi.sum(), 1.0)
+
+
+class TestTwoStateValues:
+    def test_availability(self, two_state_net):
+        result = solve_steady_state(two_state_net)
+        up = result.probability(lambda m: m["Up"] == 1)
+        # fail 0.01, repair 0.5 -> availability = 0.5/(0.51)
+        assert np.isclose(up, 0.5 / 0.51)
+
+
+class TestClockedValues:
+    def test_clocked_net_up_fraction(self, clocked_net):
+        """Token decays at rate 0.1; deterministic reset after 2 s in Down.
+
+        Cycle: time in Up ~ Exp(0.1) (mean 10), then exactly 2 in Down.
+        Long-run up fraction = 10 / 12.
+        """
+        result = solve_steady_state(clocked_net)
+        up = result.probability(lambda m: m["Up"] == 1)
+        assert np.isclose(up, 10.0 / 12.0, rtol=1e-9)
+
+
+class TestResultHelpers:
+    def test_expected_reward(self, two_state_net):
+        result = solve_steady_state(two_state_net)
+        availability = result.expected_reward(lambda m: float(m["Up"]))
+        assert np.isclose(availability, 0.5 / 0.51)
+
+    def test_distribution_sorted(self, two_state_net):
+        pairs = solve_steady_state(two_state_net).distribution()
+        probabilities = [p for _, p in pairs]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_probability_of_everything_is_one(self, clocked_net):
+        result = solve_steady_state(clocked_net)
+        assert np.isclose(result.probability(lambda m: True), 1.0)

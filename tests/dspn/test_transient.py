@@ -1,0 +1,43 @@
+"""Tests for transient DSPN analysis."""
+
+import numpy as np
+import pytest
+
+from repro.dspn import solve_steady_state, transient_rewards
+from repro.errors import UnsupportedModelError
+
+
+class TestTransientRewards:
+    def test_starts_at_initial_reward(self, two_state_net):
+        result = transient_rewards(two_state_net, lambda m: float(m["Up"]), [0.0])
+        assert np.isclose(result.rewards[0], 1.0)
+
+    def test_converges_to_steady_state(self, two_state_net):
+        steady = solve_steady_state(two_state_net).expected_reward(
+            lambda m: float(m["Up"])
+        )
+        result = transient_rewards(two_state_net, lambda m: float(m["Up"]), [10000.0])
+        assert np.isclose(result.rewards[0], steady, atol=1e-9)
+
+    def test_monotone_decay_from_fresh_state(self, two_state_net):
+        times = [0.0, 10.0, 50.0, 200.0, 1000.0]
+        result = transient_rewards(two_state_net, lambda m: float(m["Up"]), times)
+        rewards = result.rewards
+        assert all(a >= b - 1e-12 for a, b in zip(rewards, rewards[1:]))
+
+    def test_distributions_rows_normalized(self, two_state_net):
+        result = transient_rewards(
+            two_state_net, lambda m: float(m["Up"]), [0.5, 5.0]
+        )
+        assert np.allclose(result.distributions.sum(axis=1), 1.0)
+
+    def test_deterministic_net_rejected(self, clocked_net):
+        with pytest.raises(UnsupportedModelError):
+            transient_rewards(clocked_net, lambda m: 1.0, [1.0])
+
+    def test_vanishing_initial_marking_resolved(self, immediate_chain_net):
+        result = transient_rewards(
+            immediate_chain_net, lambda m: float(m["C"]), [0.0]
+        )
+        # A=1 resolves instantly to C=1
+        assert np.isclose(result.rewards[0], 1.0)

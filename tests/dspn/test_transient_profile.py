@@ -1,0 +1,84 @@
+"""Tests for the Monte-Carlo transient profile."""
+
+import numpy as np
+import pytest
+
+from repro.dspn import transient_profile, transient_rewards
+from repro.errors import SimulationError
+
+
+class TestArguments:
+    def test_empty_times_rejected(self, two_state_net):
+        with pytest.raises(SimulationError):
+            transient_profile(two_state_net, reward=lambda m: 1.0, times=[])
+
+    def test_negative_time_rejected(self, two_state_net):
+        with pytest.raises(SimulationError):
+            transient_profile(two_state_net, reward=lambda m: 1.0, times=[-1.0])
+
+    def test_single_replication_rejected(self, two_state_net):
+        with pytest.raises(SimulationError):
+            transient_profile(
+                two_state_net, reward=lambda m: 1.0, times=[1.0], replications=1
+            )
+
+
+class TestAgainstAnalyticTransient:
+    def test_two_state_decay(self, two_state_net):
+        """The Monte-Carlo trajectory matches uniformization."""
+        times = [0.0, 20.0, 100.0, 400.0]
+        reward = lambda m: float(m["Up"])  # noqa: E731
+        analytic = transient_rewards(two_state_net, reward, times)
+        profile = transient_profile(
+            two_state_net, reward=reward, times=times, replications=300, seed=5
+        )
+        for analytic_value, mean, half in zip(
+            analytic.rewards, profile.means, profile.half_widths
+        ):
+            assert abs(mean - analytic_value) < max(3 * half, 0.02)
+
+    def test_time_zero_is_deterministic(self, two_state_net):
+        profile = transient_profile(
+            two_state_net,
+            reward=lambda m: float(m["Up"]),
+            times=[0.0],
+            replications=5,
+            seed=1,
+        )
+        assert profile.means[0] == 1.0
+        assert profile.half_widths[0] == 0.0
+
+    def test_times_sorted_in_result(self, two_state_net):
+        profile = transient_profile(
+            two_state_net,
+            reward=lambda m: 1.0,
+            times=[5.0, 1.0, 3.0],
+            replications=3,
+            seed=2,
+        )
+        assert profile.times == (1.0, 3.0, 5.0)
+
+
+class TestClockedNet:
+    def test_rejuvenating_profile_runs(self, clocked_net):
+        """Works where the analytic transient refuses (deterministic)."""
+        profile = transient_profile(
+            clocked_net,
+            reward=lambda m: float(m["Up"]),
+            times=[0.0, 1.0, 5.0, 50.0],
+            replications=200,
+            seed=3,
+        )
+        # long-run up-fraction of the clocked net is 10/12
+        assert abs(profile.means[-1] - 10.0 / 12.0) < 0.1
+
+    def test_reproducible(self, clocked_net):
+        kwargs = dict(
+            reward=lambda m: float(m["Up"]),
+            times=[2.0, 10.0],
+            replications=10,
+            seed=9,
+        )
+        a = transient_profile(clocked_net, **kwargs)
+        b = transient_profile(clocked_net, **kwargs)
+        assert a.means == b.means

@@ -1,0 +1,58 @@
+"""Tests for the architecture-zoo experiment."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.architectures import run_architectures
+from repro.perception.parameters import PerceptionParameters
+
+
+class TestEnforceBftMinimumFlag:
+    def test_below_minimum_rejected_by_default(self):
+        with pytest.raises(ParameterError):
+            PerceptionParameters(n_modules=2, f=1)
+
+    def test_flag_allows_small_pools(self):
+        parameters = PerceptionParameters(
+            n_modules=2, f=1, enforce_bft_minimum=False
+        )
+        assert parameters.n_modules == 2
+
+    def test_flag_does_not_bypass_other_validation(self):
+        with pytest.raises(ParameterError):
+            PerceptionParameters(
+                n_modules=2, f=1, p=2.0, enforce_bft_minimum=False
+            )
+
+
+class TestRunArchitectures:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_architectures()
+
+    def test_all_five_architectures(self, report):
+        assert len(report.rows) == 5
+
+    def test_safe_skip_values_are_probabilities(self, report):
+        for row in report.rows:
+            assert 0.0 <= row[3] <= 1.0
+            assert 0.0 <= row[4] <= 1.0
+
+    def test_strict_never_exceeds_safe_skip(self, report):
+        for row in report.rows:
+            assert row[4] <= row[3] + 1e-9
+
+    def test_unanimity_tops_safe_skip(self, report):
+        by_name = {row[0]: row for row in report.rows}
+        unanimity = by_name["5-version unanimity [12]"]
+        assert unanimity[3] == max(row[3] for row in report.rows)
+
+    def test_unanimity_collapses_under_strict(self, report):
+        by_name = {row[0]: row for row in report.rows}
+        unanimity = by_name["5-version unanimity [12]"]
+        assert unanimity[4] < 0.2
+
+    def test_rejuvenating_bft_best_under_strict(self, report):
+        by_name = {row[0]: row for row in report.rows}
+        rejuvenating = by_name["6-version BFT 2f+r+1 + rejuvenation (paper)"]
+        assert rejuvenating[4] == max(row[4] for row in report.rows)

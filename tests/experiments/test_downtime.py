@@ -1,0 +1,30 @@
+"""Tests for the interior-optimum (downtime) experiment."""
+
+import pytest
+
+from repro.experiments.downtime import run_downtime
+
+
+class TestDowntime:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_downtime()
+
+    def test_paper_regime_is_monotone(self, report):
+        paper_series = report.plot_series[
+            "paper regime (3 s downtime, p'=0.5)"
+        ]
+        assert all(
+            a >= b - 1e-9 for a, b in zip(paper_series, paper_series[1:])
+        )
+
+    def test_heavy_downtime_regime_has_interior_optimum(self, report):
+        series = report.plot_series[
+            "heavy downtime, mild compromise (120 s, p'=0.2)"
+        ]
+        assert max(series) not in (series[0], series[-1])
+
+    def test_observations_name_the_optimum(self, report):
+        text = " ".join(report.observations)
+        assert "interior optimum" in text
+        assert "monotone" in text

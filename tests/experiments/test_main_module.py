@@ -1,0 +1,17 @@
+"""Tests for the python -m repro.experiments entry point."""
+
+from repro.experiments.__main__ import main
+
+
+class TestExperimentsMain:
+    def test_runs_selected_experiment(self, capsys):
+        assert main(["table2-defaults"]) == 0
+        output = capsys.readouterr().out
+        assert "table2-defaults" in output
+        assert "E[R_4v]" in output
+
+    def test_runs_multiple(self, capsys):
+        assert main(["ablation-ticks", "ablation-clock"]) == 0
+        output = capsys.readouterr().out
+        assert "ablation-ticks" in output
+        assert "ablation-clock" in output

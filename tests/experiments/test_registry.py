@@ -1,0 +1,72 @@
+"""Tests for the experiment registry and the cheap experiments."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import EXPERIMENT_IDS, run_experiment
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4b
+from repro.experiments.headline import run_headline
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        paper_artifacts = {
+            "table2-defaults", "fig3", "fig4a", "fig4b", "fig4c", "fig4d",
+        }
+        assert paper_artifacts <= set(EXPERIMENT_IDS)
+
+    def test_extension_experiments_registered(self):
+        extensions = {
+            "scaling",
+            "architectures",
+            "phase-diagram",
+            "ablation-selection",
+            "ablation-clock",
+            "ablation-server",
+            "ablation-ticks",
+            "ablation-threshold",
+            "ablation-downtime",
+        }
+        assert extensions <= set(EXPERIMENT_IDS)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ParameterError, match="valid ids"):
+            run_experiment("fig99")
+
+    def test_run_by_id(self):
+        report = run_experiment("table2-defaults")
+        assert report.experiment_id == "table2-defaults"
+
+
+class TestHeadline:
+    def test_rows_within_one_percent_of_paper(self):
+        report = run_headline()
+        for _, measured, paper_value, _ in report.rows:
+            assert abs(measured - paper_value) / paper_value < 0.01
+
+    def test_improvement_claim_verified(self):
+        report = run_headline()
+        (r4_row, r6_row) = report.rows
+        assert r6_row[1] / r4_row[1] > 1.13
+
+
+class TestFig3Small:
+    def test_small_grid(self):
+        report = run_fig3(intervals=(300, 1000, 3000), find_optimum=False)
+        values = [row[1] for row in report.rows]
+        assert values[0] > values[1] > values[2]
+
+    def test_series_lengths_match(self):
+        report = run_fig3(intervals=(300, 3000), find_optimum=False)
+        assert len(report.plot_series["safe-skip"]) == 2
+
+
+class TestFig4bSmall:
+    def test_alpha_extremes(self):
+        report = run_fig4b(grid=(0.1, 1.0))
+        four = report.plot_series["4v"]
+        six = report.plot_series["6v"]
+        # low dependency is better for both systems
+        assert four[0] > four[1]
+        assert six[0] > six[1]

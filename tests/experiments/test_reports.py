@@ -1,0 +1,46 @@
+"""Tests for experiment report rendering."""
+
+from repro.experiments.report import ExperimentReport
+
+
+def make_report(**overrides):
+    values = dict(
+        experiment_id="fig-test",
+        title="test report",
+        headers=["x", "y"],
+        rows=[[1.0, 0.5], [2.0, 0.6]],
+        paper_claims=["y grows"],
+        observations=["y grew"],
+        plot_series={"y": [0.5, 0.6]},
+    )
+    values.update(overrides)
+    return ExperimentReport(**values)
+
+
+class TestRender:
+    def test_contains_all_sections(self):
+        text = make_report().render()
+        assert "fig-test" in text
+        assert "paper claims:" in text
+        assert "y grows" in text
+        assert "this reproduction:" in text
+        assert "y grew" in text
+
+    def test_plot_suppressible(self):
+        with_plot = make_report().render(plot=True)
+        without = make_report().render(plot=False)
+        assert "legend:" in with_plot
+        assert "legend:" not in without
+
+    def test_no_plot_without_series(self):
+        text = make_report(plot_series=None).render()
+        assert "legend:" not in text
+
+    def test_markdown_table(self):
+        text = make_report().render(markdown=True, plot=False)
+        assert "| x" in text
+
+    def test_claims_optional(self):
+        text = make_report(paper_claims=[], observations=[]).render(plot=False)
+        assert "paper claims:" not in text
+        assert "this reproduction:" not in text

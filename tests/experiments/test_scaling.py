@@ -1,0 +1,33 @@
+"""Tests for the scaling experiment."""
+
+import math
+
+from repro.experiments.scaling import run_scaling
+
+
+class TestScaling:
+    def test_grid_covers_4_to_max(self):
+        report = run_scaling(max_modules=7)
+        assert [row[0] for row in report.rows] == [4, 5, 6, 7]
+
+    def test_rejuvenation_undefined_below_six(self):
+        report = run_scaling(max_modules=6)
+        by_n = {row[0]: row[2] for row in report.rows}
+        assert math.isnan(by_n[4])
+        assert math.isnan(by_n[5])
+        assert not math.isnan(by_n[6])
+
+    def test_fixed_threshold_penalizes_extra_clockless_modules(self):
+        """With 2f+1 fixed, more mostly-compromised voters mean more
+        error mass: E[R] decreases in N."""
+        report = run_scaling(max_modules=8)
+        plain = [row[1] for row in report.rows]
+        assert all(a > b for a, b in zip(plain, plain[1:]))
+
+    def test_rejuvenation_dominates(self):
+        report = run_scaling(max_modules=8)
+        plain = {row[0]: row[1] for row in report.rows}
+        rejuvenating = {
+            row[0]: row[2] for row in report.rows if not math.isnan(row[2])
+        }
+        assert min(rejuvenating.values()) > max(plain.values())

@@ -1,0 +1,25 @@
+"""Completeness guard: every registered experiment runs end to end.
+
+Individual experiments are exercised in detail elsewhere; this test
+catches bitrot in any runner (a renamed parameter, a broken import, an
+observation string that divides by zero) by running the whole registry
+and sanity-checking each report.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENT_IDS, run_experiment
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_experiment_runs_and_renders(experiment_id):
+    report = run_experiment(experiment_id)
+    assert report.experiment_id == experiment_id
+    assert report.rows, f"{experiment_id} produced no rows"
+    for row in report.rows:
+        assert len(row) == len(report.headers)
+    text = report.render()
+    assert experiment_id in text
+    # every report must compare against the paper and state findings
+    assert report.paper_claims
+    assert report.observations or report.plot_series

@@ -1,0 +1,72 @@
+"""Tests for the DTMC class."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.markov.dtmc import DTMC
+
+
+class TestStationary:
+    def test_two_state(self):
+        chain = DTMC(np.array([[0.9, 0.1], [0.5, 0.5]]))
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi, pi @ chain.matrix)
+        # balance: pi0 * 0.1 = pi1 * 0.5  ->  pi = (5/6, 1/6)
+        assert np.allclose(pi, [5 / 6, 1 / 6])
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(SolverError):
+            DTMC(np.array([[0.9, 0.2], [0.5, 0.5]]))
+
+    def test_label_mismatch(self):
+        with pytest.raises(SolverError):
+            DTMC(np.eye(2), states=["a"])
+
+
+class TestStep:
+    def test_one_step(self):
+        chain = DTMC(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert np.allclose(chain.step([1.0, 0.0]), [0.0, 1.0])
+
+    def test_multiple_steps(self):
+        chain = DTMC(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert np.allclose(chain.step([1.0, 0.0], n=2), [1.0, 0.0])
+
+    def test_zero_steps_identity(self):
+        chain = DTMC(np.eye(2))
+        assert np.allclose(chain.step([0.3, 0.7], n=0), [0.3, 0.7])
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(SolverError):
+            DTMC(np.eye(2)).step([1.0, 0.0], n=-1)
+
+
+class TestAbsorption:
+    def test_gamblers_ruin(self):
+        # states 0(absorb), 1, 2, 3(absorb); fair coin
+        matrix = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.5, 0.0, 0.5, 0.0],
+                [0.0, 0.5, 0.0, 0.5],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        chain = DTMC(matrix, states=[0, 1, 2, 3])
+        absorbed = chain.absorption_probabilities([0, 3])
+        # from state 1: ruin 2/3, win 1/3
+        assert np.allclose(absorbed[0], [2 / 3, 1 / 3])
+        assert np.allclose(absorbed[1], [1 / 3, 2 / 3])
+
+    def test_rows_sum_to_one(self):
+        matrix = np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.2, 0.3, 0.5],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        chain = DTMC(matrix, states=["a", "b", "c"])
+        absorbed = chain.absorption_probabilities(["a", "c"])
+        assert np.allclose(absorbed.sum(axis=1), 1.0)

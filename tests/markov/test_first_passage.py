@@ -1,0 +1,114 @@
+"""Tests for CTMC first-passage analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.markov.ctmc import CTMC
+from repro.markov.first_passage import (
+    hitting_probability_by,
+    mean_hitting_times,
+    mean_time_to_hit,
+    mean_time_to_predicate,
+)
+
+
+def chain_line():
+    """a -> b -> c with rates 1 and 2 (and slow returns for irreducibility)."""
+    return CTMC.from_rates(
+        ["a", "b", "c"],
+        {
+            ("a", "b"): 1.0,
+            ("b", "c"): 2.0,
+            ("c", "a"): 0.1,
+            ("b", "a"): 0.0001,
+        },
+    )
+
+
+class TestMeanHittingTimes:
+    def test_simple_line(self):
+        chain = CTMC.from_rates(
+            ["a", "b", "c"],
+            {("a", "b"): 1.0, ("b", "c"): 2.0, ("c", "a"): 5.0},
+        )
+        times = mean_hitting_times(chain, ["c"])
+        assert np.isclose(times["b"], 0.5)
+        assert np.isclose(times["a"], 1.0 + 0.5)
+
+    def test_target_states_excluded_from_result(self):
+        chain = chain_line()
+        times = mean_hitting_times(chain, ["c"])
+        assert "c" not in times
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(SolverError):
+            mean_hitting_times(chain_line(), [])
+
+    def test_full_target_rejected(self):
+        with pytest.raises(SolverError):
+            mean_hitting_times(chain_line(), ["a", "b", "c"])
+
+    def test_unreachable_target_rejected(self):
+        chain = CTMC(
+            np.array(
+                [
+                    [-1.0, 1.0, 0.0],
+                    [1.0, -1.0, 0.0],
+                    [0.0, 0.0, 0.0],
+                ]
+            ),
+            states=["a", "b", "island"],
+        )
+        with pytest.raises(SolverError):
+            mean_hitting_times(chain, ["island"])
+
+
+class TestMeanTimeToHit:
+    def test_weights_initial_distribution(self):
+        chain = CTMC.from_rates(
+            ["a", "b", "c"],
+            {("a", "b"): 1.0, ("b", "c"): 2.0, ("c", "a"): 5.0},
+        )
+        value = mean_time_to_hit(chain, ["c"], [0.5, 0.5, 0.0])
+        assert np.isclose(value, 0.5 * 1.5 + 0.5 * 0.5)
+
+    def test_mass_on_target_contributes_zero(self):
+        chain = chain_line()
+        assert mean_time_to_hit(chain, ["c"], [0.0, 0.0, 1.0]) == 0.0
+
+    def test_predicate_wrapper(self):
+        chain = chain_line()
+        direct = mean_time_to_hit(chain, ["c"], [1.0, 0.0, 0.0])
+        predicate = mean_time_to_predicate(chain, lambda s: s == "c", [1.0, 0.0, 0.0])
+        assert np.isclose(direct, predicate)
+
+
+class TestHittingProbability:
+    def test_zero_horizon(self):
+        chain = chain_line()
+        assert hitting_probability_by(chain, ["c"], [1.0, 0.0, 0.0], 0.0) == 0.0
+
+    def test_long_horizon_approaches_one(self):
+        chain = chain_line()
+        value = hitting_probability_by(chain, ["c"], [1.0, 0.0, 0.0], 1000.0)
+        assert value > 0.999
+
+    def test_monotone_in_horizon(self):
+        chain = chain_line()
+        values = [
+            hitting_probability_by(chain, ["c"], [1.0, 0.0, 0.0], t)
+            for t in (0.5, 1.0, 2.0, 5.0)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_against_analytic_single_step(self):
+        """a -> target with rate 1: P(hit by t) = 1 - exp(-t)."""
+        chain = CTMC.from_rates(["a", "t"], {("a", "t"): 1.0, ("t", "a"): 0.5})
+        for t in (0.1, 1.0, 3.0):
+            value = hitting_probability_by(chain, ["t"], [1.0, 0.0], t)
+            assert np.isclose(value, 1 - np.exp(-t), atol=1e-9)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(SolverError):
+            hitting_probability_by(chain_line(), ["c"], [1.0, 0.0, 0.0], -1.0)

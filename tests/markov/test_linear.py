@@ -1,0 +1,93 @@
+"""Tests for repro.markov.linear."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.markov.linear import (
+    check_generator,
+    check_stochastic,
+    normalize_distribution,
+    solve_stationary,
+    solve_stationary_stochastic,
+)
+
+
+class TestNormalizeDistribution:
+    def test_normalizes(self):
+        result = normalize_distribution(np.array([1.0, 3.0]), what="x")
+        assert np.allclose(result, [0.25, 0.75])
+
+    def test_clips_tiny_negatives(self):
+        result = normalize_distribution(np.array([1.0, -1e-12]), what="x")
+        assert result[1] == 0.0
+
+    def test_rejects_large_negatives(self):
+        with pytest.raises(SolverError, match="negative"):
+            normalize_distribution(np.array([1.0, -0.5]), what="x")
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(SolverError):
+            normalize_distribution(np.array([0.0, 0.0]), what="x")
+
+
+class TestSolveStationary:
+    def test_two_state_balance(self):
+        # up/down with fail 1, repair 4  ->  pi = (0.8, 0.2)
+        generator = np.array([[-1.0, 1.0], [4.0, -4.0]])
+        pi = solve_stationary(generator, what="test")
+        assert np.allclose(pi, [0.8, 0.2])
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(SolverError):
+            solve_stationary(np.zeros((2, 3)), what="test")
+
+    def test_reducible_chain_rejected(self):
+        # two disconnected recurrent classes -> stationary not unique
+        generator = np.array(
+            [
+                [-1.0, 1.0, 0.0, 0.0],
+                [1.0, -1.0, 0.0, 0.0],
+                [0.0, 0.0, -2.0, 2.0],
+                [0.0, 0.0, 2.0, -2.0],
+            ]
+        )
+        with pytest.raises(SolverError, match="reducible"):
+            solve_stationary(generator, what="test")
+
+    def test_stochastic_stationary(self):
+        matrix = np.array([[0.5, 0.5], [0.25, 0.75]])
+        pi = solve_stationary_stochastic(matrix, what="test")
+        assert np.allclose(pi, pi @ matrix)
+        assert np.isclose(pi.sum(), 1.0)
+
+
+class TestCheckGenerator:
+    def test_accepts_valid(self):
+        check_generator(np.array([[-1.0, 1.0], [2.0, -2.0]]), what="q")
+
+    def test_rejects_negative_offdiagonal(self):
+        with pytest.raises(SolverError, match="off-diagonal"):
+            check_generator(np.array([[0.5, -0.5], [0.0, 0.0]]), what="q")
+
+    def test_rejects_nonzero_rowsums(self):
+        with pytest.raises(SolverError, match="sum to zero"):
+            check_generator(np.array([[-1.0, 2.0], [0.0, 0.0]]), what="q")
+
+
+class TestCheckStochastic:
+    def test_accepts_stochastic(self):
+        check_stochastic(np.array([[0.3, 0.7], [1.0, 0.0]]), what="p")
+
+    def test_rejects_bad_rowsum(self):
+        with pytest.raises(SolverError):
+            check_stochastic(np.array([[0.3, 0.3], [1.0, 0.0]]), what="p")
+
+    def test_substochastic_mode(self):
+        check_stochastic(
+            np.array([[0.3, 0.3], [0.0, 0.0]]), what="p", substochastic=True
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(SolverError, match="negative"):
+            check_stochastic(np.array([[-0.1, 1.1], [1.0, 0.0]]), what="p")

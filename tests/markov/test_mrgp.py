@@ -1,0 +1,62 @@
+"""Tests for the MRGP renewal-theorem solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.markov.mrgp import solve_mrgp
+
+
+class TestSolveMRGP:
+    def test_degenerate_single_state(self):
+        result = solve_mrgp(np.array([[1.0]]), np.array([[2.0]]))
+        assert np.allclose(result.pi, [1.0])
+        assert result.expected_cycle_length == 2.0
+
+    def test_alternating_renewal(self):
+        """Two regeneration states visited alternately with different
+        sojourn times: pi proportional to time spent."""
+        kernel = np.array([[0.0, 1.0], [1.0, 0.0]])
+        sojourn = np.array([[3.0, 0.0], [0.0, 1.0]])
+        result = solve_mrgp(kernel, sojourn)
+        assert np.allclose(result.phi, [0.5, 0.5])
+        assert np.allclose(result.pi, [0.75, 0.25])
+        assert np.isclose(result.expected_cycle_length, 2.0)
+
+    def test_reduces_to_ctmc_embedded_form(self):
+        """Feeding a CTMC's jump chain + mean sojourns reproduces its pi."""
+        # CTMC: up->down rate 1, down->up rate 4: pi=(0.8, 0.2)
+        kernel = np.array([[0.0, 1.0], [1.0, 0.0]])
+        sojourn = np.array([[1.0, 0.0], [0.0, 0.25]])
+        result = solve_mrgp(kernel, sojourn)
+        assert np.allclose(result.pi, [0.8, 0.2])
+
+    def test_sojourn_in_other_states(self):
+        """U may spread time across non-start states (subordinated visits)."""
+        kernel = np.array([[0.0, 1.0], [1.0, 0.0]])
+        sojourn = np.array([[1.0, 1.0], [0.0, 2.0]])
+        result = solve_mrgp(kernel, sojourn)
+        # per double-cycle: state0 time 1, state1 time 3
+        assert np.allclose(result.pi, [0.25, 0.75])
+
+    def test_rejects_non_square_kernel(self):
+        with pytest.raises(SolverError):
+            solve_mrgp(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(SolverError):
+            solve_mrgp(np.eye(2), np.zeros((3, 2)))
+
+    def test_rejects_negative_sojourn(self):
+        with pytest.raises(SolverError, match="negative"):
+            solve_mrgp(np.eye(2), np.array([[1.0, -0.5], [0.0, 1.0]]))
+
+    def test_rejects_zero_cycle_length(self):
+        kernel = np.array([[0.0, 1.0], [1.0, 0.0]])
+        sojourn = np.array([[0.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(SolverError, match="cycle"):
+            solve_mrgp(kernel, sojourn)
+
+    def test_rejects_non_stochastic_kernel(self):
+        with pytest.raises(SolverError):
+            solve_mrgp(np.array([[0.5, 0.4], [1.0, 0.0]]), np.eye(2))

@@ -1,0 +1,72 @@
+"""Tests for uniformization and matrix-exponential integrals."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.errors import SolverError
+from repro.markov.uniformization import expm_and_integral, transient_distribution
+
+GENERATOR = np.array([[-1.0, 1.0], [4.0, -4.0]])
+
+
+class TestTransientDistribution:
+    def test_matches_expm(self):
+        initial = np.array([1.0, 0.0])
+        for t in (0.1, 1.0, 10.0):
+            expected = initial @ expm(GENERATOR * t)
+            result = transient_distribution(GENERATOR, initial, t)
+            assert np.allclose(result, expected, atol=1e-10)
+
+    def test_mass_conserved(self):
+        result = transient_distribution(GENERATOR, np.array([0.5, 0.5]), 3.0)
+        assert np.isclose(result.sum(), 1.0, atol=1e-10)
+
+    def test_zero_time(self):
+        initial = np.array([0.3, 0.7])
+        assert np.allclose(transient_distribution(GENERATOR, initial, 0.0), initial)
+
+    def test_large_lt_stable(self):
+        # L*t = 4 * 5000 = 20000: log-space Poisson weights must survive
+        result = transient_distribution(GENERATOR, np.array([1.0, 0.0]), 5000.0)
+        assert np.allclose(result, [0.8, 0.2], atol=1e-6)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SolverError):
+            transient_distribution(GENERATOR, np.array([1.0, 0.0]), -1.0)
+
+    def test_invalid_generator_rejected(self):
+        with pytest.raises(SolverError):
+            transient_distribution(np.array([[1.0, 0.0], [0.0, 0.0]]), np.array([1.0, 0.0]), 1.0)
+
+
+class TestExpmAndIntegral:
+    def test_exponential_part(self):
+        at, _ = expm_and_integral(GENERATOR, 0.7)
+        assert np.allclose(at, expm(GENERATOR * 0.7))
+
+    def test_integral_part_vs_quadrature(self):
+        _, integral = expm_and_integral(GENERATOR, 2.0)
+        steps = 20000
+        dt = 2.0 / steps
+        quad = sum(
+            expm(GENERATOR * ((k + 0.5) * dt)) * dt for k in range(steps)
+        )
+        assert np.allclose(integral, quad, atol=1e-6)
+
+    def test_zero_time(self):
+        at, integral = expm_and_integral(GENERATOR, 0.0)
+        assert np.allclose(at, np.eye(2))
+        assert np.allclose(integral, np.zeros((2, 2)))
+
+    def test_subgenerator_allowed(self):
+        # rows need not sum to zero (absorbing remainder)
+        sub = np.array([[-2.0, 0.5], [0.0, -1.0]])
+        at, integral = expm_and_integral(sub, 1.0)
+        assert np.all(at >= -1e-12)
+        # total integral row sums = expected time alive, bounded by t
+        assert np.all(integral.sum(axis=1) <= 1.0 + 1e-9)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SolverError):
+            expm_and_integral(GENERATOR, -0.5)

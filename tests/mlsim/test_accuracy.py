@@ -1,0 +1,58 @@
+"""Tests for the p / p' derivation pipeline."""
+
+import pytest
+
+from repro.mlsim.accuracy import estimate_parameters
+
+
+@pytest.fixture(scope="module")
+def derived():
+    return estimate_parameters(seed=0)
+
+
+class TestEstimateParameters:
+    def test_p_near_paper_operating_point(self, derived):
+        """The healthy ensemble inaccuracy lands near the paper's 0.08."""
+        assert 0.03 <= derived.p <= 0.15
+
+    def test_p_prime_near_half(self, derived):
+        """Corruption degrades toward the paper's p' = 0.5 reading."""
+        assert 0.3 <= derived.p_prime <= 0.75
+
+    def test_corruption_strictly_degrades(self, derived):
+        for healthy, corrupted in zip(
+            derived.healthy_inaccuracies, derived.corrupted_inaccuracies
+        ):
+            assert corrupted > healthy
+
+    def test_three_versions(self, derived):
+        assert len(derived.classifier_names) == 3
+        assert len(set(derived.classifier_names)) == 3
+
+    def test_p_is_ensemble_average(self, derived):
+        assert derived.p == pytest.approx(
+            sum(derived.healthy_inaccuracies) / 3
+        )
+
+    def test_summary_renders(self, derived):
+        text = derived.summary()
+        assert "ensemble average" in text
+        for name in derived.classifier_names:
+            assert name in text
+
+    def test_reproducible(self):
+        a = estimate_parameters(seed=3)
+        b = estimate_parameters(seed=3)
+        assert a.p == b.p
+        assert a.p_prime == b.p_prime
+
+    def test_derived_p_usable_in_model(self, derived):
+        """End-to-end: feed the derived scalars into the Eq. 1 pipeline."""
+        from repro.perception.evaluation import evaluate
+        from repro.perception.parameters import PerceptionParameters
+
+        params = PerceptionParameters.six_version_defaults(
+            p=derived.p, p_prime=min(derived.p_prime, 1.0)
+        )
+        value = evaluate(params).expected_reliability
+        assert 0.5 < value <= 1.0

@@ -1,0 +1,79 @@
+"""Tests for the three classifier stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.mlsim.classifiers import (
+    LogisticRegressionClassifier,
+    NearestCentroidClassifier,
+    RandomFeatureClassifier,
+    default_ensemble,
+)
+from repro.mlsim.dataset import make_traffic_sign_dataset
+
+ALL = [NearestCentroidClassifier, LogisticRegressionClassifier, RandomFeatureClassifier]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_traffic_sign_dataset(
+        n_classes=8, n_features=12, train_per_class=30, test_per_class=15, noise=0.5
+    )
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("klass", ALL)
+    def test_learns_separable_data(self, klass, data):
+        classifier = klass().fit(data.train_x, data.train_y)
+        assert classifier.accuracy(data.test_x, data.test_y) > 0.85
+
+    @pytest.mark.parametrize("klass", ALL)
+    def test_predict_before_fit_raises(self, klass):
+        with pytest.raises(ParameterError, match="not fitted"):
+            klass().predict(np.zeros((1, 12)))
+
+    @pytest.mark.parametrize("klass", ALL)
+    def test_weights_exposed_after_fit(self, klass, data):
+        classifier = klass().fit(data.train_x, data.train_y)
+        weights = classifier.weights
+        assert weights.ndim == 1
+        assert weights.size > 0
+
+    @pytest.mark.parametrize("klass", ALL)
+    def test_shape_mismatch_rejected(self, klass):
+        with pytest.raises(ParameterError):
+            klass().fit(np.zeros((4, 3)), np.zeros(5, dtype=int))
+
+
+class TestDiversity:
+    def test_classifiers_disagree_somewhere(self):
+        """Diversity premise of NVP: different mechanisms, different errors."""
+        data = make_traffic_sign_dataset(
+            n_classes=10, n_features=10, train_per_class=25,
+            test_per_class=25, noise=1.3, seed=3,
+        )
+        predictions = [
+            klass().fit(data.train_x, data.train_y).predict(data.test_x)
+            for klass in ALL
+        ]
+        disagreement = (
+            np.mean(predictions[0] != predictions[1])
+            + np.mean(predictions[1] != predictions[2])
+            + np.mean(predictions[0] != predictions[2])
+        )
+        assert disagreement > 0.05
+
+    def test_default_ensemble_composition(self):
+        ensemble = default_ensemble()
+        assert [type(c) for c in ensemble] == ALL
+
+
+class TestHyperparameterValidation:
+    def test_logistic_rejects_bad_learning_rate(self):
+        with pytest.raises(ParameterError):
+            LogisticRegressionClassifier(learning_rate=0.0)
+
+    def test_random_features_rejects_bad_ridge(self):
+        with pytest.raises(ParameterError):
+            RandomFeatureClassifier(ridge=0.0)

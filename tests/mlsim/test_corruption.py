@@ -1,0 +1,82 @@
+"""Tests for fault/attack injection on classifiers and inputs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.mlsim.classifiers import NearestCentroidClassifier
+from repro.mlsim.corruption import corrupt_inputs, corrupt_weights
+from repro.mlsim.dataset import make_traffic_sign_dataset
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data = make_traffic_sign_dataset(
+        n_classes=8, n_features=12, train_per_class=30, test_per_class=20, noise=0.5
+    )
+    classifier = NearestCentroidClassifier().fit(data.train_x, data.train_y)
+    return data, classifier
+
+
+class TestCorruptWeights:
+    def test_degrades_accuracy(self, fitted):
+        data, _ = fitted
+        classifier = NearestCentroidClassifier().fit(data.train_x, data.train_y)
+        before = classifier.accuracy(data.test_x, data.test_y)
+        corrupt_weights(classifier, fraction=0.5, rng=np.random.default_rng(0))
+        after = classifier.accuracy(data.test_x, data.test_y)
+        assert after < before
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ParameterError):
+            corrupt_weights(NearestCentroidClassifier())
+
+    def test_fraction_validated(self, fitted):
+        _, classifier = fitted
+        with pytest.raises(ParameterError):
+            corrupt_weights(classifier, fraction=0.0)
+
+    def test_corrupts_requested_fraction(self, fitted):
+        data, _ = fitted
+        classifier = NearestCentroidClassifier().fit(data.train_x, data.train_y)
+        original = classifier.weights.copy()
+        corrupt_weights(classifier, fraction=0.25, rng=np.random.default_rng(1))
+        changed = np.sum(classifier.weights != original)
+        assert changed == max(1, round(0.25 * original.size))
+
+
+class TestCorruptInputs:
+    def test_returns_copy(self, fitted):
+        data, _ = fitted
+        corrupted = corrupt_inputs(data.test_x, strength=1.0)
+        assert corrupted is not data.test_x
+        assert not np.allclose(corrupted, data.test_x)
+
+    def test_zero_strength_identity(self, fitted):
+        data, _ = fitted
+        corrupted = corrupt_inputs(data.test_x, strength=0.0)
+        assert np.allclose(corrupted, data.test_x)
+
+    def test_perturbation_norm_bounded(self, fitted):
+        data, _ = fitted
+        strength = 0.7
+        corrupted = corrupt_inputs(
+            data.test_x, strength=strength, rng=np.random.default_rng(0)
+        )
+        norms = np.linalg.norm(corrupted - data.test_x, axis=1)
+        assert np.allclose(norms, strength, atol=1e-9)
+
+    def test_degrades_accuracy_with_strength(self, fitted):
+        data, classifier = fitted
+        accuracies = []
+        for strength in (0.0, 1.0, 3.0):
+            corrupted = corrupt_inputs(
+                data.test_x, strength=strength, rng=np.random.default_rng(2)
+            )
+            accuracies.append(classifier.accuracy(corrupted, data.test_y))
+        assert accuracies[0] > accuracies[1] > accuracies[2]
+
+    def test_negative_strength_rejected(self, fitted):
+        data, _ = fitted
+        with pytest.raises(ParameterError):
+            corrupt_inputs(data.test_x, strength=-1.0)

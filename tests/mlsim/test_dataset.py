@@ -1,0 +1,63 @@
+"""Tests for the synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.mlsim.dataset import make_traffic_sign_dataset
+
+
+class TestMakeDataset:
+    def test_shapes(self):
+        data = make_traffic_sign_dataset(
+            n_classes=5, n_features=8, train_per_class=10, test_per_class=4
+        )
+        assert data.train_x.shape == (50, 8)
+        assert data.test_x.shape == (20, 8)
+        assert data.n_features == 8
+        assert data.n_classes == 5
+
+    def test_all_classes_present(self):
+        data = make_traffic_sign_dataset(n_classes=7, train_per_class=3)
+        assert set(data.train_y) == set(range(7))
+
+    def test_reproducible_with_seed(self):
+        a = make_traffic_sign_dataset(seed=5)
+        b = make_traffic_sign_dataset(seed=5)
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.test_y, b.test_y)
+
+    def test_different_seeds_differ(self):
+        a = make_traffic_sign_dataset(seed=1)
+        b = make_traffic_sign_dataset(seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_samples_shuffled(self):
+        data = make_traffic_sign_dataset(n_classes=5, train_per_class=10)
+        # labels should not be sorted blocks after shuffling
+        assert not np.array_equal(data.train_y, np.sort(data.train_y))
+
+    def test_noise_controls_separability(self):
+        """Low noise -> near-perfect nearest-centroid accuracy."""
+        from repro.mlsim.classifiers import NearestCentroidClassifier
+
+        easy = make_traffic_sign_dataset(noise=0.1, seed=0)
+        hard = make_traffic_sign_dataset(noise=3.0, seed=0)
+        easy_acc = (
+            NearestCentroidClassifier()
+            .fit(easy.train_x, easy.train_y)
+            .accuracy(easy.test_x, easy.test_y)
+        )
+        hard_acc = (
+            NearestCentroidClassifier()
+            .fit(hard.train_x, hard.train_y)
+            .accuracy(hard.test_x, hard.test_y)
+        )
+        assert easy_acc > 0.99
+        assert hard_acc < easy_acc - 0.2
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            make_traffic_sign_dataset(n_classes=0)
+        with pytest.raises(ParameterError):
+            make_traffic_sign_dataset(noise=0.0)

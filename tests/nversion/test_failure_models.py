@@ -1,0 +1,120 @@
+"""Tests for the failure models (Ege dependent, independent, binomial)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nversion.failure_models import (
+    CompromisedBinomialModel,
+    EgeDependentModel,
+    IndependentHealthyModel,
+)
+
+
+class TestEgePaperVariant:
+    """paper_combinatorics=True reproduces the appendix coefficients."""
+
+    @pytest.fixture
+    def model(self):
+        return EgeDependentModel(p=0.08, alpha=0.5)
+
+    def test_all_fail_of_four(self, model):
+        # R_{4,0,0} first term: p * alpha^3
+        assert math.isclose(model.probability_exactly(4, 4), 0.08 * 0.5**3)
+
+    def test_three_of_four(self, model):
+        # R_{4,0,0} second term: 4 p alpha^2 (1-alpha)
+        assert math.isclose(
+            model.probability_exactly(3, 4), 4 * 0.08 * 0.5**2 * 0.5
+        )
+
+    def test_at_least_one_is_p(self, model):
+        assert model.probability_at_least(1, 3) == 0.08
+        assert model.probability_at_least(1, 6) == 0.08
+
+    def test_zero_failures(self, model):
+        assert model.probability_exactly(0, 4) == 1.0 - 0.08
+
+    def test_more_failures_than_group(self, model):
+        assert model.probability_exactly(5, 4) == 0.0
+        assert model.probability_at_least(5, 4) == 0.0
+
+    def test_empty_group(self, model):
+        assert model.probability_exactly(0, 0) == 1.0
+        assert model.probability_exactly(1, 0) == 0.0
+
+    def test_six_version_coefficients(self, model):
+        # R_{6,0,0} terms: C(6,6)=1, C(6,5)=6, C(6,4)=15
+        p, a = 0.08, 0.5
+        assert math.isclose(model.probability_exactly(6, 6), p * a**5)
+        assert math.isclose(model.probability_exactly(5, 6), 6 * p * a**4 * (1 - a))
+        assert math.isclose(
+            model.probability_exactly(4, 6), 15 * p * a**3 * (1 - a) ** 2
+        )
+
+
+class TestEgeNormalizedVariant:
+    @pytest.fixture
+    def model(self):
+        return EgeDependentModel(p=0.1, alpha=0.3, paper_combinatorics=False)
+
+    def test_distribution_sums_to_one(self, model):
+        for group in (1, 2, 4, 6):
+            total = sum(model.probability_exactly(m, group) for m in range(group + 1))
+            assert math.isclose(total, 1.0, rel_tol=1e-12)
+
+    def test_tail_consistent_with_exact(self, model):
+        tail = model.probability_at_least(2, 5)
+        direct = sum(model.probability_exactly(m, 5) for m in range(2, 6))
+        assert math.isclose(tail, direct)
+
+    def test_alpha_one_all_or_nothing(self):
+        model = EgeDependentModel(p=0.2, alpha=1.0, paper_combinatorics=False)
+        assert math.isclose(model.probability_exactly(4, 4), 0.2)
+        assert model.probability_exactly(2, 4) == 0.0
+
+    def test_alpha_zero_single_failure(self):
+        model = EgeDependentModel(p=0.2, alpha=0.0, paper_combinatorics=False)
+        assert math.isclose(model.probability_exactly(1, 4), 0.2)
+        assert model.probability_exactly(2, 4) == 0.0
+
+
+class TestIndependentModel:
+    def test_binomial(self):
+        model = IndependentHealthyModel(p=0.5)
+        assert math.isclose(model.probability_exactly(1, 2), 0.5)
+        assert math.isclose(model.probability_exactly(2, 2), 0.25)
+
+    def test_at_least(self):
+        model = IndependentHealthyModel(p=0.5)
+        assert math.isclose(model.probability_at_least(1, 2), 0.75)
+
+
+class TestCompromisedModel:
+    def test_matches_binomial(self):
+        model = CompromisedBinomialModel(p_prime=0.5)
+        assert math.isclose(model.probability_exactly(2, 3), 3 * 0.125)
+
+    def test_at_least_zero_is_one(self):
+        model = CompromisedBinomialModel(p_prime=0.3)
+        assert math.isclose(model.probability_at_least(0, 3), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CompromisedBinomialModel(p_prime=1.5)
+
+
+class TestValidation:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ParameterError):
+            EgeDependentModel(p=-0.1, alpha=0.5)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ParameterError):
+            EgeDependentModel(p=0.1, alpha=1.5)
+
+    def test_negative_failures_rejected(self):
+        model = EgeDependentModel(p=0.1, alpha=0.5)
+        with pytest.raises(ParameterError):
+            model.probability_exactly(-1, 4)

@@ -1,0 +1,84 @@
+"""Tests for BFT voting schemes."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nversion.voting import (
+    VotingScheme,
+    bft_minimum_modules,
+    bft_rejuvenation_minimum_modules,
+)
+
+
+class TestMinimumModules:
+    def test_castro_liskov_bound(self):
+        assert bft_minimum_modules(1) == 4
+        assert bft_minimum_modules(2) == 7
+
+    def test_sousa_bound(self):
+        assert bft_rejuvenation_minimum_modules(1, 1) == 6
+        assert bft_rejuvenation_minimum_modules(2, 1) == 9
+        assert bft_rejuvenation_minimum_modules(1, 2) == 8
+
+
+class TestConstructors:
+    def test_bft_threshold(self):
+        scheme = VotingScheme.bft(1)
+        assert scheme.n_modules == 4
+        assert scheme.threshold == 3
+
+    def test_bft_with_more_modules(self):
+        scheme = VotingScheme.bft(1, n_modules=5)
+        assert scheme.n_modules == 5
+        assert scheme.threshold == 3
+
+    def test_bft_rejects_too_few(self):
+        with pytest.raises(ParameterError, match="n >= 4"):
+            VotingScheme.bft(1, n_modules=3)
+
+    def test_bft_rejuvenation_threshold(self):
+        scheme = VotingScheme.bft_with_rejuvenation(1, 1)
+        assert scheme.n_modules == 6
+        assert scheme.threshold == 4
+
+    def test_bft_rejuvenation_rejects_too_few(self):
+        with pytest.raises(ParameterError):
+            VotingScheme.bft_with_rejuvenation(1, 1, n_modules=5)
+
+    def test_majority(self):
+        assert VotingScheme.majority(3).threshold == 2
+        assert VotingScheme.majority(4).threshold == 3
+        assert VotingScheme.majority(5).threshold == 3
+
+    def test_unanimity(self):
+        assert VotingScheme.unanimity(5).threshold == 5
+
+    def test_threshold_above_modules_rejected(self):
+        with pytest.raises(ParameterError):
+            VotingScheme(name="x", n_modules=3, threshold=4)
+
+
+class TestClassify:
+    @pytest.fixture
+    def scheme(self):
+        return VotingScheme.bft(1)  # 3-out-of-4
+
+    def test_correct(self, scheme):
+        assert scheme.classify(correct=3, incorrect=1) == "correct"
+
+    def test_error(self, scheme):
+        assert scheme.classify(correct=1, incorrect=3) == "error"
+
+    def test_inconclusive(self, scheme):
+        assert scheme.classify(correct=2, incorrect=2) == "inconclusive"
+
+    def test_missing_votes_can_force_inconclusive(self, scheme):
+        assert scheme.classify(correct=2, incorrect=0) == "inconclusive"
+
+    def test_too_many_votes_rejected(self, scheme):
+        with pytest.raises(ParameterError):
+            scheme.classify(correct=3, incorrect=2)
+
+    def test_can_reach_threshold(self, scheme):
+        assert scheme.can_reach_threshold(3)
+        assert not scheme.can_reach_threshold(2)

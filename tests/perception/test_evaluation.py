@@ -1,0 +1,85 @@
+"""Tests for the Eq. 1 evaluation pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nversion.conventions import OutputConvention
+from repro.nversion.reliability import (
+    GeneralizedReliability,
+    PaperFourVersionReliability,
+    PaperSixVersionReliability,
+)
+from repro.perception.evaluation import default_reliability_function, evaluate
+from repro.perception.parameters import PerceptionParameters
+
+
+class TestDefaultReliabilityFunction:
+    def test_four_version_uses_appendix_a(self, four_version_parameters):
+        fn = default_reliability_function(four_version_parameters)
+        assert isinstance(fn, PaperFourVersionReliability)
+
+    def test_six_version_uses_appendix_b(self, six_version_parameters):
+        fn = default_reliability_function(six_version_parameters)
+        assert isinstance(fn, PaperSixVersionReliability)
+
+    def test_other_configurations_use_generalized(self):
+        params = PerceptionParameters(n_modules=5, f=1, rejuvenation=False)
+        fn = default_reliability_function(params)
+        assert isinstance(fn, GeneralizedReliability)
+        assert fn.threshold == 3
+
+    def test_strict_convention_forces_generalized(self, four_version_parameters):
+        fn = default_reliability_function(
+            four_version_parameters, convention=OutputConvention.STRICT_CORRECT
+        )
+        assert isinstance(fn, GeneralizedReliability)
+
+
+class TestEvaluate:
+    def test_headline_four_version(self, four_version_parameters):
+        result = evaluate(four_version_parameters)
+        assert math.isclose(result.expected_reliability, 0.8223487, abs_tol=1e-6)
+
+    def test_headline_six_version(self, six_version_parameters):
+        result = evaluate(six_version_parameters)
+        assert math.isclose(result.expected_reliability, 0.9430077, abs_tol=1e-6)
+
+    def test_state_probabilities_sum_to_one(self, six_version_parameters):
+        result = evaluate(six_version_parameters)
+        assert np.isclose(sum(result.state_probabilities.values()), 1.0)
+
+    def test_state_reliability_consistent_with_expected(self, four_version_parameters):
+        result = evaluate(four_version_parameters)
+        recomputed = sum(
+            probability * result.state_reliability[state]
+            for state, probability in result.state_probabilities.items()
+        )
+        assert np.isclose(recomputed, result.expected_reliability)
+
+    def test_custom_reliability_function(self, four_version_parameters):
+        result = evaluate(four_version_parameters, reliability=_AlwaysOne())
+        assert np.isclose(result.expected_reliability, 1.0)
+
+    def test_top_states_ranked(self, six_version_parameters):
+        result = evaluate(six_version_parameters)
+        top = result.top_states(3)
+        probabilities = [probability for _, probability, _ in top]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert len(top) == 3
+
+    def test_reliability_between_zero_and_one(self):
+        for p_prime in (0.1, 0.5, 0.9):
+            params = PerceptionParameters.six_version_defaults(p_prime=p_prime)
+            value = evaluate(params).expected_reliability
+            assert 0.0 <= value <= 1.0
+
+
+class _AlwaysOne:
+    """Trivial reliability function used to test custom injection."""
+
+    n_modules = 4
+
+    def __call__(self, healthy, compromised, unavailable):
+        return 1.0

@@ -1,0 +1,76 @@
+"""Tests for the domain dependability metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedModelError
+from repro.perception.metrics import (
+    exact_rate_elasticities,
+    mean_time_to_quorum_loss,
+    quorum_loss_probability,
+)
+from repro.perception.parameters import PerceptionParameters
+
+
+class TestMeanTimeToQuorumLoss:
+    def test_positive_and_large(self, four_version_parameters):
+        """With 3 s repairs, double outages are rare: MTTQL >> mttc."""
+        value = mean_time_to_quorum_loss(four_version_parameters)
+        assert value > 10 * four_version_parameters.mttc
+
+    def test_faster_repair_extends_time(self, four_version_parameters):
+        slow = four_version_parameters.replace(mttr=30.0)
+        fast = four_version_parameters.replace(mttr=0.3)
+        assert mean_time_to_quorum_loss(fast) > mean_time_to_quorum_loss(slow)
+
+    def test_rejuvenating_configuration_rejected(self, six_version_parameters):
+        with pytest.raises(UnsupportedModelError):
+            mean_time_to_quorum_loss(six_version_parameters)
+
+
+class TestQuorumLossProbability:
+    def test_zero_horizon(self, four_version_parameters):
+        assert quorum_loss_probability(four_version_parameters, 0.0) == 0.0
+
+    def test_monotone_in_mission_time(self, four_version_parameters):
+        values = [
+            quorum_loss_probability(four_version_parameters, t)
+            for t in (3600.0, 7200.0, 36000.0)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_short_mission_low_risk(self, four_version_parameters):
+        assert quorum_loss_probability(four_version_parameters, 3600.0) < 0.01
+
+    def test_consistent_with_mean_time(self, four_version_parameters):
+        """For an (approximately) exponential hitting time,
+        P(hit by t) ~ 1 - exp(-t / MTT)."""
+        mean_time = mean_time_to_quorum_loss(four_version_parameters)
+        horizon = mean_time / 10.0
+        probability = quorum_loss_probability(four_version_parameters, horizon)
+        approx = 1 - np.exp(-horizon / mean_time)
+        assert probability == pytest.approx(approx, rel=0.15)
+
+
+class TestExactElasticities:
+    def test_matches_finite_differences(self, four_version_parameters):
+        from repro.analysis.sensitivity import elasticities
+
+        exact = exact_rate_elasticities(four_version_parameters)
+        numeric = {
+            e.parameter: e.elasticity
+            for e in elasticities(
+                four_version_parameters, ["mttc", "mttf", "mttr"]
+            )
+        }
+        for name in ("mttc", "mttf", "mttr"):
+            assert exact[name] == pytest.approx(numeric[name], abs=1e-3)
+
+    def test_signs(self, four_version_parameters):
+        exact = exact_rate_elasticities(four_version_parameters)
+        assert exact["mttc"] > 0  # slower compromise helps
+        assert exact["mttf"] < 0  # staying compromised longer hurts (at p'=0.5)
+
+    def test_rejuvenating_configuration_rejected(self, six_version_parameters):
+        with pytest.raises(UnsupportedModelError):
+            exact_rate_elasticities(six_version_parameters)

@@ -1,0 +1,71 @@
+"""Tests for the Fig. 2(a) net builder."""
+
+import numpy as np
+
+from repro.dspn import solve_steady_state
+from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+from repro.perception.parameters import PerceptionParameters
+from repro.petri import ServerSemantics
+from repro.statespace import tangible_reachability
+
+
+class TestStructure:
+    def test_places_and_transitions(self, four_version_parameters):
+        net = build_no_rejuvenation_net(four_version_parameters)
+        assert set(net.places) == {"Pmh", "Pmc", "Pmf"}
+        assert set(net.transitions) == {"Tc", "Tf", "Tr"}
+
+    def test_initial_marking_has_n_healthy(self, four_version_parameters):
+        net = build_no_rejuvenation_net(four_version_parameters)
+        assert net.initial_marking()["Pmh"] == 4
+
+    def test_rates_match_parameters(self, four_version_parameters):
+        net = build_no_rejuvenation_net(four_version_parameters)
+        marking = net.initial_marking()
+        assert net.transitions["Tc"].rate_in(marking, 1) == 1 / 1523
+        assert net.transitions["Tf"].rate_in(marking, 1) == 1 / 3000
+        assert net.transitions["Tr"].rate_in(marking, 1) == 1 / 3
+
+    def test_single_server_by_default(self, four_version_parameters):
+        net = build_no_rejuvenation_net(four_version_parameters)
+        marking = net.initial_marking()
+        # 4 healthy modules but single-server: rate stays the base rate
+        degree = net.enabling_degree(net.transitions["Tc"], marking)
+        assert degree == 4
+        assert net.transitions["Tc"].rate_in(marking, degree) == 1 / 1523
+
+    def test_infinite_server_option(self, four_version_parameters):
+        net = build_no_rejuvenation_net(
+            four_version_parameters, server=ServerSemantics.INFINITE
+        )
+        marking = net.initial_marking()
+        assert net.transitions["Tc"].rate_in(marking, 4) == 4 / 1523
+
+
+class TestStateSpace:
+    def test_state_count_is_simplex(self, four_version_parameters):
+        # (i, j, k) with i+j+k=4: C(6,2) = 15 states
+        graph = tangible_reachability(build_no_rejuvenation_net(four_version_parameters))
+        assert graph.n_states == 15
+
+    def test_six_version_state_count(self):
+        params = PerceptionParameters(n_modules=6, f=1, rejuvenation=False)
+        graph = tangible_reachability(build_no_rejuvenation_net(params))
+        assert graph.n_states == 28  # C(8,2)
+
+    def test_module_count_conserved_in_every_marking(self, four_version_parameters):
+        graph = tangible_reachability(build_no_rejuvenation_net(four_version_parameters))
+        for marking in graph.markings:
+            assert marking["Pmh"] + marking["Pmc"] + marking["Pmf"] == 4
+
+
+class TestSteadyState:
+    def test_probabilities_sum_to_one(self, four_version_parameters):
+        result = solve_steady_state(build_no_rejuvenation_net(four_version_parameters))
+        assert np.isclose(result.pi.sum(), 1.0)
+
+    def test_mass_concentrates_in_operational_states(self, four_version_parameters):
+        """With mttr=3 s vs mttc=1523 s, failed states are rare."""
+        result = solve_steady_state(build_no_rejuvenation_net(four_version_parameters))
+        failed_mass = result.probability(lambda m: m["Pmf"] > 0)
+        assert failed_mass < 0.01

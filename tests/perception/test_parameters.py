@@ -1,0 +1,88 @@
+"""Tests for PerceptionParameters (Table II)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.perception.parameters import PerceptionParameters
+
+
+class TestDefaults:
+    def test_four_version_defaults_match_table2(self):
+        p = PerceptionParameters.four_version_defaults()
+        assert p.n_modules == 4
+        assert p.f == 1
+        assert not p.rejuvenation
+        assert p.alpha == 0.5
+        assert p.p == 0.08
+        assert p.p_prime == 0.5
+        assert p.mttc == 1523.0
+        assert p.mttf == 3000.0
+        assert p.mttr == 3.0
+        assert p.rejuvenation_interval == 600.0
+
+    def test_six_version_defaults(self):
+        p = PerceptionParameters.six_version_defaults()
+        assert p.n_modules == 6
+        assert p.rejuvenation
+        assert p.r == 1
+
+    def test_overrides(self):
+        p = PerceptionParameters.six_version_defaults(p_prime=0.8)
+        assert p.p_prime == 0.8
+        assert p.n_modules == 6
+
+
+class TestDerived:
+    def test_rates_are_reciprocals(self):
+        p = PerceptionParameters.four_version_defaults()
+        assert p.lambda_c == 1 / 1523
+        assert p.lambda_f == 1 / 3000
+        assert p.mu == 1 / 3
+        assert p.gamma == 1 / 600
+
+    def test_voting_scheme_without_rejuvenation(self):
+        p = PerceptionParameters.four_version_defaults()
+        assert p.voting_scheme.threshold == 3
+
+    def test_voting_scheme_with_rejuvenation(self):
+        p = PerceptionParameters.six_version_defaults()
+        assert p.voting_scheme.threshold == 4
+
+    def test_unavailability_budget(self):
+        assert PerceptionParameters.four_version_defaults().unavailability_budget == 1
+        assert PerceptionParameters.six_version_defaults().unavailability_budget == 2
+
+
+class TestValidation:
+    def test_too_few_modules_for_f(self):
+        with pytest.raises(ParameterError, match="BFT minimum"):
+            PerceptionParameters(n_modules=3, f=1)
+
+    def test_too_few_modules_with_rejuvenation(self):
+        with pytest.raises(ParameterError):
+            PerceptionParameters(n_modules=5, f=1, r=1, rejuvenation=True)
+
+    def test_five_modules_without_rejuvenation_ok(self):
+        p = PerceptionParameters(n_modules=5, f=1)
+        assert p.n_modules == 5
+
+    def test_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            PerceptionParameters.four_version_defaults(p=1.5)
+
+    def test_invalid_time(self):
+        with pytest.raises(ParameterError):
+            PerceptionParameters.four_version_defaults(mttc=0.0)
+
+
+class TestReplace:
+    def test_replace_returns_new_object(self):
+        base = PerceptionParameters.four_version_defaults()
+        changed = base.replace(p=0.12)
+        assert changed.p == 0.12
+        assert base.p == 0.08
+
+    def test_replace_revalidates(self):
+        base = PerceptionParameters.four_version_defaults()
+        with pytest.raises(ParameterError):
+            base.replace(alpha=-1.0)

@@ -1,0 +1,153 @@
+"""Tests for the Fig. 2(b)+(c) rejuvenation net — Table I mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.dspn import solve_steady_state
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.rejuvenation import build_rejuvenation_net
+from repro.statespace import tangible_reachability
+
+
+@pytest.fixture
+def net(six_version_parameters):
+    return build_rejuvenation_net(six_version_parameters)
+
+
+class TestStructure:
+    def test_all_places_present(self, net):
+        assert set(net.places) == {
+            "Pmh", "Pmc", "Pmf", "Pmr", "Prc", "Ptr", "Pac",
+        }
+
+    def test_all_transitions_present(self, net):
+        assert set(net.transitions) == {
+            "Tc", "Tf", "Tr", "Trj", "Trc", "Tac", "Trj1", "Trj2", "Trt",
+        }
+
+    def test_clock_initially_armed(self, net):
+        initial = net.initial_marking()
+        assert initial["Prc"] == 1
+        assert initial["Pmh"] == 6
+
+    def test_deterministic_clock_delay(self, net, six_version_parameters):
+        assert net.transitions["Trc"].delay == six_version_parameters.rejuvenation_interval
+
+
+class TestTickMechanics:
+    """Walk the immediate chain by hand from a tick marking."""
+
+    def test_tick_from_all_healthy_selects_healthy(self, net):
+        # after Trc fires: Ptr=1
+        marking = net.marking({"Pmh": 6, "Ptr": 1})
+        tac = net.transitions["Tac"]
+        assert net.is_enabled(tac, marking)
+        after_ack = net.fire(tac, marking)
+        assert after_ack["Pac"] == 1 and after_ack["Ptr"] == 1
+
+        trj2 = net.transitions["Trj2"]
+        trj1 = net.transitions["Trj1"]
+        assert net.is_enabled(trj2, after_ack)
+        assert not net.is_enabled(trj1, after_ack)  # no compromised module
+        after_selection = net.fire(trj2, after_ack)
+        assert after_selection["Pmr"] == 1 and after_selection["Pmh"] == 5
+
+        trt = net.transitions["Trt"]
+        assert net.is_enabled(trt, after_selection)
+        after_reset = net.fire(trt, after_selection)
+        assert after_reset["Prc"] == 1 and after_reset["Ptr"] == 0
+
+    def test_guard_g2_blocks_selection_when_module_failed(self, net):
+        marking = net.marking({"Pmh": 5, "Pmf": 1, "Ptr": 1, "Pac": 1})
+        assert not net.is_enabled(net.transitions["Trj2"], marking)
+
+    def test_guard_g1_blocks_ack_while_rejuvenating(self, net):
+        marking = net.marking({"Pmh": 5, "Pmr": 1, "Ptr": 1})
+        assert not net.is_enabled(net.transitions["Tac"], marking)
+        # but the clock can still reset (g3 holds via Pmr)
+        assert net.is_enabled(net.transitions["Trt"], marking)
+
+    def test_weights_proportional_to_pool_sizes(self, net):
+        marking = net.marking({"Pmh": 2, "Pmc": 2, "Pac": 1, "Prc": 1})
+        w1 = net.transitions["Trj1"].weight_in(marking)
+        w2 = net.transitions["Trj2"].weight_in(marking)
+        assert np.isclose(w1, 0.5)
+        assert np.isclose(w2, 0.5)
+
+    def test_weights_uneven_pools(self, net):
+        marking = net.marking({"Pmh": 1, "Pmc": 3, "Pac": 1, "Prc": 1})
+        assert np.isclose(net.transitions["Trj1"].weight_in(marking), 0.75)
+        assert np.isclose(net.transitions["Trj2"].weight_in(marking), 0.25)
+
+    def test_epsilon_weight_when_pool_empty(self, net):
+        marking = net.marking({"Pmh": 6, "Pac": 1, "Prc": 1})
+        assert net.transitions["Trj1"].weight_in(marking) == pytest.approx(0.00001)
+
+    def test_rejuvenation_completion_rate(self, net, six_version_parameters):
+        marking = net.marking({"Pmh": 5, "Pmr": 1, "Prc": 1})
+        trj = net.transitions["Trj"]
+        assert net.is_enabled(trj, marking)
+        rate = trj.rate_in(marking, net.enabling_degree(trj, marking))
+        assert np.isclose(rate, 1 / 3.0)
+
+    def test_rejuvenation_disabled_without_tokens(self, net):
+        marking = net.marking({"Pmh": 6, "Prc": 1})
+        assert not net.is_enabled(net.transitions["Trj"], marking)
+
+    def test_rejuvenation_completion_returns_module(self, net):
+        marking = net.marking({"Pmh": 5, "Pmr": 1, "Prc": 1})
+        after = net.fire(net.transitions["Trj"], marking)
+        assert after["Pmh"] == 6 and after["Pmr"] == 0
+
+
+class TestStateSpace:
+    def test_every_tangible_marking_has_clock_armed(self, net):
+        graph = tangible_reachability(net)
+        for marking in graph.markings:
+            assert marking["Prc"] == 1
+            assert marking["Ptr"] == 0
+
+    def test_module_count_conserved(self, net):
+        graph = tangible_reachability(net)
+        for marking in graph.markings:
+            total = marking["Pmh"] + marking["Pmc"] + marking["Pmf"] + marking["Pmr"]
+            assert total == 6
+
+    def test_at_most_r_rejuvenating(self, net):
+        graph = tangible_reachability(net)
+        assert max(m["Pmr"] for m in graph.markings) == 1
+
+    def test_deferred_activation_tokens_reachable(self, net):
+        """Ticks during a failure leave a pending Pac token (deferred)."""
+        graph = tangible_reachability(net)
+        assert any(m["Pac"] > 0 for m in graph.markings)
+
+
+class TestSteadyState:
+    def test_solved_as_mrgp(self, net):
+        result = solve_steady_state(net)
+        assert result.method == "mrgp"
+        assert np.isclose(result.pi.sum(), 1.0)
+
+    def test_rejuvenation_keeps_modules_healthier(self, six_version_parameters):
+        """Compared with the same system without a clock, the rejuvenating
+        system has strictly more mass in all-healthy markings."""
+        from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+
+        with_clock = solve_steady_state(build_rejuvenation_net(six_version_parameters))
+        without = solve_steady_state(
+            build_no_rejuvenation_net(six_version_parameters)
+        )
+        healthy_with = with_clock.probability(lambda m: m["Pmh"] == 6)
+        healthy_without = without.probability(lambda m: m["Pmh"] == 6)
+        assert healthy_with > healthy_without * 5
+
+    def test_generalizes_to_r2(self):
+        """n=9, f=1, r=2 (3f+2r+1=8 <= 9) solves and conserves modules."""
+        params = PerceptionParameters(
+            n_modules=9, f=1, r=2, rejuvenation=True
+        )
+        net = build_rejuvenation_net(params)
+        result = solve_steady_state(net)
+        assert np.isclose(result.pi.sum(), 1.0)
+        assert max(m["Pmr"] for m in result.markings) <= 2

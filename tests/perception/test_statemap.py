@@ -1,0 +1,35 @@
+"""Tests for marking -> (i, j, k) mapping."""
+
+from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.rejuvenation import build_rejuvenation_net
+from repro.perception.statemap import module_counts
+
+
+class TestModuleCounts:
+    def test_no_rejuvenation_net(self):
+        net = build_no_rejuvenation_net(PerceptionParameters.four_version_defaults())
+        counts = module_counts(net.marking({"Pmh": 2, "Pmc": 1, "Pmf": 1}))
+        assert counts == (2, 1, 1)
+        assert counts.healthy == 2
+        assert counts.operational == 3
+        assert counts.total == 4
+
+    def test_rejuvenating_counts_as_unavailable(self):
+        net = build_rejuvenation_net(PerceptionParameters.six_version_defaults())
+        marking = net.marking({"Pmh": 4, "Pmc": 1, "Pmr": 1, "Prc": 1})
+        counts = module_counts(marking)
+        assert counts.unavailable == 1
+        assert counts.operational == 5
+
+    def test_failed_and_rejuvenating_summed(self):
+        net = build_rejuvenation_net(
+            PerceptionParameters(n_modules=9, f=1, r=2, rejuvenation=True)
+        )
+        marking = net.marking({"Pmh": 5, "Pmc": 1, "Pmf": 1, "Pmr": 2, "Prc": 1})
+        assert module_counts(marking) == (5, 1, 3)
+
+    def test_clock_places_ignored(self):
+        net = build_rejuvenation_net(PerceptionParameters.six_version_defaults())
+        marking = net.marking({"Pmh": 6, "Ptr": 1, "Pac": 1})
+        assert module_counts(marking) == (6, 0, 0)

@@ -1,0 +1,69 @@
+"""Tests for structural analysis (incidence matrix, invariants)."""
+
+from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.rejuvenation import build_rejuvenation_net
+from repro.petri import NetBuilder
+from repro.petri.analysis import (
+    conserved_token_sum,
+    incidence_matrix,
+    p_invariants,
+    t_invariants,
+)
+
+
+def cycle_net():
+    """A -> B -> C -> A single-token cycle."""
+    builder = NetBuilder("cycle")
+    builder.place("A", tokens=1).place("B").place("C")
+    builder.exponential("ab", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+    builder.exponential("bc", rate=1.0, inputs={"B": 1}, outputs={"C": 1})
+    builder.exponential("ca", rate=1.0, inputs={"C": 1}, outputs={"A": 1})
+    return builder.build()
+
+
+class TestIncidenceMatrix:
+    def test_entries(self):
+        matrix = incidence_matrix(cycle_net())
+        assert matrix.entry("A", "ab") == -1
+        assert matrix.entry("B", "ab") == +1
+        assert matrix.entry("C", "ab") == 0
+
+    def test_marking_dependent_transitions_flagged(self, six_version_parameters):
+        net = build_rejuvenation_net(six_version_parameters)
+        matrix = incidence_matrix(net)
+        assert "Trj" in matrix.marking_dependent_transitions
+
+
+class TestPInvariants:
+    def test_cycle_has_token_conservation(self):
+        invariants = p_invariants(cycle_net())
+        assert {"A": 1, "B": 1, "C": 1} in invariants
+
+    def test_paper_net_conserves_module_count(self, four_version_parameters):
+        net = build_no_rejuvenation_net(four_version_parameters)
+        assert conserved_token_sum(net, ["Pmh", "Pmc", "Pmf"])
+
+    def test_rejuvenation_net_conserves_modules(self, six_version_parameters):
+        net = build_rejuvenation_net(six_version_parameters)
+        # module count is conserved across Pmh/Pmc/Pmf/Pmr (for the
+        # nominal r=1 evaluation of the batch arcs)
+        assert conserved_token_sum(net, ["Pmh", "Pmc", "Pmf", "Pmr"])
+
+    def test_rejuvenation_net_does_not_conserve_partial_sum(
+        self, six_version_parameters
+    ):
+        net = build_rejuvenation_net(six_version_parameters)
+        assert not conserved_token_sum(net, ["Pmh", "Pmc"])
+
+
+class TestTInvariants:
+    def test_cycle_firing_vector(self):
+        invariants = t_invariants(cycle_net())
+        assert {"ab": 1, "bc": 1, "ca": 1} in invariants
+
+    def test_acyclic_net_has_no_t_invariant(self):
+        builder = NetBuilder("acyclic")
+        builder.place("A", tokens=1).place("B")
+        builder.exponential("ab", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+        assert t_invariants(builder.build()) == []

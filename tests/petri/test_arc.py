@@ -1,0 +1,45 @@
+"""Tests for repro.petri.arc."""
+
+import pytest
+
+from repro.errors import ModelDefinitionError
+from repro.petri.arc import Arc, ArcKind
+from repro.petri.marking import Marking
+
+INDEX = {"P": 0}
+
+
+def marking(p=0):
+    return Marking.from_dict(INDEX, {"P": p})
+
+
+class TestArc:
+    def test_constant_multiplicity(self):
+        arc = Arc("P", "t", ArcKind.INPUT, 3)
+        assert arc.multiplicity_in(marking()) == 3
+
+    def test_default_multiplicity_one(self):
+        arc = Arc("P", "t", ArcKind.OUTPUT)
+        assert arc.multiplicity_in(marking()) == 1
+
+    def test_marking_dependent_multiplicity(self):
+        arc = Arc("P", "t", ArcKind.INPUT, lambda m: min(m["P"], 2))
+        assert arc.multiplicity_in(marking(p=5)) == 2
+        assert arc.multiplicity_in(marking(p=1)) == 1
+
+    def test_marking_dependent_may_be_zero(self):
+        arc = Arc("P", "t", ArcKind.INPUT, lambda m: m["P"])
+        assert arc.multiplicity_in(marking(p=0)) == 0
+
+    def test_marking_dependent_negative_rejected(self):
+        arc = Arc("P", "t", ArcKind.INPUT, lambda m: -1)
+        with pytest.raises(ModelDefinitionError, match="must be >= 0"):
+            arc.multiplicity_in(marking())
+
+    def test_constant_zero_rejected(self):
+        with pytest.raises(ModelDefinitionError, match=">= 1"):
+            Arc("P", "t", ArcKind.INPUT, 0)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            Arc("P", "t", "input")  # type: ignore[arg-type]

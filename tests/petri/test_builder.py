@@ -1,0 +1,70 @@
+"""Tests for the fluent NetBuilder."""
+
+import pytest
+
+from repro.errors import ModelDefinitionError
+from repro.petri import NetBuilder, ServerSemantics
+from repro.petri.transition import (
+    DeterministicTransition,
+    ExponentialTransition,
+    ImmediateTransition,
+)
+
+
+class TestNetBuilder:
+    def test_chaining(self):
+        net = (
+            NetBuilder("n")
+            .place("A", tokens=1)
+            .place("B")
+            .exponential("t", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+            .build()
+        )
+        assert set(net.places) == {"A", "B"}
+
+    def test_all_transition_kinds(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=1).place("B").place("C")
+        builder.immediate("i", inputs={"A": 1}, outputs={"B": 1})
+        builder.exponential("e", rate=1.0, inputs={"B": 1}, outputs={"C": 1})
+        builder.deterministic("d", delay=5.0, inputs={"C": 1}, outputs={"A": 1})
+        net = builder.build()
+        assert isinstance(net.transitions["i"], ImmediateTransition)
+        assert isinstance(net.transitions["e"], ExponentialTransition)
+        assert isinstance(net.transitions["d"], DeterministicTransition)
+
+    def test_inhibitor_wiring(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=1).place("Stop").place("B")
+        builder.exponential(
+            "t", rate=1.0, inputs={"A": 1}, outputs={"B": 1}, inhibitors={"Stop": 1}
+        )
+        net = builder.build()
+        assert len(list(net.inhibitor_arcs("t"))) == 1
+
+    def test_server_semantics_passthrough(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=2).place("B")
+        builder.exponential(
+            "t",
+            rate=1.0,
+            server=ServerSemantics.INFINITE,
+            inputs={"A": 1},
+            outputs={"B": 1},
+        )
+        net = builder.build()
+        assert net.transitions["t"].server is ServerSemantics.INFINITE
+
+    def test_build_validates(self):
+        builder = NetBuilder("n")
+        with pytest.raises(ModelDefinitionError):
+            builder.build()
+
+    def test_priority_and_weight_passthrough(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=1).place("B")
+        builder.immediate("i", weight=2.5, priority=7, inputs={"A": 1}, outputs={"B": 1})
+        net = builder.build()
+        transition = net.transitions["i"]
+        assert transition.priority == 7
+        assert transition.weight_in(net.initial_marking()) == 2.5

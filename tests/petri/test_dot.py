@@ -1,0 +1,37 @@
+"""Tests for Graphviz export."""
+
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.rejuvenation import build_rejuvenation_net
+from repro.petri.dot import to_dot
+
+
+class TestToDot:
+    def test_contains_all_elements(self, two_state_net):
+        dot = to_dot(two_state_net)
+        assert dot.startswith("digraph")
+        for name in ("Up", "Down", "fail", "repair"):
+            assert f'"{name}"' in dot
+
+    def test_place_shows_initial_tokens(self, two_state_net):
+        dot = to_dot(two_state_net)
+        assert "Up\\n1" in dot
+
+    def test_arcs_have_directions(self, two_state_net):
+        dot = to_dot(two_state_net)
+        assert '"Up" -> "fail"' in dot
+        assert '"fail" -> "Down"' in dot
+
+    def test_transition_kinds_styled_differently(self):
+        net = build_rejuvenation_net(PerceptionParameters.six_version_defaults())
+        dot = to_dot(net)
+        # immediate transitions are thin, deterministic are bold
+        assert "height=0.1" in dot  # immediate style present
+        assert dot.count("fillcolor=white") >= 4  # exponential transitions
+
+    def test_marking_dependent_arcs_labelled(self):
+        net = build_rejuvenation_net(PerceptionParameters.six_version_defaults())
+        assert 'label="f(m)"' in to_dot(net)
+
+    def test_balanced_braces(self, clocked_net):
+        dot = to_dot(clocked_net)
+        assert dot.rstrip().endswith("}")

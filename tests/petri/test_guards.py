@@ -1,0 +1,72 @@
+"""Tests for the guard/weight expression DSL."""
+
+from repro.petri.guards import count
+from repro.petri.marking import Marking
+
+INDEX = {"Pmh": 0, "Pmc": 1, "Pmf": 2}
+
+
+def marking(h=0, c=0, f=0):
+    return Marking.from_dict(INDEX, {"Pmh": h, "Pmc": c, "Pmf": f})
+
+
+class TestCount:
+    def test_reads_token_count(self):
+        assert count("Pmh")(marking(h=3)) == 3
+
+
+class TestArithmetic:
+    def test_addition(self):
+        expr = count("Pmh") + count("Pmc")
+        assert expr(marking(h=2, c=3)) == 5
+
+    def test_addition_with_constant(self):
+        assert (count("Pmh") + 1)(marking(h=2)) == 3
+        assert (1 + count("Pmh"))(marking(h=2)) == 3
+
+    def test_subtraction_order(self):
+        assert (count("Pmh") - 1)(marking(h=3)) == 2
+        assert (10 - count("Pmh"))(marking(h=3)) == 7
+
+    def test_multiplication(self):
+        assert (count("Pmh") * 2)(marking(h=3)) == 6
+        assert (2 * count("Pmh"))(marking(h=3)) == 6
+
+    def test_division(self):
+        expr = count("Pmc") / (count("Pmc") + count("Pmh"))
+        assert expr(marking(h=3, c=1)) == 0.25
+
+    def test_rdivision(self):
+        assert (6 / count("Pmh"))(marking(h=3)) == 2
+
+
+class TestComparisons:
+    def test_table1_g2(self):
+        g2 = (count("Pmf") + count("Pmc")) < 2
+        assert g2(marking(f=0, c=1))
+        assert not g2(marking(f=1, c=1))
+
+    def test_table1_g3(self):
+        g3 = (count("Pmh") + count("Pmc")) > 0
+        assert g3(marking(h=1))
+        assert not g3(marking())
+
+    def test_equality_guard(self):
+        g1 = (count("Pmf") + count("Pmc")) == 0
+        assert g1(marking())
+        assert not g1(marking(c=1))
+
+    def test_inequality_guard(self):
+        guard = count("Pmh") != 0
+        assert guard(marking(h=1))
+        assert not guard(marking())
+
+    def test_le_and_ge(self):
+        assert (count("Pmh") <= 2)(marking(h=2))
+        assert (count("Pmh") >= 2)(marking(h=2))
+        assert not (count("Pmh") >= 3)(marking(h=2))
+
+    def test_nested_expression_guard(self):
+        guard = (count("Pmh") * 2 - count("Pmc")) >= 3
+        assert guard(marking(h=2, c=1))
+        assert not guard(marking(h=1, c=1))

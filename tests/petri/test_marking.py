@@ -1,0 +1,83 @@
+"""Tests for repro.petri.marking."""
+
+import pytest
+
+from repro.errors import ModelDefinitionError
+from repro.petri.marking import Marking
+
+INDEX = {"A": 0, "B": 1, "C": 2}
+
+
+class TestConstruction:
+    def test_from_dict_partial(self):
+        marking = Marking.from_dict(INDEX, {"B": 2})
+        assert marking["A"] == 0
+        assert marking["B"] == 2
+        assert marking["C"] == 0
+
+    def test_from_dict_unknown_place(self):
+        with pytest.raises(ModelDefinitionError, match="unknown place"):
+            Marking.from_dict(INDEX, {"Z": 1})
+
+    def test_from_dict_negative(self):
+        with pytest.raises(ModelDefinitionError, match="negative"):
+            Marking.from_dict(INDEX, {"A": -1})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelDefinitionError):
+            Marking(INDEX, (1, 2))
+
+
+class TestMappingInterface:
+    def test_len_and_iter(self):
+        marking = Marking.from_dict(INDEX, {"A": 1})
+        assert len(marking) == 3
+        assert list(marking) == ["A", "B", "C"]
+
+    def test_get_with_default(self):
+        marking = Marking.from_dict(INDEX, {})
+        assert marking.get("A", 9) == 0
+        assert marking.get("missing", 9) == 9
+
+    def test_total_tokens(self):
+        assert Marking.from_dict(INDEX, {"A": 1, "C": 3}).total_tokens() == 4
+
+
+class TestIdentity:
+    def test_equal_markings_hash_equal(self):
+        a = Marking.from_dict(INDEX, {"A": 1})
+        b = Marking.from_dict(INDEX, {"A": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_markings(self):
+        a = Marking.from_dict(INDEX, {"A": 1})
+        b = Marking.from_dict(INDEX, {"B": 1})
+        assert a != b
+
+    def test_usable_as_dict_key(self):
+        a = Marking.from_dict(INDEX, {"A": 1})
+        b = Marking.from_dict(INDEX, {"A": 1})
+        assert {a: "x"}[b] == "x"
+
+
+class TestAfter:
+    def test_applies_delta_immutably(self):
+        a = Marking.from_dict(INDEX, {"A": 2})
+        b = a.after({"A": -1, "B": +1})
+        assert a["A"] == 2 and a["B"] == 0
+        assert b["A"] == 1 and b["B"] == 1
+
+    def test_rejects_negative_result(self):
+        a = Marking.from_dict(INDEX, {"A": 0})
+        with pytest.raises(ModelDefinitionError, match="negative|to -1"):
+            a.after({"A": -1})
+
+
+class TestCompact:
+    def test_shows_nonzero_only(self):
+        marking = Marking.from_dict(INDEX, {"A": 2, "C": 1})
+        assert marking.compact() == "A=2 C=1"
+
+    def test_empty_marking(self):
+        assert Marking.from_dict(INDEX, {}).compact() == "<empty>"

@@ -1,0 +1,197 @@
+"""Tests for repro.petri.net: enabling and firing semantics."""
+
+import pytest
+
+from repro.errors import ModelDefinitionError
+from repro.petri import NetBuilder
+from repro.petri.arc import ArcKind
+from repro.petri.net import PetriNet
+from repro.petri.place import Place
+from repro.petri.transition import ExponentialTransition
+
+
+def simple_net():
+    builder = NetBuilder("simple")
+    builder.place("A", tokens=2)
+    builder.place("B")
+    builder.exponential("t", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+    return builder.build()
+
+
+class TestConstruction:
+    def test_duplicate_place_rejected(self):
+        net = PetriNet("n")
+        net.add_place(Place("A"))
+        with pytest.raises(ModelDefinitionError, match="duplicate"):
+            net.add_place(Place("A"))
+
+    def test_duplicate_transition_rejected(self):
+        net = PetriNet("n")
+        net.add_transition(ExponentialTransition("t", rate=1.0))
+        with pytest.raises(ModelDefinitionError, match="duplicate"):
+            net.add_transition(ExponentialTransition("t", rate=2.0))
+
+    def test_place_transition_namespace_shared(self):
+        net = PetriNet("n")
+        net.add_place(Place("X"))
+        with pytest.raises(ModelDefinitionError, match="already used"):
+            net.add_transition(ExponentialTransition("X", rate=1.0))
+
+    def test_arc_to_unknown_place_rejected(self):
+        net = PetriNet("n")
+        net.add_transition(ExponentialTransition("t", rate=1.0))
+        with pytest.raises(ModelDefinitionError, match="unknown place"):
+            net.add_arc("missing", "t", ArcKind.INPUT)
+
+    def test_arc_to_unknown_transition_rejected(self):
+        net = PetriNet("n")
+        net.add_place(Place("A"))
+        with pytest.raises(ModelDefinitionError, match="unknown transition"):
+            net.add_arc("A", "missing", ArcKind.INPUT)
+
+    def test_validate_rejects_unconstrained_transition(self):
+        net = PetriNet("n")
+        net.add_place(Place("A"))
+        net.add_transition(ExponentialTransition("t", rate=1.0))
+        net.add_arc("A", "t", ArcKind.OUTPUT)
+        with pytest.raises(ModelDefinitionError, match="unconditionally"):
+            net.validate()
+
+    def test_validate_rejects_empty_net(self):
+        with pytest.raises(ModelDefinitionError):
+            PetriNet("n").validate()
+
+    def test_guard_only_transition_passes_validation(self):
+        builder = NetBuilder("n")
+        builder.place("A")
+        builder.exponential("t", rate=1.0, guard=lambda m: m["A"] > 0, outputs={"A": 1})
+        builder.build()  # must not raise
+
+
+class TestEnabling:
+    def test_enabled_with_sufficient_tokens(self):
+        net = simple_net()
+        marking = net.initial_marking()
+        assert net.is_enabled(net.transitions["t"], marking)
+
+    def test_enabling_degree_counts_batches(self):
+        net = simple_net()
+        marking = net.initial_marking()
+        assert net.enabling_degree(net.transitions["t"], marking) == 2
+
+    def test_disabled_without_tokens(self):
+        net = simple_net()
+        empty = net.marking({"A": 0})
+        assert not net.is_enabled(net.transitions["t"], empty)
+
+    def test_multiplicity_respected(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=3)
+        builder.place("B")
+        builder.exponential("t", rate=1.0, inputs={"A": 2}, outputs={"B": 1})
+        net = builder.build()
+        assert net.enabling_degree(net.transitions["t"], net.initial_marking()) == 1
+        assert not net.is_enabled(net.transitions["t"], net.marking({"A": 1}))
+
+    def test_inhibitor_disables_at_threshold(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=1)
+        builder.place("Stop", tokens=0)
+        builder.place("B")
+        builder.exponential(
+            "t", rate=1.0, inputs={"A": 1}, outputs={"B": 1}, inhibitors={"Stop": 1}
+        )
+        net = builder.build()
+        assert net.is_enabled(net.transitions["t"], net.initial_marking())
+        blocked = net.marking({"A": 1, "Stop": 1})
+        assert not net.is_enabled(net.transitions["t"], blocked)
+
+    def test_guard_disables(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=1)
+        builder.place("B")
+        builder.exponential(
+            "t", rate=1.0, guard=lambda m: m["B"] > 0, inputs={"A": 1}, outputs={"B": 1}
+        )
+        net = builder.build()
+        assert not net.is_enabled(net.transitions["t"], net.initial_marking())
+
+    def test_capacity_blocks_firing(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=1)
+        builder.place("B", tokens=1, capacity=1)
+        builder.exponential("t", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+        net = builder.build()
+        assert not net.is_enabled(net.transitions["t"], net.initial_marking())
+
+    def test_zero_multiplicity_input_does_not_block(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=0)
+        builder.place("B", tokens=1)
+        builder.exponential(
+            "t",
+            rate=1.0,
+            inputs={"A": lambda m: m["A"], "B": 1},
+            outputs={"A": 1},
+        )
+        net = builder.build()
+        # A-arc multiplicity evaluates to 0, so only B constrains enabling
+        assert net.is_enabled(net.transitions["t"], net.initial_marking())
+
+
+class TestFiring:
+    def test_fire_moves_tokens(self):
+        net = simple_net()
+        after = net.fire(net.transitions["t"], net.initial_marking())
+        assert after["A"] == 1
+        assert after["B"] == 1
+
+    def test_fire_disabled_raises(self):
+        net = simple_net()
+        with pytest.raises(ModelDefinitionError, match="not enabled"):
+            net.fire(net.transitions["t"], net.marking({"A": 0}))
+
+    def test_fire_is_pure(self):
+        net = simple_net()
+        marking = net.initial_marking()
+        net.fire(net.transitions["t"], marking)
+        assert marking["A"] == 2
+
+    def test_self_loop_arc(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=1)
+        builder.place("B")
+        builder.exponential(
+            "t", rate=1.0, inputs={"A": 1}, outputs={"A": 1, "B": 1}
+        )
+        net = builder.build()
+        after = net.fire(net.transitions["t"], net.initial_marking())
+        assert after["A"] == 1
+        assert after["B"] == 1
+
+    def test_batch_arc_multiplicities_evaluated_on_source_marking(self):
+        builder = NetBuilder("n")
+        builder.place("A", tokens=3)
+        builder.place("B")
+        builder.exponential(
+            "t",
+            rate=1.0,
+            inputs={"A": lambda m: m["A"]},
+            outputs={"B": lambda m: m["A"]},
+        )
+        net = builder.build()
+        after = net.fire(net.transitions["t"], net.initial_marking())
+        assert after["A"] == 0
+        assert after["B"] == 3
+
+
+class TestAccessors:
+    def test_kind_filters(self, clocked_net):
+        assert [t.name for t in clocked_net.exponential_transitions()] == ["decay"]
+        assert [t.name for t in clocked_net.deterministic_transitions()] == ["reset"]
+        assert clocked_net.immediate_transitions() == []
+
+    def test_initial_marking_matches_places(self, two_state_net):
+        initial = two_state_net.initial_marking()
+        assert initial["Up"] == 1
+        assert initial["Down"] == 0

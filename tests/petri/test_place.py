@@ -1,0 +1,43 @@
+"""Tests for repro.petri.place."""
+
+import pytest
+
+from repro.errors import ModelDefinitionError, ParameterError
+from repro.petri.place import Place
+
+
+class TestPlace:
+    def test_defaults(self):
+        place = Place("P")
+        assert place.tokens == 0
+        assert place.capacity is None
+
+    def test_initial_tokens(self):
+        assert Place("P", tokens=4).tokens == 4
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelDefinitionError):
+            Place("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(ModelDefinitionError):
+            Place(42)  # type: ignore[arg-type]
+
+    def test_rejects_negative_tokens(self):
+        with pytest.raises(ParameterError):
+            Place("P", tokens=-1)
+
+    def test_rejects_tokens_above_capacity(self):
+        with pytest.raises(ModelDefinitionError, match="above its capacity"):
+            Place("P", tokens=5, capacity=4)
+
+    def test_capacity_equal_tokens_ok(self):
+        assert Place("P", tokens=4, capacity=4).capacity == 4
+
+    def test_label_not_part_of_equality(self):
+        assert Place("P", label="a") == Place("P", label="b")
+
+    def test_frozen(self):
+        place = Place("P")
+        with pytest.raises(AttributeError):
+            place.tokens = 3  # type: ignore[misc]

@@ -1,0 +1,121 @@
+"""Tests for PNML import/export."""
+
+import numpy as np
+import pytest
+
+from repro.dspn import solve_steady_state
+from repro.errors import ModelDefinitionError, UnsupportedModelError
+from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.rejuvenation import build_rejuvenation_net
+from repro.petri import NetBuilder, ServerSemantics
+from repro.petri.pnml import from_pnml, to_pnml
+
+
+class TestRoundTrip:
+    def test_two_state_net(self, two_state_net):
+        restored = from_pnml(to_pnml(two_state_net))
+        assert set(restored.places) == set(two_state_net.places)
+        assert set(restored.transitions) == set(two_state_net.transitions)
+        assert restored.initial_marking() == restored.marking({"Up": 1})
+
+    def test_round_trip_preserves_solution(self, two_state_net):
+        original = solve_steady_state(two_state_net)
+        restored = solve_steady_state(from_pnml(to_pnml(two_state_net)))
+        up_original = original.probability(lambda m: m["Up"] == 1)
+        up_restored = restored.probability(lambda m: m["Up"] == 1)
+        assert np.isclose(up_original, up_restored)
+
+    def test_perception_net_round_trip(self, four_version_parameters):
+        net = build_no_rejuvenation_net(four_version_parameters)
+        restored = from_pnml(to_pnml(net))
+        original = solve_steady_state(net)
+        again = solve_steady_state(restored)
+        assert np.isclose(
+            original.probability(lambda m: m["Pmh"] == 4),
+            again.probability(lambda m: m["Pmh"] == 4),
+        )
+
+    def test_deterministic_and_immediate_round_trip(self):
+        builder = NetBuilder("mixed")
+        builder.place("A", tokens=1).place("B").place("C")
+        builder.immediate("i", weight=2.5, priority=3, inputs={"A": 1}, outputs={"B": 1})
+        builder.deterministic("d", delay=7.5, inputs={"B": 1}, outputs={"C": 1})
+        builder.exponential("e", rate=0.25, inputs={"C": 1}, outputs={"A": 1})
+        net = builder.build()
+        restored = from_pnml(to_pnml(net))
+        immediate = restored.transitions["i"]
+        assert immediate.priority == 3
+        assert immediate.weight_in(restored.initial_marking()) == 2.5
+        assert restored.transitions["d"].delay == 7.5
+
+    def test_server_semantics_round_trip(self):
+        builder = NetBuilder("inf")
+        builder.place("A", tokens=2).place("B")
+        builder.exponential(
+            "t", rate=1.5, server=ServerSemantics.INFINITE,
+            inputs={"A": 1}, outputs={"B": 1},
+        )
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        restored = from_pnml(to_pnml(builder.build()))
+        assert restored.transitions["t"].server is ServerSemantics.INFINITE
+
+    def test_multiplicity_round_trip(self):
+        builder = NetBuilder("multi")
+        builder.place("A", tokens=4).place("B")
+        builder.exponential("t", rate=1.0, inputs={"A": 2}, outputs={"B": 2})
+        builder.exponential("back", rate=1.0, inputs={"B": 2}, outputs={"A": 2})
+        restored = from_pnml(to_pnml(builder.build()))
+        after = restored.fire(
+            restored.transitions["t"], restored.initial_marking()
+        )
+        assert after["A"] == 2 and after["B"] == 2
+
+    def test_inhibitor_round_trip(self):
+        builder = NetBuilder("inhibit")
+        builder.place("A", tokens=1).place("Stop").place("B")
+        builder.exponential(
+            "t", rate=1.0, inputs={"A": 1}, outputs={"B": 1}, inhibitors={"Stop": 1}
+        )
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        restored = from_pnml(to_pnml(builder.build()))
+        blocked = restored.marking({"A": 1, "Stop": 1})
+        assert not restored.is_enabled(restored.transitions["t"], blocked)
+
+
+class TestRefusals:
+    def test_marking_dependent_weights_refused(self, six_version_parameters):
+        net = build_rejuvenation_net(six_version_parameters)
+        with pytest.raises(UnsupportedModelError):
+            to_pnml(net)
+
+    def test_guards_refused(self):
+        builder = NetBuilder("guarded")
+        builder.place("A", tokens=1).place("B")
+        builder.exponential(
+            "t", rate=1.0, guard=lambda m: m["A"] > 0,
+            inputs={"A": 1}, outputs={"B": 1},
+        )
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        with pytest.raises(UnsupportedModelError, match="guard"):
+            to_pnml(builder.build())
+
+
+class TestParsingErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(ModelDefinitionError, match="XML"):
+            from_pnml("<pnml><net>")
+
+    def test_missing_net(self):
+        with pytest.raises(ModelDefinitionError, match="no <net>"):
+            from_pnml("<pnml></pnml>")
+
+    def test_arc_between_places_rejected(self):
+        document = """<pnml><net id="x"><page id="p">
+            <place id="A"/><place id="B"/>
+            <transition id="t"><toolspecific tool="repro" version="1"
+                kind="exponential" rate="1.0"/></transition>
+            <arc id="a1" source="A" target="B"/>
+        </page></net></pnml>"""
+        with pytest.raises(ModelDefinitionError, match="place and a"):
+            from_pnml(document)

@@ -1,0 +1,119 @@
+"""Tests for repro.petri.transition."""
+
+import pytest
+
+from repro.errors import ModelDefinitionError, ParameterError
+from repro.petri.marking import Marking
+from repro.petri.transition import (
+    DeterministicTransition,
+    ExponentialTransition,
+    ImmediateTransition,
+    ServerSemantics,
+    as_marking_function,
+)
+
+INDEX = {"P": 0, "Q": 1}
+
+
+def marking(p=0, q=0):
+    return Marking.from_dict(INDEX, {"P": p, "Q": q})
+
+
+class TestAsMarkingFunction:
+    def test_wraps_constant(self):
+        fn = as_marking_function("x", 2.5)
+        assert fn(marking()) == 2.5
+
+    def test_passes_callable(self):
+        fn = as_marking_function("x", lambda m: m["P"] * 2.0)
+        assert fn(marking(p=3)) == 6.0
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParameterError):
+            as_marking_function("x", "nope")
+
+
+class TestGuards:
+    def test_no_guard_always_satisfied(self):
+        transition = ExponentialTransition("t", rate=1.0)
+        assert transition.guard_satisfied(marking())
+
+    def test_guard_evaluated(self):
+        transition = ExponentialTransition("t", rate=1.0, guard=lambda m: m["P"] > 0)
+        assert not transition.guard_satisfied(marking(p=0))
+        assert transition.guard_satisfied(marking(p=1))
+
+    def test_non_callable_guard_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            ExponentialTransition("t", rate=1.0, guard=True)  # type: ignore[arg-type]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            ExponentialTransition("", rate=1.0)
+
+
+class TestImmediate:
+    def test_weight_constant(self):
+        transition = ImmediateTransition("i", weight=3.0)
+        assert transition.weight_in(marking()) == 3.0
+
+    def test_weight_marking_dependent(self):
+        transition = ImmediateTransition("i", weight=lambda m: m["P"] / 4.0)
+        assert transition.weight_in(marking(p=2)) == 0.5
+
+    def test_zero_weight_raises_when_evaluated(self):
+        transition = ImmediateTransition("i", weight=0.0)
+        with pytest.raises(ParameterError, match="weight"):
+            transition.weight_in(marking())
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            ImmediateTransition("i", priority=-1)
+
+    def test_is_not_timed(self):
+        assert not ImmediateTransition("i").is_timed
+
+
+class TestExponential:
+    def test_single_server_rate_ignores_degree(self):
+        transition = ExponentialTransition("t", rate=2.0)
+        assert transition.rate_in(marking(), enabling_degree=5) == 2.0
+
+    def test_infinite_server_scales_with_degree(self):
+        transition = ExponentialTransition(
+            "t", rate=2.0, server=ServerSemantics.INFINITE
+        )
+        assert transition.rate_in(marking(), enabling_degree=5) == 10.0
+
+    def test_marking_dependent_rate(self):
+        transition = ExponentialTransition("t", rate=lambda m: 1.0 / (1 + m["P"]))
+        assert transition.rate_in(marking(p=1), enabling_degree=1) == 0.5
+
+    def test_non_positive_rate_raises(self):
+        transition = ExponentialTransition("t", rate=lambda m: 0.0)
+        with pytest.raises(ParameterError, match="rate"):
+            transition.rate_in(marking(), enabling_degree=1)
+
+    def test_invalid_server_value(self):
+        with pytest.raises(ModelDefinitionError):
+            ExponentialTransition("t", rate=1.0, server="single")  # type: ignore[arg-type]
+
+    def test_is_timed(self):
+        assert ExponentialTransition("t", rate=1.0).is_timed
+
+
+class TestDeterministic:
+    def test_stores_delay(self):
+        assert DeterministicTransition("d", delay=2.5).delay == 2.5
+
+    def test_rejects_zero_delay(self):
+        with pytest.raises(ParameterError):
+            DeterministicTransition("d", delay=0.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ParameterError):
+            DeterministicTransition("d", delay=-1.0)
+
+    def test_rejects_non_numeric_delay(self):
+        with pytest.raises(ParameterError):
+            DeterministicTransition("d", delay="soon")  # type: ignore[arg-type]

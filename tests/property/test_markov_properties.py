@@ -1,0 +1,117 @@
+"""Property-based tests of the Markov substrate (hypothesis)."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.markov.ctmc import CTMC
+from repro.markov.dtmc import DTMC
+from repro.markov.mrgp import solve_mrgp
+from repro.markov.uniformization import expm_and_integral
+
+
+@st.composite
+def irreducible_generators(draw, max_states=5):
+    """Random generator with a strictly-positive cycle (irreducible)."""
+    n = draw(st.integers(2, max_states))
+    rates = draw(
+        st.lists(
+            st.lists(st.floats(0.0, 5.0), min_size=n, max_size=n),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    matrix = np.array(rates)
+    np.fill_diagonal(matrix, 0.0)
+    # guarantee irreducibility via a cycle
+    for i in range(n):
+        matrix[i, (i + 1) % n] += 0.1
+    np.fill_diagonal(matrix, -matrix.sum(axis=1))
+    return matrix
+
+
+class TestCTMCProperties:
+    @given(irreducible_generators())
+    @settings(max_examples=30, deadline=None)
+    def test_stationary_is_distribution(self, generator):
+        pi = CTMC(generator).stationary_distribution()
+        assert np.all(pi >= 0)
+        assert np.isclose(pi.sum(), 1.0)
+
+    @given(irreducible_generators())
+    @settings(max_examples=30, deadline=None)
+    def test_stationary_is_fixed_point(self, generator):
+        pi = CTMC(generator).stationary_distribution()
+        assert np.allclose(pi @ generator, 0.0, atol=1e-8)
+
+    @given(irreducible_generators(), st.floats(0.0, 20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_transient_stays_distribution(self, generator, t):
+        chain = CTMC(generator)
+        initial = np.zeros(chain.n_states)
+        initial[0] = 1.0
+        distribution = chain.transient(initial, t)
+        assert np.all(distribution >= -1e-12)
+        assert np.isclose(distribution.sum(), 1.0, atol=1e-9)
+
+    @given(irreducible_generators())
+    @settings(max_examples=20, deadline=None)
+    def test_stationary_invariant_under_transient(self, generator):
+        chain = CTMC(generator)
+        pi = chain.stationary_distribution()
+        assert np.allclose(chain.transient(pi, 3.0), pi, atol=1e-8)
+
+
+class TestExpmIntegralProperties:
+    @given(irreducible_generators(), st.floats(0.01, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_integral_rowsum_equals_time(self, generator, t):
+        """For a proper generator, total integrated occupancy is t."""
+        _, integral = expm_and_integral(generator, t)
+        assert np.allclose(integral.sum(axis=1), t, rtol=1e-8)
+
+
+@st.composite
+def mrgp_problems(draw, max_states=4):
+    n = draw(st.integers(2, max_states))
+    kernel = np.zeros((n, n))
+    for i in range(n):
+        row = [draw(st.floats(0.01, 1.0)) for _ in range(n)]
+        kernel[i] = np.array(row) / sum(row)
+    sojourn = np.zeros((n, n))
+    for i in range(n):
+        for j in range(n):
+            sojourn[i, j] = draw(st.floats(0.0, 5.0))
+        sojourn[i, i] += 0.1  # positive cycle lengths
+    return kernel, sojourn
+
+
+class TestMRGPProperties:
+    @given(mrgp_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_solution_is_distribution(self, problem):
+        kernel, sojourn = problem
+        result = solve_mrgp(kernel, sojourn)
+        assert np.all(result.pi >= 0)
+        assert np.isclose(result.pi.sum(), 1.0)
+        assert result.expected_cycle_length > 0
+
+    @given(mrgp_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_phi_is_embedded_stationary(self, problem):
+        kernel, sojourn = problem
+        result = solve_mrgp(kernel, sojourn)
+        assert np.allclose(result.phi @ kernel, result.phi, atol=1e-8)
+
+
+class TestDTMCProperties:
+    @given(mrgp_problems())
+    @settings(max_examples=20, deadline=None)
+    def test_step_preserves_distribution(self, problem):
+        kernel, _ = problem
+        chain = DTMC(kernel)
+        distribution = np.zeros(chain.n_states)
+        distribution[0] = 1.0
+        stepped = chain.step(distribution, n=3)
+        assert np.isclose(stepped.sum(), 1.0)
+        assert np.all(stepped >= 0)

@@ -1,0 +1,79 @@
+"""Property-based tests of the Petri net core (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.petri import NetBuilder
+from repro.petri.marking import Marking
+
+place_names = st.sampled_from(["A", "B", "C", "D"])
+
+
+@st.composite
+def markings(draw):
+    index = {"A": 0, "B": 1, "C": 2, "D": 3}
+    counts = tuple(draw(st.integers(0, 10)) for _ in index)
+    return Marking(index, counts)
+
+
+class TestMarkingProperties:
+    @given(markings())
+    def test_total_tokens_is_sum(self, marking):
+        assert marking.total_tokens() == sum(marking.values())
+
+    @given(markings(), st.dictionaries(place_names, st.integers(0, 5), max_size=4))
+    def test_after_adds_delta(self, marking, delta):
+        result = marking.after(delta)
+        for name in marking:
+            assert result[name] == marking[name] + delta.get(name, 0)
+
+    @given(markings(), st.dictionaries(place_names, st.integers(0, 5), max_size=4))
+    def test_after_roundtrip(self, marking, delta):
+        there = marking.after(delta)
+        back = there.after({k: -v for k, v in delta.items()})
+        assert back == marking
+
+    @given(markings())
+    def test_hash_consistent_with_eq(self, marking):
+        clone = Marking(marking._index, marking.counts)  # noqa: SLF001
+        assert marking == clone
+        assert hash(marking) == hash(clone)
+
+
+@st.composite
+def chain_nets(draw):
+    """A random token count flowing through a 3-place cycle."""
+    tokens = draw(st.integers(1, 8))
+    rate1 = draw(st.floats(0.01, 10.0))
+    rate2 = draw(st.floats(0.01, 10.0))
+    rate3 = draw(st.floats(0.01, 10.0))
+    builder = NetBuilder("chain")
+    builder.place("A", tokens=tokens).place("B").place("C")
+    builder.exponential("ab", rate=rate1, inputs={"A": 1}, outputs={"B": 1})
+    builder.exponential("bc", rate=rate2, inputs={"B": 1}, outputs={"C": 1})
+    builder.exponential("ca", rate=rate3, inputs={"C": 1}, outputs={"A": 1})
+    return builder.build(), tokens
+
+
+class TestFiringProperties:
+    @given(chain_nets())
+    @settings(max_examples=30, deadline=None)
+    def test_firing_conserves_tokens(self, net_and_tokens):
+        net, tokens = net_and_tokens
+        marking = net.initial_marking()
+        for _ in range(20):
+            enabled = net.enabled_transitions(marking)
+            if not enabled:
+                break
+            marking = net.fire(enabled[0], marking)
+            assert marking.total_tokens() == tokens
+
+    @given(chain_nets())
+    @settings(max_examples=30, deadline=None)
+    def test_enabled_iff_positive_degree(self, net_and_tokens):
+        net, _ = net_and_tokens
+        marking = net.initial_marking()
+        for transition in net.transitions.values():
+            assert net.is_enabled(transition, marking) == (
+                net.enabling_degree(transition, marking) > 0
+            )

@@ -1,0 +1,135 @@
+"""Property-based tests of the reliability theory (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.nversion.conventions import OutputConvention
+from repro.nversion.failure_models import EgeDependentModel
+from repro.nversion.reliability import (
+    GeneralizedReliability,
+    PaperFourVersionReliability,
+    PaperSixVersionReliability,
+)
+
+probabilities = st.floats(0.0, 1.0)
+
+
+@st.composite
+def four_version_states(draw):
+    i = draw(st.integers(0, 4))
+    j = draw(st.integers(0, 4 - i))
+    return i, j, 4 - i - j
+
+
+@st.composite
+def six_version_states(draw):
+    i = draw(st.integers(0, 6))
+    j = draw(st.integers(0, 6 - i))
+    return i, j, 6 - i - j
+
+
+# The verbatim appendix formulas are *unnormalized* enumerations; at
+# extreme parameter corners (e.g. p = p' = 1, alpha = 0) some formulas
+# leave [0, 1] — see test_verbatim_formulas_can_leave_unit_interval.
+# Within the paper's operating region they behave as probabilities.
+operating_p = st.floats(0.0, 0.3)
+operating_pp = st.floats(0.0, 0.8)
+
+
+class TestPaperFunctionsBounded:
+    @given(operating_p, operating_pp, probabilities, four_version_states())
+    @settings(max_examples=200, deadline=None)
+    def test_four_version_in_unit_interval(self, p, pp, a, state):
+        """The verbatim Appendix A formulas stay within [0, 1] over the
+        paper's operating region (p <= 0.3, p' <= 0.8)."""
+        r = PaperFourVersionReliability(p=p, p_prime=pp, alpha=a)
+        assert -1e-9 <= r(*state) <= 1.0 + 1e-9
+
+    @given(operating_p, operating_pp, probabilities, six_version_states())
+    @settings(max_examples=200, deadline=None)
+    def test_six_version_in_unit_interval(self, p, pp, a, state):
+        r = PaperSixVersionReliability(p=p, p_prime=pp, alpha=a)
+        assert -1e-9 <= r(*state) <= 1.0 + 1e-9
+
+    def test_verbatim_formulas_can_leave_unit_interval(self):
+        """Documented finding: the printed R_{2,3,1} evaluates to -1 at
+        the corner (p=1, p'=1, alpha=0) because the 2p(1-a)p'^3 term's
+        coefficient over-counts.  The generalized model has no such
+        corner (verified by TestGeneralizedProperties.test_bounded over
+        the full cube)."""
+        r = PaperSixVersionReliability(p=1.0, p_prime=1.0, alpha=0.0)
+        assert r(2, 3, 1) == -1.0
+
+
+class TestGeneralizedProperties:
+    @given(probabilities, probabilities, probabilities, six_version_states())
+    @settings(max_examples=200, deadline=None)
+    def test_bounded(self, p, pp, a, state):
+        r = GeneralizedReliability(
+            n_modules=6, threshold=4, p=p, p_prime=pp, alpha=a
+        )
+        assert -1e-9 <= r(*state) <= 1.0 + 1e-9
+
+    @given(probabilities, probabilities, four_version_states())
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_p_prime(self, p, a, state):
+        """More compromised inaccuracy can never raise reliability."""
+        low = GeneralizedReliability(
+            n_modules=4, threshold=3, p=p, p_prime=0.2, alpha=a
+        )
+        high = GeneralizedReliability(
+            n_modules=4, threshold=3, p=p, p_prime=0.8, alpha=a
+        )
+        assert high(*state) <= low(*state) + 1e-9
+
+    @given(probabilities, probabilities, four_version_states())
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_p(self, pp, a, state):
+        low = GeneralizedReliability(
+            n_modules=4, threshold=3, p=0.05, p_prime=pp, alpha=a
+        )
+        high = GeneralizedReliability(
+            n_modules=4, threshold=3, p=0.6, p_prime=pp, alpha=a
+        )
+        assert high(*state) <= low(*state) + 1e-9
+
+    @given(probabilities, probabilities, probabilities, six_version_states())
+    @settings(max_examples=150, deadline=None)
+    def test_strict_not_above_safe_skip(self, p, pp, a, state):
+        safe = GeneralizedReliability(
+            n_modules=6, threshold=4, p=p, p_prime=pp, alpha=a,
+            convention=OutputConvention.SAFE_SKIP,
+        )
+        strict = GeneralizedReliability(
+            n_modules=6, threshold=4, p=p, p_prime=pp, alpha=a,
+            convention=OutputConvention.STRICT_CORRECT,
+        )
+        assert strict(*state) <= safe(*state) + 1e-9
+
+    @given(probabilities, probabilities, st.integers(0, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_zero_when_below_threshold(self, p, pp, operational):
+        r = GeneralizedReliability(
+            n_modules=6, threshold=4, p=p, p_prime=pp, alpha=0.5
+        )
+        i = operational
+        state_value = r(i, 0, 6 - i)
+        if i < 4:
+            assert state_value == 0.0
+
+
+class TestFailureModelProperties:
+    @given(probabilities, probabilities, st.integers(1, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_normalized_model_sums_to_one(self, p, a, group):
+        model = EgeDependentModel(p=p, alpha=a, paper_combinatorics=False)
+        total = sum(model.probability_exactly(m, group) for m in range(group + 1))
+        assert abs(total - 1.0) < 1e-9
+
+    @given(probabilities, probabilities, st.integers(1, 8), st.integers(0, 8))
+    @settings(max_examples=200, deadline=None)
+    def test_tail_monotone(self, p, a, group, m):
+        model = EgeDependentModel(p=p, alpha=a, paper_combinatorics=False)
+        assert model.probability_at_least(m, group) >= model.probability_at_least(
+            m + 1, group
+        ) - 1e-12

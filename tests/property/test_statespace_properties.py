@@ -1,0 +1,94 @@
+"""Property-based tests of reachability + vanishing elimination."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dspn import solve_steady_state
+from repro.petri import NetBuilder
+from repro.statespace import tangible_reachability
+
+
+@st.composite
+def module_cycle_nets(draw):
+    """Randomized instances of the paper's module life-cycle net."""
+    n = draw(st.integers(1, 6))
+    lam_c = draw(st.floats(1e-4, 1.0))
+    lam_f = draw(st.floats(1e-4, 1.0))
+    mu = draw(st.floats(1e-3, 2.0))
+    builder = NetBuilder("cycle")
+    builder.place("H", tokens=n).place("C").place("F")
+    builder.exponential("c", rate=lam_c, inputs={"H": 1}, outputs={"C": 1})
+    builder.exponential("f", rate=lam_f, inputs={"C": 1}, outputs={"F": 1})
+    builder.exponential("r", rate=mu, inputs={"F": 1}, outputs={"H": 1})
+    return builder.build(), n
+
+
+class TestStateSpaceProperties:
+    @given(module_cycle_nets())
+    @settings(max_examples=30, deadline=None)
+    def test_state_count_is_simplex_size(self, net_n):
+        net, n = net_n
+        graph = tangible_reachability(net)
+        expected = (n + 1) * (n + 2) // 2
+        assert graph.n_states == expected
+
+    @given(module_cycle_nets())
+    @settings(max_examples=30, deadline=None)
+    def test_tokens_conserved_in_every_marking(self, net_n):
+        net, n = net_n
+        graph = tangible_reachability(net)
+        for marking in graph.markings:
+            assert marking.total_tokens() == n
+
+    @given(module_cycle_nets())
+    @settings(max_examples=20, deadline=None)
+    def test_steady_state_is_distribution(self, net_n):
+        net, _ = net_n
+        result = solve_steady_state(net)
+        assert np.all(result.pi >= 0)
+        assert np.isclose(result.pi.sum(), 1.0)
+
+    @given(module_cycle_nets())
+    @settings(max_examples=20, deadline=None)
+    def test_initial_distribution_is_distribution(self, net_n):
+        net, _ = net_n
+        graph = tangible_reachability(net)
+        assert np.isclose(sum(graph.initial_distribution), 1.0)
+        assert all(p >= 0 for p in graph.initial_distribution)
+
+
+@st.composite
+def weighted_choice_nets(draw):
+    """A vanishing marking splitting over two tangible targets."""
+    w1 = draw(st.floats(0.1, 10.0))
+    w2 = draw(st.floats(0.1, 10.0))
+    builder = NetBuilder("choice")
+    builder.place("S", tokens=1).place("X").place("Y")
+    builder.immediate("sx", weight=w1, inputs={"S": 1}, outputs={"X": 1})
+    builder.immediate("sy", weight=w2, inputs={"S": 1}, outputs={"Y": 1})
+    builder.exponential("xBack", rate=1.0, inputs={"X": 1}, outputs={"S": 1})
+    builder.exponential("yBack", rate=1.0, inputs={"Y": 1}, outputs={"S": 1})
+    return builder.build(), w1, w2
+
+
+class TestVanishingProperties:
+    @given(weighted_choice_nets())
+    @settings(max_examples=30, deadline=None)
+    def test_split_proportional_to_weights(self, net_w1_w2):
+        net, w1, w2 = net_w1_w2
+        graph = tangible_reachability(net)
+        distribution = {
+            marking.compact(): probability
+            for marking, probability in zip(graph.markings, graph.initial_distribution)
+        }
+        assert np.isclose(distribution["X=1"], w1 / (w1 + w2), rtol=1e-9)
+
+    @given(weighted_choice_nets())
+    @settings(max_examples=20, deadline=None)
+    def test_steady_state_split(self, net_w1_w2):
+        net, w1, w2 = net_w1_w2
+        result = solve_steady_state(net)
+        x = result.probability(lambda m: m["X"] == 1)
+        y = result.probability(lambda m: m["Y"] == 1)
+        assert np.isclose(x / (x + y), w1 / (w1 + w2), rtol=1e-6)

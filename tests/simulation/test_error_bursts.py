@@ -1,0 +1,51 @@
+"""Tests for consecutive-error burst accounting in the runtime."""
+
+import pytest
+
+from repro.perception.parameters import PerceptionParameters
+from repro.simulation import PerceptionRuntime
+
+
+class TestErrorBursts:
+    def test_no_errors_no_bursts(self):
+        params = PerceptionParameters.four_version_defaults(p=0.0, p_prime=0.0)
+        report = PerceptionRuntime(params, request_period=1.0, seed=0).run(2000.0)
+        assert report.longest_error_burst == 0
+        assert report.error_bursts == {}
+
+    def test_burst_counts_sum_to_errors(self):
+        params = PerceptionParameters.four_version_defaults()
+        report = PerceptionRuntime(params, request_period=1.0, seed=1).run(50000.0)
+        total_from_bursts = sum(
+            length * count for length, count in report.error_bursts.items()
+        )
+        assert total_from_bursts == report.errors
+
+    def test_longest_burst_is_histogram_max(self):
+        params = PerceptionParameters.four_version_defaults()
+        report = PerceptionRuntime(params, request_period=1.0, seed=2).run(50000.0)
+        if report.error_bursts:
+            assert report.longest_error_burst == max(report.error_bursts)
+
+    def test_degraded_system_has_long_bursts(self):
+        """With all modules compromised most of the time and p' close to 1,
+        errors arrive in long runs: the burst structure captures the
+        persistent-danger signature a plain error rate hides."""
+        params = PerceptionParameters.four_version_defaults(p_prime=0.95)
+        report = PerceptionRuntime(params, request_period=1.0, seed=3).run(50000.0)
+        assert report.longest_error_burst > 10
+
+    def test_rejuvenation_shortens_bursts(self):
+        """Bursts persist until the state changes; rejuvenation cleanses
+        compromised modules and should cut the worst-case run length."""
+        four = PerceptionRuntime(
+            PerceptionParameters.four_version_defaults(p_prime=0.9),
+            request_period=1.0,
+            seed=4,
+        ).run(100000.0)
+        six = PerceptionRuntime(
+            PerceptionParameters.six_version_defaults(p_prime=0.9),
+            request_period=1.0,
+            seed=4,
+        ).run(100000.0)
+        assert six.longest_error_burst < four.longest_error_burst

@@ -1,0 +1,89 @@
+"""Tests for the fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.faults import FaultInjector, FaultSemantics
+from repro.simulation.modules import MLModule, ModuleState
+
+
+def make_injector(semantics=FaultSemantics.CHANNEL):
+    return FaultInjector(lambda_c=0.1, lambda_f=0.05, mu=1.0, semantics=semantics)
+
+
+def pool(healthy=2, compromised=1, failed=1):
+    modules = []
+    for _ in range(healthy):
+        modules.append(MLModule(len(modules)))
+    for _ in range(compromised):
+        module = MLModule(len(modules))
+        module.compromise()
+        modules.append(module)
+    for _ in range(failed):
+        module = MLModule(len(modules))
+        module.compromise()
+        module.fail()
+        modules.append(module)
+    return modules
+
+
+class TestRates:
+    def test_channel_semantics_flat(self):
+        injector = make_injector()
+        rates = injector._effective_rates(pool(healthy=3))
+        assert rates["compromise"] == 0.1
+
+    def test_per_module_semantics_scales(self):
+        injector = make_injector(FaultSemantics.PER_MODULE)
+        rates = injector._effective_rates(pool(healthy=3))
+        assert np.isclose(rates["compromise"], 0.3)
+
+    def test_no_eligible_modules_zero_rate(self):
+        injector = make_injector()
+        healthy_only = pool(healthy=2, compromised=0, failed=0)
+        rates = injector._effective_rates(healthy_only)
+        assert rates["fail"] == 0.0
+        assert rates["repair"] == 0.0
+
+
+class TestNextEvent:
+    def test_returns_none_when_nothing_possible(self):
+        injector = make_injector()
+        module = MLModule(0)
+        module.compromise()
+        module.fail()
+        # only repair possible; but a pool of only-rejuvenating modules -> None
+        rejuvenating = MLModule(1)
+        rejuvenating.start_rejuvenation()
+        assert injector.next_event([rejuvenating], np.random.default_rng(0)) is None
+
+    def test_event_kinds_distributed_by_rate(self):
+        injector = FaultInjector(lambda_c=1.0, lambda_f=1.0, mu=98.0)
+        rng = np.random.default_rng(0)
+        kinds = [injector.next_event(pool(), rng)[1] for _ in range(500)]
+        assert kinds.count("repair") > 400
+
+    def test_delays_are_exponential_scale(self):
+        injector = FaultInjector(lambda_c=10.0, lambda_f=10.0, mu=10.0)
+        rng = np.random.default_rng(1)
+        delays = [injector.next_event(pool(), rng)[0] for _ in range(2000)]
+        assert np.isclose(np.mean(delays), 1 / 30.0, rtol=0.1)
+
+
+class TestApply:
+    def test_apply_compromise(self):
+        injector = make_injector()
+        modules = pool(healthy=2, compromised=0, failed=0)
+        changed = injector.apply("compromise", modules, np.random.default_rng(0))
+        assert changed.state is ModuleState.COMPROMISED
+
+    def test_apply_repair(self):
+        injector = make_injector()
+        modules = pool(healthy=0, compromised=0, failed=1)
+        changed = injector.apply("repair", modules, np.random.default_rng(0))
+        assert changed.state is ModuleState.HEALTHY
+
+    def test_apply_without_eligible_raises(self):
+        injector = make_injector()
+        with pytest.raises(ValueError, match="eligible"):
+            injector.apply("repair", pool(failed=0), np.random.default_rng(0))

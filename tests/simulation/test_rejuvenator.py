@@ -1,0 +1,86 @@
+"""Tests for the rejuvenation manager."""
+
+import numpy as np
+
+from repro.simulation.modules import MLModule, ModuleState
+from repro.simulation.rejuvenator import Rejuvenator
+
+
+def make(interval=600.0, r=1, time_per_module=3.0):
+    return Rejuvenator(interval=interval, r=r, time_per_module=time_per_module)
+
+
+def healthy_pool(n=6):
+    return [MLModule(i) for i in range(n)]
+
+
+class TestClock:
+    def test_next_tick_after_zero(self):
+        assert make().next_tick_after(0.0) == 600.0
+
+    def test_next_tick_strictly_after(self):
+        assert make().next_tick_after(600.0) == 1200.0
+
+    def test_next_tick_mid_interval(self):
+        assert make().next_tick_after(700.0) == 1200.0
+
+
+class TestOnTick:
+    def test_selects_one_module(self):
+        rejuvenator = make()
+        modules = healthy_pool()
+        started = rejuvenator.on_tick(modules, np.random.default_rng(0))
+        assert len(started) == 1
+        assert started[0].state is ModuleState.REJUVENATING
+
+    def test_blocked_by_ongoing_rejuvenation(self):
+        rejuvenator = make()
+        modules = healthy_pool()
+        rejuvenator.on_tick(modules, np.random.default_rng(0))
+        started = rejuvenator.on_tick(modules, np.random.default_rng(1))
+        assert started == []
+
+    def test_blocked_by_failed_module_then_deferred(self):
+        rejuvenator = make()
+        modules = healthy_pool()
+        modules[0].compromise()
+        modules[0].fail()
+        started = rejuvenator.on_tick(modules, np.random.default_rng(0))
+        assert started == []
+        assert rejuvenator.pending_selections == 1
+        # repair completes; pending selection applies
+        modules[0].repair()
+        started = rejuvenator.apply_pending(modules, np.random.default_rng(1))
+        assert len(started) == 1
+
+    def test_r2_selects_two(self):
+        rejuvenator = make(r=2)
+        modules = healthy_pool(9)
+        started = rejuvenator.on_tick(modules, np.random.default_rng(0))
+        assert len(started) == 2
+
+    def test_selection_uniform_over_operational(self):
+        """Compromised modules are picked proportionally to their count."""
+        rng = np.random.default_rng(42)
+        picks_compromised = 0
+        trials = 400
+        for _ in range(trials):
+            rejuvenator = make()
+            modules = healthy_pool(6)
+            for module in modules[:2]:
+                module.compromise()
+            (started,) = rejuvenator.on_tick(modules, rng)
+            if started.module_id < 2:
+                picks_compromised += 1
+        # expected fraction 2/6
+        assert abs(picks_compromised / trials - 1 / 3) < 0.08
+
+
+class TestCompletionDelay:
+    def test_mean_scales_with_batch(self):
+        rejuvenator = make(time_per_module=3.0)
+        rng = np.random.default_rng(0)
+        ones = [rejuvenator.completion_delay(1, rng) for _ in range(4000)]
+        twos = [rejuvenator.completion_delay(2, rng) for _ in range(4000)]
+        assert np.isclose(np.mean(ones), 3.0, rtol=0.1)
+        assert np.isclose(np.mean(twos), 6.0, rtol=0.1)

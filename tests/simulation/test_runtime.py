@@ -1,0 +1,96 @@
+"""Tests for the composed perception runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.perception.parameters import PerceptionParameters
+from repro.simulation import AgreementModel, PerceptionRuntime
+
+
+class TestConstruction:
+    def test_rejects_single_label(self, four_version_parameters):
+        with pytest.raises(SimulationError):
+            PerceptionRuntime(four_version_parameters, n_labels=1)
+
+    def test_rejuvenator_only_when_configured(
+        self, four_version_parameters, six_version_parameters
+    ):
+        assert PerceptionRuntime(four_version_parameters).rejuvenator is None
+        assert PerceptionRuntime(six_version_parameters).rejuvenator is not None
+
+
+class TestPerfectModules:
+    def test_no_errors_when_p_zero(self):
+        params = PerceptionParameters.four_version_defaults(
+            p=0.0, p_prime=0.0
+        )
+        runtime = PerceptionRuntime(params, request_period=1.0, seed=0)
+        report = runtime.run(2000.0)
+        assert report.errors == 0
+        assert report.reliability_safe_skip == 1.0
+
+
+class TestReportAccounting:
+    def test_outcomes_partition_requests(self, four_version_parameters):
+        runtime = PerceptionRuntime(four_version_parameters, request_period=1.0, seed=1)
+        report = runtime.run(3000.0)
+        assert report.correct + report.errors + report.inconclusive == report.requests
+        assert report.requests == pytest.approx(3000, abs=3)
+
+    def test_warmup_excluded(self, four_version_parameters):
+        runtime = PerceptionRuntime(four_version_parameters, request_period=1.0, seed=2)
+        report = runtime.run(1000.0, warmup=500.0)
+        assert report.requests == pytest.approx(1000, abs=3)
+
+    def test_reliability_bounds(self, six_version_parameters):
+        runtime = PerceptionRuntime(six_version_parameters, request_period=1.0, seed=3)
+        report = runtime.run(5000.0)
+        assert 0.0 <= report.reliability_strict <= report.reliability_safe_skip <= 1.0
+
+
+class TestAgainstAnalyticModel:
+    def test_four_version_reliability_close(self, four_version_parameters):
+        from repro.nversion.reliability import GeneralizedReliability
+        from repro.perception.evaluation import evaluate
+
+        general = GeneralizedReliability(
+            n_modules=4, threshold=3,
+            p=four_version_parameters.p,
+            p_prime=four_version_parameters.p_prime,
+            alpha=four_version_parameters.alpha,
+        )
+        analytic = evaluate(
+            four_version_parameters, reliability=general
+        ).expected_reliability
+        runtime = PerceptionRuntime(
+            four_version_parameters, request_period=2.0, seed=7
+        )
+        report = runtime.run(400000.0, warmup=2000.0)
+        assert abs(report.reliability_safe_skip - analytic) < 0.025
+
+    def test_rejuvenation_improves_empirical_reliability(self):
+        """The paper's headline claim, measured on the executable system."""
+        four = PerceptionRuntime(
+            PerceptionParameters.four_version_defaults(), request_period=2.0, seed=8
+        ).run(200000.0, warmup=2000.0)
+        six = PerceptionRuntime(
+            PerceptionParameters.six_version_defaults(), request_period=2.0, seed=8
+        ).run(200000.0, warmup=2000.0)
+        assert six.reliability_safe_skip > four.reliability_safe_skip
+
+
+class TestPerLabelAgreement:
+    def test_per_label_no_less_reliable(self, four_version_parameters):
+        worst = PerceptionRuntime(
+            four_version_parameters, request_period=2.0, seed=9
+        ).run(100000.0)
+        per_label = PerceptionRuntime(
+            four_version_parameters,
+            request_period=2.0,
+            agreement=AgreementModel.PER_LABEL,
+            seed=9,
+        ).run(100000.0)
+        assert (
+            per_label.reliability_safe_skip >= worst.reliability_safe_skip - 0.01
+        )

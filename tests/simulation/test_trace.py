@@ -1,0 +1,91 @@
+"""Tests for state-occupancy tracing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.statemap import ModuleCounts
+from repro.simulation import PerceptionRuntime
+from repro.simulation.modules import MLModule, module_census
+from repro.simulation.trace import StateOccupancy, compare_with_analytic
+
+
+class TestModuleCensus:
+    def test_all_healthy(self):
+        modules = [MLModule(i) for i in range(4)]
+        assert module_census(modules) == ModuleCounts(4, 0, 0)
+
+    def test_mixed_states(self):
+        modules = [MLModule(i) for i in range(5)]
+        modules[0].compromise()
+        modules[1].compromise()
+        modules[1].fail()
+        modules[2].start_rejuvenation()
+        assert module_census(modules) == ModuleCounts(2, 1, 2)
+
+
+class TestStateOccupancy:
+    def test_record_and_fractions(self):
+        occupancy = StateOccupancy()
+        occupancy.record(ModuleCounts(4, 0, 0), 3.0)
+        occupancy.record(ModuleCounts(3, 1, 0), 1.0)
+        occupancy.record(ModuleCounts(4, 0, 0), 1.0)
+        fractions = occupancy.fractions()
+        assert fractions[ModuleCounts(4, 0, 0)] == pytest.approx(0.8)
+        assert fractions[ModuleCounts(3, 1, 0)] == pytest.approx(0.2)
+
+    def test_zero_duration_ignored(self):
+        occupancy = StateOccupancy()
+        occupancy.record(ModuleCounts(4, 0, 0), 0.0)
+        assert occupancy.fractions() == {}
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            StateOccupancy().record(ModuleCounts(4, 0, 0), -1.0)
+
+
+class TestCompareWithAnalytic:
+    def test_empty_occupancy_rejected(self):
+        with pytest.raises(SimulationError):
+            compare_with_analytic(
+                StateOccupancy(), PerceptionParameters.four_version_defaults()
+            )
+
+    def test_exact_match_zero_distance(self):
+        """Feeding the analytic distribution back gives distance ~0."""
+        from repro.perception.evaluation import evaluate
+
+        parameters = PerceptionParameters.four_version_defaults()
+        analytic = evaluate(parameters).state_probabilities
+        occupancy = StateOccupancy()
+        for state, probability in analytic.items():
+            occupancy.record(state, probability * 1000.0)
+        comparison = compare_with_analytic(occupancy, parameters)
+        assert comparison.total_variation_distance < 1e-9
+
+    def test_runtime_occupancy_close_to_analytic(self):
+        parameters = PerceptionParameters.four_version_defaults()
+        runtime = PerceptionRuntime(parameters, request_period=100.0, seed=6)
+        report = runtime.run(1500000.0, warmup=2000.0, collect_occupancy=True)
+        comparison = compare_with_analytic(report.occupancy, parameters)
+        assert comparison.total_variation_distance < 0.05
+
+    def test_render(self):
+        parameters = PerceptionParameters.four_version_defaults()
+        occupancy = StateOccupancy()
+        occupancy.record(ModuleCounts(4, 0, 0), 10.0)
+        text = compare_with_analytic(occupancy, parameters).render(limit=3)
+        assert "total variation distance" in text
+        assert "(4, 0, 0)" in text
+
+    def test_occupancy_none_without_flag(self):
+        parameters = PerceptionParameters.four_version_defaults()
+        runtime = PerceptionRuntime(parameters, request_period=10.0, seed=1)
+        report = runtime.run(1000.0)
+        assert report.occupancy is None
+
+    def test_occupancy_total_matches_duration(self):
+        parameters = PerceptionParameters.four_version_defaults()
+        runtime = PerceptionRuntime(parameters, request_period=10.0, seed=2)
+        report = runtime.run(5000.0, warmup=100.0, collect_occupancy=True)
+        assert report.occupancy.total == pytest.approx(5000.0, rel=0.01)

@@ -1,0 +1,74 @@
+"""Tests for the runtime voter."""
+
+from repro.nversion.voting import VotingScheme
+from repro.simulation.voter import AgreementModel, VoteOutcome, Voter
+
+
+def bft_voter(agreement=AgreementModel.WORST_CASE):
+    return Voter(VotingScheme.bft(1), agreement=agreement)  # threshold 3 of 4
+
+
+class TestWorstCase:
+    def test_correct(self):
+        voter = bft_voter()
+        assert voter.decide([7, 7, 7, 2], ground_truth=7) is VoteOutcome.CORRECT
+
+    def test_error_pools_all_wrong_labels(self):
+        voter = bft_voter()
+        # three wrong outputs with different labels still count together
+        assert voter.decide([1, 2, 3, 7], ground_truth=7) is VoteOutcome.ERROR
+
+    def test_inconclusive_on_split(self):
+        voter = bft_voter()
+        assert voter.decide([7, 7, 1, 2], ground_truth=7) is VoteOutcome.INCONCLUSIVE
+
+    def test_missing_outputs_reduce_votes(self):
+        voter = bft_voter()
+        assert (
+            voter.decide([7, 7, None, None], ground_truth=7)
+            is VoteOutcome.INCONCLUSIVE
+        )
+
+    def test_threshold_reached_with_missing(self):
+        voter = bft_voter()
+        assert voter.decide([7, 7, 7, None], ground_truth=7) is VoteOutcome.CORRECT
+
+    def test_all_missing_inconclusive(self):
+        voter = bft_voter()
+        assert (
+            voter.decide([None, None, None, None], ground_truth=7)
+            is VoteOutcome.INCONCLUSIVE
+        )
+
+
+class TestPerLabel:
+    def test_disagreeing_wrong_outputs_inconclusive(self):
+        voter = bft_voter(AgreementModel.PER_LABEL)
+        assert voter.decide([1, 2, 3, 7], ground_truth=7) is VoteOutcome.INCONCLUSIVE
+
+    def test_agreeing_wrong_outputs_error(self):
+        voter = bft_voter(AgreementModel.PER_LABEL)
+        assert voter.decide([2, 2, 2, 7], ground_truth=7) is VoteOutcome.ERROR
+
+    def test_per_label_never_more_errors_than_worst_case(self):
+        worst = bft_voter()
+        per_label = bft_voter(AgreementModel.PER_LABEL)
+        cases = [
+            [1, 2, 3, 7],
+            [2, 2, 3, 7],
+            [2, 2, 2, 7],
+            [7, 7, 7, 7],
+            [1, 1, None, 7],
+        ]
+        for outputs in cases:
+            if per_label.decide(outputs, 7) is VoteOutcome.ERROR:
+                assert worst.decide(outputs, 7) is VoteOutcome.ERROR
+
+
+class TestRejuvenationScheme:
+    def test_six_version_threshold_four(self):
+        voter = Voter(VotingScheme.bft_with_rejuvenation(1, 1))
+        outputs = [7, 7, 7, 7, 1, None]
+        assert voter.decide(outputs, ground_truth=7) is VoteOutcome.CORRECT
+        outputs = [7, 7, 7, 1, 1, None]
+        assert voter.decide(outputs, ground_truth=7) is VoteOutcome.INCONCLUSIVE

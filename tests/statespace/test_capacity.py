@@ -1,0 +1,55 @@
+"""Capacity bounds interacting with reachability."""
+
+from repro.petri import NetBuilder
+from repro.statespace import tangible_reachability
+
+
+class TestCapacityBoundedReachability:
+    def test_capacity_truncates_state_space(self):
+        """A producer/consumer whose buffer capacity caps the states."""
+        builder = NetBuilder("buffer")
+        builder.place("Source", tokens=1)
+        builder.place("Buffer", capacity=3)
+        builder.exponential(
+            "produce", rate=1.0, inputs={"Source": 1}, outputs={"Source": 1, "Buffer": 1}
+        )
+        builder.exponential("consume", rate=2.0, inputs={"Buffer": 1})
+        net = builder.build()
+        graph = tangible_reachability(net)
+        # states: Buffer in {0,1,2,3} with Source=1
+        assert graph.n_states == 4
+        assert max(m["Buffer"] for m in graph.markings) == 3
+
+    def test_full_buffer_disables_producer(self):
+        builder = NetBuilder("buffer")
+        builder.place("Source", tokens=1)
+        builder.place("Buffer", tokens=2, capacity=2)
+        builder.exponential(
+            "produce", rate=1.0, inputs={"Source": 1}, outputs={"Source": 1, "Buffer": 1}
+        )
+        builder.exponential("consume", rate=2.0, inputs={"Buffer": 1})
+        net = builder.build()
+        marking = net.initial_marking()
+        assert not net.is_enabled(net.transitions["produce"], marking)
+        assert net.is_enabled(net.transitions["consume"], marking)
+
+    def test_capacity_survives_steady_state_solve(self):
+        from repro.dspn import solve_steady_state
+
+        builder = NetBuilder("mm1k")
+        builder.place("Source", tokens=1)
+        builder.place("Queue", capacity=5)
+        builder.exponential(
+            "arrive", rate=1.0, inputs={"Source": 1}, outputs={"Source": 1, "Queue": 1}
+        )
+        builder.exponential("serve", rate=1.5, inputs={"Queue": 1})
+        net = builder.build()
+        result = solve_steady_state(net)
+        # M/M/1/5 queue: p_n = (1-rho) rho^n / (1 - rho^7)... with K=5:
+        rho = 1.0 / 1.5
+        norm = sum(rho**n for n in range(6))
+        import numpy as np
+
+        for n in range(6):
+            measured = result.probability(lambda m, n=n: m["Queue"] == n)
+            assert np.isclose(measured, rho**n / norm, rtol=1e-9)

@@ -1,0 +1,83 @@
+"""Tests for reachability exploration and classification."""
+
+import pytest
+
+from repro.errors import StateSpaceError
+from repro.petri import NetBuilder
+from repro.statespace.reachability import explore
+
+
+class TestExplore:
+    def test_two_state_net(self, two_state_net):
+        graph = explore(two_state_net)
+        assert graph.n_states == 2
+        assert graph.vanishing == [False, False]
+
+    def test_edges_carry_rates(self, two_state_net):
+        graph = explore(two_state_net)
+        (edge,) = graph.edges[0]
+        assert edge.kind == "exponential"
+        assert edge.value == 0.01
+
+    def test_vanishing_classification(self, immediate_chain_net):
+        graph = explore(immediate_chain_net)
+        # A=1 and B=1 are vanishing, C=1 and D=1 tangible
+        assert sum(graph.vanishing) == 2
+        assert graph.n_states == 4
+
+    def test_immediate_priority_filters_competitors(self):
+        builder = NetBuilder("priority")
+        builder.place("A", tokens=1).place("B").place("C").place("D")
+        builder.immediate("high", priority=2, inputs={"A": 1}, outputs={"B": 1})
+        builder.immediate("low", priority=1, inputs={"A": 1}, outputs={"C": 1})
+        builder.exponential("park", rate=1.0, inputs={"B": 1}, outputs={"D": 1})
+        builder.exponential("park2", rate=1.0, inputs={"C": 1}, outputs={"D": 1})
+        net = builder.build()
+        graph = explore(net)
+        initial_edges = graph.edges[0]
+        assert [e.transition for e in initial_edges] == ["high"]
+
+    def test_deterministic_edges(self, clocked_net):
+        graph = explore(clocked_net)
+        kinds = {e.kind for edges in graph.edges for e in edges}
+        assert kinds == {"exponential", "deterministic"}
+
+    def test_max_states_bound(self):
+        builder = NetBuilder("unbounded")
+        builder.place("A", tokens=1)
+        builder.place("B")
+        # B grows without bound
+        builder.exponential("t", rate=1.0, inputs={"A": 1}, outputs={"A": 1, "B": 1})
+        net = builder.build()
+        with pytest.raises(StateSpaceError, match="exceeded"):
+            explore(net, max_states=50)
+
+    def test_absorbing_state_allowed(self):
+        builder = NetBuilder("absorbing")
+        builder.place("A", tokens=1).place("B")
+        builder.exponential("t", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+        net = builder.build()
+        graph = explore(net)
+        assert graph.n_states == 2
+        assert graph.edges[1] == []
+
+    def test_infinite_server_rate_in_edges(self):
+        from repro.petri import ServerSemantics
+
+        builder = NetBuilder("inf")
+        builder.place("A", tokens=3).place("B")
+        builder.exponential(
+            "t",
+            rate=1.0,
+            server=ServerSemantics.INFINITE,
+            inputs={"A": 1},
+            outputs={"B": 1},
+        )
+        net = builder.build()
+        graph = explore(net)
+        initial_edge = graph.edges[0][0]
+        assert initial_edge.value == 3.0
+
+    def test_states_indexed_in_discovery_order(self, two_state_net):
+        graph = explore(two_state_net)
+        assert graph.markings[graph.initial] == two_state_net.initial_marking()

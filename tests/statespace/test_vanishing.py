@@ -1,0 +1,108 @@
+"""Tests for vanishing-marking elimination."""
+
+import math
+
+import pytest
+
+from repro.errors import StateSpaceError
+from repro.petri import NetBuilder
+from repro.statespace import eliminate_vanishing, explore, tangible_reachability
+
+
+class TestElimination:
+    def test_no_vanishing_is_identity_like(self, two_state_net):
+        graph = tangible_reachability(two_state_net)
+        assert graph.n_states == 2
+        assert graph.initial_distribution == [1.0, 0.0]
+
+    def test_chain_collapses(self, immediate_chain_net):
+        graph = tangible_reachability(immediate_chain_net)
+        assert graph.n_states == 2
+        # initial marking A=1 resolves through B to tangible C
+        assert graph.initial_distribution == [1.0, 0.0]
+        assert graph.markings[0]["C"] == 1
+
+    def test_probabilistic_split_weights(self):
+        builder = NetBuilder("split")
+        builder.place("A", tokens=1).place("B").place("C")
+        builder.immediate("toB", weight=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.immediate("toC", weight=3.0, inputs={"A": 1}, outputs={"C": 1})
+        builder.exponential("loopB", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        builder.exponential("loopC", rate=1.0, inputs={"C": 1}, outputs={"A": 1})
+        net = builder.build()
+        graph = tangible_reachability(net)
+        assert graph.n_states == 2
+        distribution = dict(
+            zip((m.compact() for m in graph.markings), graph.initial_distribution)
+        )
+        assert math.isclose(distribution["B=1"], 0.25)
+        assert math.isclose(distribution["C=1"], 0.75)
+
+    def test_exponential_edge_targets_fold_vanishing(self):
+        builder = NetBuilder("fold")
+        builder.place("A", tokens=1).place("V").place("B").place("C")
+        builder.exponential("go", rate=2.0, inputs={"A": 1}, outputs={"V": 1})
+        builder.immediate("vb", weight=1.0, inputs={"V": 1}, outputs={"B": 1})
+        builder.immediate("vc", weight=1.0, inputs={"V": 1}, outputs={"C": 1})
+        builder.exponential("back1", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        builder.exponential("back2", rate=1.0, inputs={"C": 1}, outputs={"A": 1})
+        net = builder.build()
+        graph = tangible_reachability(net)
+        a_index = next(
+            i for i, m in enumerate(graph.markings) if m["A"] == 1
+        )
+        (edge,) = graph.exponential_edges[a_index]
+        assert edge.rate == 2.0
+        assert sorted(p for _, p in edge.targets) == [0.5, 0.5]
+
+    def test_vanishing_cycle_with_escape(self):
+        """Immediate ping-pong with an escape still absorbs correctly."""
+        builder = NetBuilder("loop-escape")
+        builder.place("A", tokens=1).place("B").place("Out")
+        builder.immediate("ab", weight=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.immediate("ba", weight=1.0, inputs={"B": 1}, outputs={"A": 1})
+        builder.immediate("escape", weight=1.0, inputs={"B": 1}, outputs={"Out": 1})
+        builder.exponential("park", rate=1.0, inputs={"Out": 1}, outputs={"A": 1})
+        net = builder.build()
+        graph = tangible_reachability(net)
+        assert graph.n_states == 1
+        assert graph.markings[0]["Out"] == 1
+
+    def test_vanishing_trap_raises(self):
+        builder = NetBuilder("trap")
+        builder.place("A", tokens=1).place("B")
+        builder.immediate("ab", inputs={"A": 1}, outputs={"B": 1})
+        builder.immediate("ba", inputs={"B": 1}, outputs={"A": 1})
+        net = builder.build()
+        with pytest.raises(StateSpaceError):
+            eliminate_vanishing(explore(net))
+
+    def test_marking_dependent_weights(self):
+        builder = NetBuilder("weighted")
+        builder.place("Sel", tokens=1).place("H", tokens=3).place("C", tokens=1)
+        builder.place("OutH").place("OutC")
+        builder.immediate(
+            "pickH",
+            weight=lambda m: m["H"] / (m["H"] + m["C"]),
+            inputs={"Sel": 1, "H": 1},
+            outputs={"OutH": 1},
+        )
+        builder.immediate(
+            "pickC",
+            weight=lambda m: m["C"] / (m["H"] + m["C"]),
+            inputs={"Sel": 1, "C": 1},
+            outputs={"OutC": 1},
+        )
+        builder.exponential("refill", rate=1.0, inputs={"OutH": 1}, outputs={"Sel": 1, "H": 1})
+        builder.exponential("refill2", rate=1.0, inputs={"OutC": 1}, outputs={"Sel": 1, "C": 1})
+        net = builder.build()
+        graph = tangible_reachability(net)
+        distribution = {
+            marking.compact(): probability
+            for marking, probability in zip(graph.markings, graph.initial_distribution)
+            if probability > 0
+        }
+        # picked H with probability 3/4
+        assert math.isclose(sum(distribution.values()), 1.0)
+        h_key = next(k for k in distribution if "OutH" in k)
+        assert math.isclose(distribution[h_key], 0.75)

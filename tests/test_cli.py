@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_six_version(self, capsys):
+        assert main(["analyze", "--six"]) == 0
+        output = capsys.readouterr().out
+        assert "E[R_sys] = 0.9430" in output
+        assert "voting threshold 4" in output
+
+    def test_four_version(self, capsys):
+        assert main(["analyze", "--four"]) == 0
+        assert "E[R_sys] = 0.8223" in capsys.readouterr().out
+
+    def test_custom_configuration(self, capsys):
+        assert main(
+            ["analyze", "--versions", "7", "--f", "2", "--top", "3"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "7-version system (no rejuvenation), f=2" in output
+        assert output.count("pi =") == 3
+
+    def test_parameter_override(self, capsys):
+        main(["analyze", "--six", "--p-prime", "0.8"])
+        high = capsys.readouterr().out
+        main(["analyze", "--six"])
+        default = capsys.readouterr().out
+        assert high != default
+
+    def test_missing_configuration_exits(self):
+        with pytest.raises(SystemExit):
+            main(["analyze"])
+
+    def test_invalid_configuration_reports_error(self, capsys):
+        # 4 modules cannot support rejuvenation with f=1, r=1
+        assert main(
+            ["analyze", "--versions", "4", "--rejuvenation"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        assert main(
+            ["sweep", "--four", "--parameter", "p", "--values", "0.05,0.1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "0.05" in output
+        assert "best:" in output
+
+    def test_unknown_parameter(self, capsys):
+        assert main(
+            ["sweep", "--four", "--parameter", "bogus", "--values", "1"]
+        ) == 2
+        assert "cannot sweep" in capsys.readouterr().err
+
+
+class TestExperiments:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "table2-defaults" in output
+        assert "fig4d" in output
+
+    def test_run_single(self, capsys):
+        assert main(["experiments", "table2-defaults", "--no-plot"]) == 0
+        assert "paper claims:" in capsys.readouterr().out
+
+    def test_unknown_id(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "valid ids" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_covers_analytic(self, capsys):
+        assert main(
+            [
+                "simulate", "--four",
+                "--horizon", "30000", "--warmup", "500",
+                "--replications", "4", "--seed", "3",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "analytic E[R]" in output
+        assert "simulated E[R]" in output
+
+
+class TestMetrics:
+    def test_four_version_metrics(self, capsys):
+        assert main(["metrics", "--four", "--mission", "7200"]) == 0
+        output = capsys.readouterr().out
+        assert "mean time to first quorum loss" in output
+        assert "expected misperceptions" in output
+        assert "mttc" in output
+
+    def test_rejuvenating_configuration_reports_error(self, capsys):
+        assert main(["metrics", "--six"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProvision:
+    def test_feasible_target(self, capsys):
+        assert main(["provision", "--four", "--target", "0.93"]) == 0
+        output = capsys.readouterr().out
+        assert "cheapest: N=6, f=1, rejuvenation" in output
+
+    def test_infeasible_target_returns_one(self, capsys):
+        assert main(["provision", "--four", "--target", "0.999"]) == 1
+        assert "no configuration" in capsys.readouterr().out
+
+    def test_cost_model_changes_winner(self, capsys):
+        # make rejuvenation machinery prohibitively expensive at a low target
+        main(
+            [
+                "provision", "--four", "--target", "0.5",
+                "--rejuvenation-cost", "100",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "cheapest: N=4, f=1, no rejuvenation" in output
+
+
+class TestExports:
+    def test_dot(self, capsys):
+        assert main(["dot", "--six"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("digraph")
+        assert "Trc" in output
+
+    def test_pnml_four(self, capsys):
+        assert main(["pnml", "--four"]) == 0
+        assert "<pnml" in capsys.readouterr().out
+
+    def test_pnml_refuses_rejuvenation(self):
+        with pytest.raises(SystemExit, match="clockless"):
+            main(["pnml", "--six"])

@@ -1,0 +1,46 @@
+"""Tests for repro.utils.ascii_plot."""
+
+import pytest
+
+from repro.utils.ascii_plot import line_plot
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        text = line_plot([0, 1, 2], {"up": [0.0, 0.5, 1.0]})
+        assert "*" in text
+        assert "*=up" in text
+
+    def test_two_series_distinct_markers(self):
+        text = line_plot([0, 1], {"a": [0, 1], "b": [1, 0]})
+        assert "*=a" in text
+        assert "o=b" in text
+
+    def test_monotone_series_extremes_on_correct_rows(self):
+        text = line_plot([0, 1, 2, 3], {"s": [0, 1, 2, 3]}, height=4, width=20)
+        rows = [line for line in text.splitlines() if "|" in line]
+        # max value appears on the top plot row, min on the bottom one
+        assert "*" in rows[0].split("|")[1]
+        assert "*" in rows[-1].split("|")[1]
+
+    def test_axis_labels_present(self):
+        text = line_plot([1, 2], {"s": [5, 6]}, x_label="time", title="T")
+        assert "time" in text
+        assert "T" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = line_plot([0, 1], {"s": [1.0, 1.0]})
+        assert "*" in text
+
+    def test_empty_x_raises(self):
+        with pytest.raises(ValueError):
+            line_plot([], {"s": []})
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            line_plot([0, 1], {"s": [1.0]})
+
+    def test_too_many_series_raises(self):
+        series = {f"s{i}": [0, 1] for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            line_plot([0, 1], series)

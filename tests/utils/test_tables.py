@@ -1,0 +1,43 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        # all rows share the same column start for "value"
+        value_column = lines[0].index("value")
+        assert lines[2][value_column:].startswith("1.0")
+
+    def test_float_format(self):
+        text = render_table(["v"], [[0.123456789]], float_format=".3f")
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+    def test_markdown_mode(self):
+        text = render_table(["a", "b"], [[1, 2]], markdown=True)
+        assert text.splitlines()[0].startswith("| a")
+        assert set(text.splitlines()[1].replace("|", "").strip()) <= {"-", " "}
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            render_table(["a", "b"], [[1]])
+
+    def test_bool_cells_render_as_bool_not_float(self):
+        text = render_table(["flag"], [[True]])
+        assert "True" in text
+
+    def test_integers_not_float_formatted(self):
+        text = render_table(["n"], [[42]])
+        assert "42" in text
+        assert "42.0" not in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,128 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_accepts_int(self):
+        assert check_positive("x", 3) == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ParameterError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_positive("x", -0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ParameterError, match="NaN"):
+            check_positive("x", float("nan"))
+
+    def test_rejects_infinity_by_default(self):
+        with pytest.raises(ParameterError, match="finite"):
+            check_positive("x", math.inf)
+
+    def test_allows_infinity_when_requested(self):
+        assert check_positive("x", math.inf, allow_inf=True) == math.inf
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError, match="bool"):
+            check_positive("x", True)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParameterError):
+            check_positive("x", "fast")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ParameterError, match="my_rate"):
+            check_positive("my_rate", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_non_negative("x", -1e-9)
+
+    def test_rejects_infinity_by_default(self):
+        with pytest.raises(ParameterError):
+            check_non_negative("x", math.inf)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ParameterError):
+            check_probability("p", value)
+
+
+class TestCheckFraction:
+    def test_accepts_one(self):
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            check_fraction("f", 0.0)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 2.0, 2.0, 3.0) == 2.0
+        assert check_in_range("x", 3.0, 2.0, 3.0) == 3.0
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ParameterError):
+            check_in_range("x", 2.0, 2.0, 3.0, inclusive=False)
+
+    def test_exclusive_accepts_interior(self):
+        assert check_in_range("x", 2.5, 2.0, 3.0, inclusive=False) == 2.5
+
+
+class TestIntChecks:
+    def test_positive_int(self):
+        assert check_positive_int("n", 4) == 4
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            check_positive_int("n", 0)
+
+    def test_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int("n", 0) == 0
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(ParameterError):
+            check_non_negative_int("n", 2.5)
+
+    def test_accepts_integral_float(self):
+        assert check_non_negative_int("n", 2.0) == 2
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            check_positive_int("n", True)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_non_negative_int("n", -1)
