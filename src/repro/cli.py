@@ -8,6 +8,7 @@ Usage (also available as ``python -m repro``)::
     repro experiments fig3 fig4a               # regenerate paper artifacts
     repro experiments --list
     repro simulate --six --horizon 100000      # Monte-Carlo cross-check
+    repro monitor --six --attack               # rejuvenation-policy shootout
     repro dot --six                            # Graphviz of the DSPN
     repro pnml --four                          # PNML of the clockless net
 
@@ -190,6 +191,55 @@ def _command_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_monitor(args: argparse.Namespace) -> int:
+    from repro.experiments.monitor import compare_policies
+    from repro.monitor.policies import POLICY_NAMES
+    from repro.utils.tables import render_table
+
+    policies = (
+        [name.strip() for name in args.policy.split(",")]
+        if args.policy
+        else list(POLICY_NAMES)
+    )
+    unknown = [name for name in policies if name not in POLICY_NAMES]
+    if unknown:
+        raise SystemExit(
+            f"unknown policy {unknown[0]!r}; valid: {', '.join(POLICY_NAMES)}"
+        )
+    runs = compare_policies(
+        _parameters_from(args),
+        policies=policies,
+        duration=args.horizon,
+        warmup=args.warmup,
+        request_period=args.request_period,
+        seed=args.seed,
+        attack=args.attack,
+        threshold_bound=args.threshold_bound,
+        detection_threshold=args.detection_threshold,
+    )
+    print(
+        render_table(
+            ["scenario", "policy", "E[R]", "rejuvenations", "false-trigger rate"],
+            [
+                [
+                    run.scenario,
+                    run.policy,
+                    run.reliability,
+                    run.summary.triggers,
+                    run.summary.false_trigger_rate,
+                ]
+                for run in runs
+            ],
+        )
+    )
+    for run in runs:
+        print()
+        print(f"-- {run.scenario} / {run.policy} "
+              f"(seed {'unseeded' if run.report.seed is None else run.report.seed})")
+        print(run.summary.render())
+    return 0
+
+
 def _command_provision(args: argparse.Namespace) -> int:
     from repro.analysis.provisioning import provisioning_options
     from repro.utils.tables import render_table
@@ -297,6 +347,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--request-rate", type=float, default=10.0, help="perception requests per second"
     )
     metrics.set_defaults(handler=_command_metrics)
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        help="compare rejuvenation policies under runtime monitoring "
+        "(equal budgets, one seed)",
+    )
+    _add_parameter_arguments(monitor)
+    monitor.add_argument(
+        "--policy",
+        help="comma-separated policy names (default: all of "
+        "periodic,threshold,targeted)",
+    )
+    monitor.add_argument("--horizon", type=float, default=20000.0)
+    monitor.add_argument("--warmup", type=float, default=0.0)
+    monitor.add_argument(
+        "--request-period", type=float, default=1.0,
+        help="seconds between perception requests",
+    )
+    monitor.add_argument("--seed", type=int, default=2023)
+    monitor.add_argument(
+        "--attack", action="store_true",
+        help="also run the periodic-burst attack scenario",
+    )
+    monitor.add_argument(
+        "--threshold-bound", type=float, default=0.9,
+        help="posterior bound of the threshold policy",
+    )
+    monitor.add_argument(
+        "--detection-threshold", type=float, default=0.5,
+        help="posterior bound above which a module counts as flagged",
+    )
+    monitor.set_defaults(handler=_command_monitor)
 
     provision = subparsers.add_parser(
         "provision", help="cheapest configuration meeting a reliability target"

@@ -1,0 +1,214 @@
+"""Policy comparison: blind periodic rejuvenation vs monitored policies.
+
+The paper's rejuvenation clock (Fig. 2b) is open-loop — every 600 s it
+rejuvenates up to ``r`` modules chosen uniformly at random, paying most
+of its budget on modules that were perfectly healthy.  The monitoring
+subsystem (:mod:`repro.monitor`) watches the voter's disagreement
+pattern instead and spends the *same* rejuvenation budget (a token
+bucket refilled at ``r`` per clock interval) on the modules its
+Bayesian filter actually suspects.
+
+This experiment runs the three policies under one seed and one budget,
+in two scenarios:
+
+* **steady** — the calibrated Table II fault rates, and
+* **attack** — the same rates modulated by periodic adversarial bursts
+  (8x compromise pressure for 1000 s out of every 5000 s), where a
+  blind clock wastes its budget exactly when it is scarcest.
+
+Reported per policy: empirical output reliability, rejuvenation count
+and false-trigger rate (fraction of rejuvenations spent on healthy
+modules), and the monitor's detection latency.  The periodic baseline
+is run with the monitor attached in passive mode, so its numbers are
+measured by the identical instrumentation — and its trajectory is
+bit-identical to an unmonitored run (see the determinism tests).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.experiments.report import ExperimentReport
+from repro.monitor.controller import MonitorController
+from repro.monitor.metrics import MonitorSummary
+from repro.monitor.policies import POLICY_NAMES, make_policy
+from repro.perception.parameters import PerceptionParameters
+from repro.simulation.campaigns import AttackCampaign
+from repro.simulation.runtime import PerceptionRuntime, RuntimeReport
+
+#: Default burst pattern of the attack scenario: one 1000 s burst of
+#: 8x compromise pressure every 5000 s.
+ATTACK_PERIOD = 5000.0
+ATTACK_BURST = 1000.0
+ATTACK_INTENSITY = 8.0
+
+
+@dataclass(frozen=True)
+class PolicyRun:
+    """One policy's measured outcome in one scenario."""
+
+    policy: str
+    scenario: str
+    report: RuntimeReport
+    summary: MonitorSummary
+
+    @property
+    def reliability(self) -> float:
+        return self.report.reliability_safe_skip
+
+
+def run_policy(
+    parameters: PerceptionParameters,
+    policy_name: str,
+    *,
+    duration: float,
+    warmup: float = 0.0,
+    request_period: float = 1.0,
+    seed: int | None = 2023,
+    campaign: AttackCampaign | None = None,
+    threshold_bound: float = 0.9,
+    detection_threshold: float = 0.5,
+    scenario: str = "steady",
+) -> PolicyRun:
+    """Run one policy under monitoring and collect its metrics."""
+    kwargs = {"bound": threshold_bound} if policy_name == "threshold" else {}
+    controller = MonitorController(
+        parameters,
+        make_policy(policy_name, **kwargs),
+        detection_threshold=detection_threshold,
+    )
+    runtime = PerceptionRuntime(
+        parameters,
+        request_period=request_period,
+        seed=seed,
+        campaign=campaign,
+        monitor=controller,
+    )
+    report = runtime.run(duration, warmup=warmup)
+    return PolicyRun(
+        policy=policy_name,
+        scenario=scenario,
+        report=report,
+        summary=controller.summary(),
+    )
+
+
+def compare_policies(
+    parameters: PerceptionParameters | None = None,
+    *,
+    policies: Sequence[str] = POLICY_NAMES,
+    duration: float = 20000.0,
+    warmup: float = 0.0,
+    request_period: float = 1.0,
+    seed: int | None = 2023,
+    attack: bool = True,
+    threshold_bound: float = 0.9,
+    detection_threshold: float = 0.5,
+) -> list[PolicyRun]:
+    """Run every policy in the steady (and optionally attack) scenario.
+
+    All runs share the seed, the request stream and the rejuvenation
+    budget; only the *selection* of rejuvenation victims differs.
+    """
+    parameters = parameters or PerceptionParameters.six_version_defaults()
+    scenarios: list[tuple[str, AttackCampaign | None]] = [("steady", None)]
+    if attack:
+        scenarios.append(
+            (
+                "attack",
+                AttackCampaign.periodic(
+                    period=ATTACK_PERIOD,
+                    burst_duration=ATTACK_BURST,
+                    intensity=ATTACK_INTENSITY,
+                    horizon=warmup + duration,
+                ),
+            )
+        )
+    return [
+        run_policy(
+            parameters,
+            policy_name,
+            duration=duration,
+            warmup=warmup,
+            request_period=request_period,
+            seed=seed,
+            campaign=campaign,
+            threshold_bound=threshold_bound,
+            detection_threshold=detection_threshold,
+            scenario=scenario,
+        )
+        for scenario, campaign in scenarios
+        for policy_name in policies
+    ]
+
+
+def _latency_cell(summary: MonitorSummary) -> "float | str":
+    if summary.mean_detection_latency is None:
+        return "n/a"
+    return summary.mean_detection_latency
+
+
+def run_monitor_policies() -> ExperimentReport:
+    """The registered ``monitor-policies`` experiment."""
+    runs = compare_policies()
+    rows = [
+        [
+            run.scenario,
+            run.policy,
+            run.reliability,
+            run.summary.triggers,
+            run.summary.false_trigger_rate,
+            _latency_cell(run.summary),
+            f"{run.summary.detected}/{run.summary.compromises}",
+        ]
+        for run in runs
+    ]
+
+    observations = []
+    for scenario in dict.fromkeys(run.scenario for run in runs):
+        scoped = [run for run in runs if run.scenario == scenario]
+        best = max(scoped, key=lambda run: run.reliability)
+        baseline = next(
+            (run for run in scoped if run.policy == "periodic"), scoped[0]
+        )
+        observations.append(
+            f"{scenario}: best policy is {best.policy!r} "
+            f"(R = {best.reliability:.5f} vs {baseline.reliability:.5f} "
+            f"for the blind periodic baseline, equal budgets)"
+        )
+        adaptive = [run for run in scoped if run.policy != "periodic"]
+        if adaptive and baseline.summary.triggers:
+            least_wasteful = min(
+                adaptive, key=lambda run: run.summary.false_trigger_rate
+            )
+            observations.append(
+                f"{scenario}: false-trigger rate "
+                f"{baseline.summary.false_trigger_rate:.2f} (periodic) vs "
+                f"{least_wasteful.summary.false_trigger_rate:.2f} "
+                f"({least_wasteful.policy})"
+            )
+
+    return ExperimentReport(
+        experiment_id="monitor-policies",
+        title="Adaptive rejuvenation policies vs the blind periodic clock "
+        "(equal budgets)",
+        headers=[
+            "scenario",
+            "policy",
+            "empirical E[R]",
+            "rejuvenations",
+            "false-trigger rate",
+            "mean detection (s)",
+            "detected",
+        ],
+        rows=rows,
+        paper_claims=[
+            "(Fig. 2b) the rejuvenation clock fires every 600 s and "
+            "rejuvenates up to r modules chosen without regard to their "
+            "actual state",
+            "(Fig. 3, Fig. 4) periodic rejuvenation raises E[R] over the "
+            "no-rejuvenation architecture at every studied interval",
+        ],
+        observations=observations,
+    )

@@ -17,6 +17,7 @@ from repro.experiments.downtime import run_downtime
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c, run_fig4d
 from repro.experiments.headline import run_headline
+from repro.experiments.monitor import run_monitor_policies
 from repro.experiments.phase import run_phase_diagram
 from repro.experiments.report import ExperimentReport
 from repro.experiments.scaling import run_scaling
@@ -37,6 +38,7 @@ _REGISTRY: dict[str, Callable[[], ExperimentReport]] = {
     "ablation-ticks": run_ablation_ticks,
     "ablation-threshold": run_ablation_threshold,
     "ablation-downtime": run_downtime,
+    "monitor-policies": run_monitor_policies,
 }
 
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)

@@ -1,0 +1,73 @@
+"""Runtime reliability monitoring and adaptive rejuvenation control.
+
+The paper's rejuvenation clock is open-loop: it fires every 1/γ and
+picks victims uniformly because the mechanism "cannot tell healthy from
+compromised apart" (Fig. 2c).  This package closes the loop over the
+executable runtime of :mod:`repro.simulation`:
+
+* :mod:`~repro.monitor.signals` — per-module disagreement statistics
+  over a sliding window of vote rounds (deviation-from-plurality
+  counts, winning margins);
+* :mod:`~repro.monitor.estimator` — an online Bayesian filter over each
+  module's hidden healthy/compromised state, with the DSPN's own rates
+  (Tc/Tf) as prior dynamics and the deviation flags as likelihood;
+* :mod:`~repro.monitor.policies` — pluggable rejuvenation policies:
+  the paper's blind :class:`PeriodicPolicy`, the posterior-ranked
+  :class:`TargetedPolicy` and the adaptive :class:`ThresholdPolicy`,
+  all on equal token-bucket budgets;
+* :mod:`~repro.monitor.controller` — the closed loop, attached to
+  :class:`~repro.simulation.runtime.PerceptionRuntime` via its observer
+  hooks;
+* :mod:`~repro.monitor.metrics` — detection latency, false-trigger
+  rate and rolling empirical reliability.
+
+Quickstart::
+
+    from repro.monitor import MonitorController, ThresholdPolicy
+    from repro.simulation import PerceptionRuntime
+
+    monitor = MonitorController(params, ThresholdPolicy(bound=0.9))
+    runtime = PerceptionRuntime(params, seed=7, monitor=monitor)
+    report = runtime.run(86400.0)
+    print(monitor.summary().render())
+"""
+
+from repro.monitor.controller import MonitorController
+from repro.monitor.estimator import (
+    HealthEstimator,
+    healthy_deviation_probability,
+    per_module_compromise_rate,
+)
+from repro.monitor.metrics import MonitorMetrics, MonitorSummary, TriggerRecord
+from repro.monitor.policies import (
+    POLICY_NAMES,
+    PeriodicPolicy,
+    PolicyView,
+    RejuvenationBudget,
+    RejuvenationPolicy,
+    TargetedPolicy,
+    ThresholdPolicy,
+    make_policy,
+)
+from repro.monitor.signals import DisagreementWindow, RoundSignal, round_signal
+
+__all__ = [
+    "DisagreementWindow",
+    "HealthEstimator",
+    "MonitorController",
+    "MonitorMetrics",
+    "MonitorSummary",
+    "POLICY_NAMES",
+    "PeriodicPolicy",
+    "PolicyView",
+    "RejuvenationBudget",
+    "RejuvenationPolicy",
+    "RoundSignal",
+    "TargetedPolicy",
+    "ThresholdPolicy",
+    "TriggerRecord",
+    "healthy_deviation_probability",
+    "make_policy",
+    "per_module_compromise_rate",
+    "round_signal",
+]

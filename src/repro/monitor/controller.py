@@ -1,0 +1,223 @@
+"""The closed monitoring loop around :class:`PerceptionRuntime`.
+
+:class:`MonitorController` is what the runtime's observer hooks talk
+to.  Per vote round it
+
+1. derives the round's disagreement signal from the voter's tally
+   (:mod:`repro.monitor.signals`),
+2. folds each participating module's deviation flag into the Bayesian
+   health filter (:mod:`repro.monitor.estimator`) — availability is
+   inferred purely from who produced an output, so the estimator path
+   is deployable as-is,
+3. reports threshold crossings to the metrics collector, and
+4. asks the policy whether to rejuvenate anybody *now*, clamped by the
+   token-bucket budget and guard g2.
+
+Clock ticks (the DSPN's Trc firings) accrue budget and give the policy
+its periodic decision point.  A *passive* policy
+(:class:`~repro.monitor.policies.PeriodicPolicy`) makes the controller
+a pure observer: the runtime keeps its built-in rejuvenator, consumes
+the identical RNG stream, and the trajectory is bit-identical to an
+unmonitored run — the baseline and the adaptive policies are therefore
+directly comparable under one seed.
+
+Ground-truth transitions stream into :class:`MonitorMetrics` only;
+decisions never see them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.monitor.estimator import HealthEstimator
+from repro.monitor.metrics import MonitorMetrics, MonitorSummary
+from repro.monitor.policies import (
+    PolicyView,
+    RejuvenationBudget,
+    RejuvenationPolicy,
+)
+from repro.monitor.signals import DisagreementWindow, round_signal
+from repro.perception.parameters import PerceptionParameters
+from repro.simulation.faults import FaultSemantics
+from repro.simulation.voter import VoteOutcome, VoteTally
+
+
+class MonitorController:
+    """Runtime reliability monitor and adaptive rejuvenation controller.
+
+    Parameters
+    ----------
+    parameters:
+        The system configuration (must match the runtime's).
+    policy:
+        The rejuvenation policy; passive policies observe only.
+    window_size:
+        Sliding-window length (vote rounds) for the disagreement
+        statistics.
+    detection_threshold:
+        Posterior bound above which a module counts as *flagged* for the
+        detection-latency metrics.
+    budget_cap:
+        Token-bucket cap for active policies (defaults to ``r``: no
+        hoarding beyond one interval's allowance).
+    semantics:
+        Fault-channel semantics of the runtime (prior-hazard scaling).
+    """
+
+    def __init__(
+        self,
+        parameters: PerceptionParameters,
+        policy: RejuvenationPolicy,
+        *,
+        window_size: int = 256,
+        detection_threshold: float = 0.5,
+        budget_cap: int | None = None,
+        semantics: FaultSemantics = FaultSemantics.CHANNEL,
+        estimator: HealthEstimator | None = None,
+        metrics: MonitorMetrics | None = None,
+    ) -> None:
+        if not policy.passive and not parameters.rejuvenation:
+            raise SimulationError(
+                f"policy {policy.name!r} drives the rejuvenation clock but the "
+                "configuration has rejuvenation disabled"
+            )
+        self.parameters = parameters
+        self.policy = policy
+        self.window = DisagreementWindow(parameters.n_modules, window_size)
+        self.estimator = estimator or HealthEstimator(
+            parameters, semantics=semantics
+        )
+        self.metrics = metrics or MonitorMetrics(
+            detection_threshold=detection_threshold
+        )
+        self.budget = RejuvenationBudget(parameters.r, budget_cap)
+        self._available = [True] * parameters.n_modules
+
+    @property
+    def drives_clock(self) -> bool:
+        """Whether the controller replaces the runtime's rejuvenator."""
+        return not self.policy.passive
+
+    def begin_run(self) -> None:
+        """Reset all monitoring state (called by the runtime at t=0)."""
+        self.window.reset()
+        self.estimator.reset()
+        self.metrics.reset()
+        self.budget.reset()
+        self._available = [True] * self.parameters.n_modules
+
+    # ------------------------------------------------------------------
+    # observer hooks (called by PerceptionRuntime)
+    # ------------------------------------------------------------------
+    def observe_round(
+        self,
+        now: float,
+        outputs: "list[int | None]",
+        tally: VoteTally,
+        outcome: VoteOutcome,
+    ) -> list[int]:
+        """Fold one vote round in; return module ids to rejuvenate now."""
+        signal = round_signal(now, outputs, tally)
+        self.window.observe(signal)
+        self._sync_availability(now, [output is not None for output in outputs])
+        threshold = self.metrics.detection_threshold
+        for module_id, output in enumerate(outputs):
+            if output is None:
+                continue
+            before = self.estimator.probability_compromised(module_id)
+            after = self.estimator.update(
+                module_id, signal.deviated[module_id], now
+            )
+            if before < threshold <= after:
+                self.metrics.record_flag(now, module_id)
+            elif after < threshold <= before:
+                self.metrics.record_unflag(module_id)
+        self.metrics.record_round(outcome)
+        if not self.drives_clock:
+            return []
+        return self._issue(self.policy.on_round(self._view(now)), now)
+
+    def on_tick(
+        self, now: float, operational: "list[bool] | None" = None
+    ) -> list[int]:
+        """A rejuvenation-clock tick: accrue budget, consult the policy.
+
+        ``operational`` is the runtime's current per-module availability
+        (which replicas are up is observable in deployment too); passing
+        it keeps tick-time decisions fresh when faults occurred since
+        the last vote round.
+        """
+        self.budget.accrue()
+        if operational is not None:
+            self._sync_availability(now, operational)
+        if not self.drives_clock:
+            return []
+        return self._issue(self.policy.on_tick(self._view(now)), now)
+
+    def notify_transition(self, now: float, module_id: int, event: str) -> None:
+        """Ground-truth state transition (metrics instrumentation only)."""
+        self.metrics.record_transition(now, module_id, event)
+
+    def summary(self) -> MonitorSummary:
+        return self.metrics.summary()
+
+    # ------------------------------------------------------------------
+    # decision plumbing
+    # ------------------------------------------------------------------
+    def _sync_availability(self, now: float, operational: list[bool]) -> None:
+        """Reconcile observed availability with the filter's state.
+
+        Downtime entries and exits are observable (a module that is
+        failed or rejuvenating produces no outputs), and every exit
+        returns the module healthy (transitions Tr/Trj), so reappearance
+        resets the posterior.
+        """
+        for module_id, is_up in enumerate(operational):
+            if self._available[module_id] and not is_up:
+                self._available[module_id] = False
+                self.estimator.observe_unavailable(module_id, now)
+            elif not self._available[module_id] and is_up:
+                self._available[module_id] = True
+                self.estimator.observe_return(module_id, now)
+
+    def _view(self, now: float) -> PolicyView:
+        suspicion = {
+            module_id: (
+                self.estimator.probability_compromised(module_id, now)
+                if self._available[module_id]
+                else None
+            )
+            for module_id in range(self.parameters.n_modules)
+        }
+        staleness = {
+            module_id: now - self.estimator.last_reset(module_id)
+            for module_id in range(self.parameters.n_modules)
+        }
+        down = sum(1 for available in self._available if not available)
+        return PolicyView(
+            now=now,
+            suspicion=suspicion,
+            staleness=staleness,
+            budget_tokens=self.budget.tokens,
+            capacity=max(0, self.parameters.r - down),
+        )
+
+    def _issue(self, commands: list[int], now: float) -> list[int]:
+        """Validate and account for the policy's commands."""
+        issued: list[int] = []
+        for module_id in commands:
+            if not self._available[module_id]:
+                raise SimulationError(
+                    f"policy {self.policy.name!r} selected unavailable "
+                    f"module {module_id}"
+                )
+            if self.budget.tokens == 0:
+                raise SimulationError(
+                    f"policy {self.policy.name!r} overspent its budget"
+                )
+            self.budget.spend()
+            # the runtime starts the rejuvenation immediately: reflect
+            # the module going down without waiting for the next round
+            self._available[module_id] = False
+            self.estimator.observe_unavailable(module_id, now)
+            issued.append(module_id)
+        return issued

@@ -1,0 +1,232 @@
+"""Online Bayesian filtering of each module's hidden health state.
+
+Every operational module is either ``HEALTHY`` or ``COMPROMISED``; the
+voter cannot see which, but the two states have sharply different
+deviation behaviour (§III: inaccuracy p versus p' > p).  This module
+maintains, per module, the posterior probability of being compromised
+given the observable vote history — a two-state hidden-Markov filter
+whose ingredients are exactly the quantities the analytic model already
+uses:
+
+* **prior dynamics** — the compromise rate λc and failure rate λ of
+  :class:`~repro.perception.parameters.PerceptionParameters`, i.e. the
+  same rates fed to :func:`repro.dspn.ctmc_builder.build_ctmc` through
+  the DSPN transitions Tc/Tf.  Between observations the belief drifts
+  towards "compromised" at the hazard of Tc, discounted by Tf's exit to
+  the observable FAILED state;
+* **likelihood** — the per-round deviation flags produced by
+  :mod:`repro.monitor.signals`.  A deviation is ~``p'`` likely for a
+  compromised module and ~``p_dev_healthy`` for a healthy one, so each
+  round multiplies the posterior odds by the corresponding ratio
+  (sequential Bernoulli updating; over a window this composes to the
+  binomial likelihood of the window's deviation count).
+
+Unavailability (FAILED/REJUVENATING) is directly observable — the
+module stops producing outputs — and both exits return the module
+HEALTHY (transitions Tr and Trj), so the filter resets the belief to
+zero when a module reappears.  No ground truth is ever consulted: the
+filter sees exactly what a deployed monitor would see.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.perception.parameters import PerceptionParameters
+from repro.simulation.faults import FaultSemantics
+from repro.utils.validation import check_probability
+
+
+def healthy_deviation_probability(parameters: PerceptionParameters) -> float:
+    """Marginal per-round deviation probability of a healthy module.
+
+    Under the normalized dependent model a healthy-error event occurs
+    with probability p; the erring set then contains the leader (chosen
+    uniformly among the h healthy modules) plus each other healthy
+    module with probability α.  With h ≈ N the per-module marginal is
+
+        p · (1/N + (1 - 1/N) · α).
+
+    This ignores second-order effects (plurality flips during
+    common-mode bursts, fewer healthy modules when some are down); the
+    filter only needs the healthy/compromised likelihoods to be well
+    separated, not exact.
+    """
+    n = parameters.n_modules
+    return parameters.p * (1.0 / n + (1.0 - 1.0 / n) * parameters.alpha)
+
+
+def per_module_compromise_rate(
+    parameters: PerceptionParameters,
+    semantics: FaultSemantics = FaultSemantics.CHANNEL,
+) -> float:
+    """The hazard of one module becoming compromised.
+
+    Under ``CHANNEL`` semantics (the calibrated single-server reading)
+    the pool shares one compromise channel of rate λc that picks a
+    victim uniformly, so each module sees ≈ λc/N; under ``PER_MODULE``
+    every module carries its own λc clock.
+    """
+    if semantics is FaultSemantics.PER_MODULE:
+        return parameters.lambda_c
+    return parameters.lambda_c / parameters.n_modules
+
+
+@dataclass
+class _ModuleBelief:
+    """Filter state for one module."""
+
+    #: P(compromised | observations); ``None`` while unavailable.
+    probability: "float | None" = 0.0
+    last_update: float = 0.0
+    #: Time of the last observable reset (deployment, repair or
+    #: rejuvenation return) — policies use it as a staleness tie-break.
+    last_reset: float = 0.0
+
+
+class HealthEstimator:
+    """Per-module two-state Bayesian filter over {healthy, compromised}.
+
+    Parameters
+    ----------
+    parameters:
+        The system configuration; supplies the prior dynamics (λc, λ)
+        and the default likelihoods (p, p', α).
+    semantics:
+        Fault-channel semantics used to derive the per-module compromise
+        hazard (must match the runtime's).
+    p_deviate_healthy / p_deviate_compromised:
+        Optional overrides of the Bernoulli likelihoods.
+    """
+
+    def __init__(
+        self,
+        parameters: PerceptionParameters,
+        *,
+        semantics: FaultSemantics = FaultSemantics.CHANNEL,
+        p_deviate_healthy: float | None = None,
+        p_deviate_compromised: float | None = None,
+    ) -> None:
+        self.parameters = parameters
+        self.compromise_rate = per_module_compromise_rate(parameters, semantics)
+        self.failure_rate = parameters.lambda_f
+        self.p_deviate_healthy = check_probability(
+            "p_deviate_healthy",
+            p_deviate_healthy
+            if p_deviate_healthy is not None
+            else healthy_deviation_probability(parameters),
+        )
+        self.p_deviate_compromised = check_probability(
+            "p_deviate_compromised",
+            p_deviate_compromised
+            if p_deviate_compromised is not None
+            else parameters.p_prime,
+        )
+        if self.p_deviate_compromised <= self.p_deviate_healthy:
+            raise SimulationError(
+                "compromised modules must deviate more often than healthy "
+                f"ones ({self.p_deviate_compromised} <= {self.p_deviate_healthy}); "
+                "the deviation signal carries no information otherwise"
+            )
+        self._beliefs = [_ModuleBelief() for _ in range(parameters.n_modules)]
+
+    def reset(self) -> None:
+        """Fresh deployment: all modules healthy at time zero."""
+        self._beliefs = [_ModuleBelief() for _ in range(self.parameters.n_modules)]
+
+    # ------------------------------------------------------------------
+    # prediction (prior dynamics)
+    # ------------------------------------------------------------------
+    def _predict(self, belief: _ModuleBelief, now: float) -> None:
+        """Propagate the belief from its last update to ``now``.
+
+        Over a step dt the healthy mass leaks to compromised at the Tc
+        hazard, while compromised mass exits to the *observable* FAILED
+        state at the Tf hazard; conditioning on the module still being
+        operational renormalizes the two:
+
+            c' ∝ c·e^{-λ·dt} + h·(1 - e^{-λc·dt}),   h' ∝ h·e^{-λc·dt}.
+
+        (Newly compromised mass failing within the same step is a
+        second-order term at Table II rates and is ignored.)
+        """
+        dt = now - belief.last_update
+        if dt < 0:
+            raise SimulationError(f"time ran backwards: dt={dt}")
+        belief.last_update = now
+        if dt == 0.0 or belief.probability is None:
+            return
+        c = belief.probability
+        h = 1.0 - c
+        leak = 1.0 - math.exp(-self.compromise_rate * dt)
+        c_next = c * math.exp(-self.failure_rate * dt) + h * leak
+        h_next = h * (1.0 - leak)
+        belief.probability = c_next / (c_next + h_next)
+
+    # ------------------------------------------------------------------
+    # observation updates
+    # ------------------------------------------------------------------
+    def update(self, module_id: int, deviated: bool, now: float) -> float:
+        """Fold one round's deviation flag into the module's posterior.
+
+        Returns the updated P(compromised).
+        """
+        belief = self._beliefs[module_id]
+        if belief.probability is None:
+            raise SimulationError(
+                f"module {module_id} is unavailable; no vote to fold in"
+            )
+        self._predict(belief, now)
+        c = belief.probability
+        if deviated:
+            numerator = c * self.p_deviate_compromised
+            denominator = numerator + (1.0 - c) * self.p_deviate_healthy
+        else:
+            numerator = c * (1.0 - self.p_deviate_compromised)
+            denominator = numerator + (1.0 - c) * (1.0 - self.p_deviate_healthy)
+        belief.probability = numerator / denominator
+        return belief.probability
+
+    def observe_unavailable(self, module_id: int, now: float) -> None:
+        """The module stopped producing outputs (failed or rejuvenating)."""
+        belief = self._beliefs[module_id]
+        belief.probability = None
+        belief.last_update = now
+
+    def observe_return(self, module_id: int, now: float) -> None:
+        """The module resumed output after downtime.
+
+        Both exits from unavailability (repair Tr, rejuvenation Trj)
+        return the module HEALTHY, so the posterior restarts at zero.
+        """
+        belief = self._beliefs[module_id]
+        belief.probability = 0.0
+        belief.last_update = now
+        belief.last_reset = now
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def probability_compromised(self, module_id: int, now: float | None = None) -> "float | None":
+        """Current posterior P(compromised), ``None`` while unavailable.
+
+        With ``now`` given, the prior dynamics are propagated up to
+        ``now`` first (so queries between rounds stay fresh).
+        """
+        belief = self._beliefs[module_id]
+        if now is not None and belief.probability is not None:
+            self._predict(belief, now)
+        return belief.probability
+
+    def last_reset(self, module_id: int) -> float:
+        """Time of the module's last observable return to HEALTHY."""
+        return self._beliefs[module_id].last_reset
+
+    def suspicion(self, now: float | None = None) -> dict[int, "float | None"]:
+        """Posterior per module id (``None`` entries are unavailable)."""
+        return {
+            module_id: self.probability_compromised(module_id, now)
+            for module_id in range(self.parameters.n_modules)
+        }

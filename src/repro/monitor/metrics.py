@@ -1,0 +1,231 @@
+"""Monitoring quality metrics: detection latency, false triggers, rolling R.
+
+The estimator and policies act on observables only; judging *how well*
+they act needs the ground truth the simulation happens to know.  The
+runtime therefore streams its actual state transitions into this module
+(and nowhere else): :class:`MonitorMetrics` is pure instrumentation, a
+one-way sink that never feeds back into decisions.
+
+Three families of measurements come out:
+
+* **detection** — for every actual compromise, the delay until the
+  estimator's posterior first crossed the detection threshold for that
+  module; compromises that ended (failed, repaired, rejuvenated)
+  before detection count as *censored*, and threshold crossings on
+  healthy modules count as *false alarms*;
+* **triggering** — every rejuvenation start, attributed to whether the
+  victim really was compromised; the false-trigger rate is the fraction
+  of rejuvenations wasted on healthy modules (the paper's blind policy
+  pays exactly this price);
+* **reliability** — a rolling empirical output reliability over the
+  last ``reliability_window`` rounds plus the cumulative rate, directly
+  comparable to the analytic E[R_sys].
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.simulation.voter import VoteOutcome
+from repro.utils.validation import check_positive_int, check_probability
+
+
+@dataclass(frozen=True)
+class TriggerRecord:
+    """One rejuvenation start, with its ground-truth attribution."""
+
+    time: float
+    module_id: int
+    was_compromised: bool
+
+
+@dataclass(frozen=True)
+class MonitorSummary:
+    """Aggregated monitoring metrics of one run.
+
+    ``mean_detection_latency`` is ``None`` when nothing was detected
+    (e.g. no compromise occurred, or the policy rejuvenated every victim
+    before the posterior crossed the threshold).
+    """
+
+    compromises: int
+    detected: int
+    censored: int
+    false_alarms: int
+    mean_detection_latency: "float | None"
+    max_detection_latency: "float | None"
+    triggers: int
+    false_triggers: int
+    rounds: int
+    errors: int
+    rolling_reliability: float
+    empirical_reliability: float
+
+    @property
+    def false_trigger_rate(self) -> float:
+        """Fraction of rejuvenations spent on actually-healthy modules."""
+        return self.false_triggers / self.triggers if self.triggers else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of compromises detected before they ended."""
+        return self.detected / self.compromises if self.compromises else 0.0
+
+    def render(self) -> str:
+        """Human-readable one-block summary."""
+        latency = (
+            f"{self.mean_detection_latency:.1f} s"
+            if self.mean_detection_latency is not None
+            else "n/a"
+        )
+        return "\n".join(
+            [
+                f"compromises          : {self.compromises} "
+                f"({self.detected} detected, {self.censored} censored)",
+                f"mean detection delay : {latency}",
+                f"false alarms         : {self.false_alarms}",
+                f"rejuvenations        : {self.triggers} "
+                f"({self.false_triggers} on healthy modules, "
+                f"rate {self.false_trigger_rate:.2f})",
+                f"rolling reliability  : {self.rolling_reliability:.5f} "
+                f"(cumulative {self.empirical_reliability:.5f} "
+                f"over {self.rounds} rounds)",
+            ]
+        )
+
+
+class MonitorMetrics:
+    """Streaming collector for the monitoring layer's quality metrics."""
+
+    def __init__(
+        self,
+        *,
+        detection_threshold: float = 0.5,
+        reliability_window: int = 1000,
+    ) -> None:
+        self.detection_threshold = check_probability(
+            "detection_threshold", detection_threshold
+        )
+        self.reliability_window = check_positive_int(
+            "reliability_window", reliability_window
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        self.detection_latencies: list[float] = []
+        self.censored = 0
+        self.false_alarms = 0
+        self.compromises = 0
+        self.triggers: list[TriggerRecord] = []
+        self.rounds = 0
+        self.errors = 0
+        self._recent: deque[bool] = deque(maxlen=self.reliability_window)
+        self._recent_errors = 0
+        # ground-truth bookkeeping
+        self._compromised_since: dict[int, float] = {}
+        self._flagged: set[int] = set()
+        self._detected: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # ground-truth transitions (from the runtime's observer hook)
+    # ------------------------------------------------------------------
+    def record_transition(self, now: float, module_id: int, event: str) -> None:
+        """Fold one actual state transition into the bookkeeping.
+
+        ``event`` is the runtime's transition kind: ``compromise``,
+        ``fail``, ``repair``, ``rejuvenation-start`` or
+        ``rejuvenation-done``.
+        """
+        if event == "compromise":
+            self.compromises += 1
+            if module_id in self._flagged:
+                # the filter was already (rightly or wrongly) suspicious;
+                # the compromise is detected the moment it happens
+                self.detection_latencies.append(0.0)
+                self._detected.add(module_id)
+            else:
+                self._compromised_since[module_id] = now
+        elif event in ("fail", "rejuvenation-start"):
+            if event == "rejuvenation-start":
+                self.triggers.append(
+                    TriggerRecord(
+                        time=now,
+                        module_id=module_id,
+                        was_compromised=module_id in self._compromised_since
+                        or self._was_detected_compromised(module_id),
+                    )
+                )
+            if self._compromised_since.pop(module_id, None) is not None:
+                self.censored += 1
+            self._flagged.discard(module_id)
+            self._detected.discard(module_id)
+        elif event in ("repair", "rejuvenation-done"):
+            # the module returns healthy; stale flags would misattribute
+            # the next compromise
+            self._compromised_since.pop(module_id, None)
+            self._flagged.discard(module_id)
+            self._detected.discard(module_id)
+
+    def _was_detected_compromised(self, module_id: int) -> bool:
+        return module_id in self._detected
+
+    # ------------------------------------------------------------------
+    # estimator flags (observable side)
+    # ------------------------------------------------------------------
+    def record_flag(self, now: float, module_id: int) -> None:
+        """The posterior crossed the detection threshold upwards."""
+        if module_id in self._flagged:
+            return
+        self._flagged.add(module_id)
+        since = self._compromised_since.pop(module_id, None)
+        if since is not None:
+            self.detection_latencies.append(now - since)
+            self._detected.add(module_id)
+        else:
+            self.false_alarms += 1
+
+    def record_unflag(self, module_id: int) -> None:
+        """The posterior dropped back below the threshold."""
+        self._flagged.discard(module_id)
+
+    # ------------------------------------------------------------------
+    # per-round reliability
+    # ------------------------------------------------------------------
+    def record_round(self, outcome: VoteOutcome) -> None:
+        self.rounds += 1
+        is_error = outcome is VoteOutcome.ERROR
+        self.errors += is_error
+        if len(self._recent) == self._recent.maxlen:
+            self._recent_errors -= self._recent[0]
+        self._recent.append(is_error)
+        self._recent_errors += is_error
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def summary(self) -> MonitorSummary:
+        latencies = self.detection_latencies
+        false_triggers = sum(
+            1 for trigger in self.triggers if not trigger.was_compromised
+        )
+        rolling = (
+            1.0 - self._recent_errors / len(self._recent) if self._recent else 1.0
+        )
+        cumulative = 1.0 - self.errors / self.rounds if self.rounds else 1.0
+        return MonitorSummary(
+            compromises=self.compromises,
+            detected=len(latencies),
+            censored=self.censored,
+            false_alarms=self.false_alarms,
+            mean_detection_latency=(
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+            max_detection_latency=max(latencies) if latencies else None,
+            triggers=len(self.triggers),
+            false_triggers=false_triggers,
+            rounds=self.rounds,
+            errors=self.errors,
+            rolling_reliability=rolling,
+            empirical_reliability=cumulative,
+        )

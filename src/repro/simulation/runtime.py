@@ -16,6 +16,15 @@ The empirical output reliability over the run,
 is directly comparable with the analytic E[R_sys] of
 :func:`repro.perception.evaluation.evaluate` — the integration tests
 assert agreement within sampling error.
+
+A :class:`~repro.monitor.controller.MonitorController` can be attached
+via the ``monitor`` argument.  The runtime then feeds it every vote
+round and every module-state transition through observer hooks, and —
+when the controller's policy is active — executes the rejuvenation
+commands it returns instead of running the built-in periodic clock.
+With a *passive* policy the monitor observes without perturbing the
+event or RNG streams, so monitored and unmonitored runs with the same
+seed produce identical traces.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +44,10 @@ from repro.simulation.rejuvenator import Rejuvenator
 from repro.simulation.trace import StateOccupancy
 from repro.simulation.voter import AgreementModel, VoteOutcome, Voter
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.monitor.controller import MonitorController
+    from repro.simulation.campaigns import AttackCampaign
 
 
 @dataclass(frozen=True)
@@ -58,6 +72,9 @@ class RuntimeReport:
     longest_error_burst: int = 0
     #: Histogram {burst_length: count} of maximal consecutive-error runs.
     error_bursts: dict[int, int] | None = None
+    #: RNG seed the runtime was constructed with (``None`` means the
+    #: run is not reproducible); recorded so traces are auditable.
+    seed: int | None = None
 
     @property
     def reliability_safe_skip(self) -> float:
@@ -84,6 +101,10 @@ class PerceptionRuntime:
         Voting agreement model (worst-case matches the analytic model).
     fault_semantics:
         Channel (single-server, calibrated) or per-module scaling.
+    monitor:
+        Optional :class:`~repro.monitor.controller.MonitorController`
+        observing every round and transition; active policies take over
+        the rejuvenation clock.
     """
 
     def __init__(
@@ -96,13 +117,27 @@ class PerceptionRuntime:
         n_labels: int = 43,
         seed: int | None = None,
         campaign: "AttackCampaign | None" = None,
+        monitor: "MonitorController | None" = None,
     ) -> None:
         self.parameters = parameters
         self.request_period = check_positive("request_period", request_period)
         if n_labels < 2:
             raise SimulationError(f"need >= 2 labels, got {n_labels}")
         self.n_labels = int(n_labels)
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
+        self.monitor = monitor
+        if monitor is not None:
+            if monitor.parameters.n_modules != parameters.n_modules:
+                raise SimulationError(
+                    f"monitor expects {monitor.parameters.n_modules} modules, "
+                    f"runtime has {parameters.n_modules}"
+                )
+            if monitor.drives_clock and not parameters.rejuvenation:
+                raise SimulationError(
+                    "an active monitoring policy needs the rejuvenation "
+                    "machinery; enable parameters.rejuvenation"
+                )
         self.modules = [MLModule(i) for i in range(parameters.n_modules)]
         self.injector = FaultInjector(
             lambda_c=parameters.lambda_c,
@@ -202,8 +237,11 @@ class PerceptionRuntime:
         end = warmup + duration
         counter = itertools.count()
         queue: list[tuple[float, int, str, object]] = []
-        occupancy = StateOccupancy() if collect_occupancy else None
+        occupancy = StateOccupancy(seed=self.seed) if collect_occupancy else None
         occupancy_clock = warmup
+        if self.monitor is not None:
+            self.monitor.begin_run()
+        monitor_drives = self.monitor is not None and self.monitor.drives_clock
 
         def record_dwell(up_to: float) -> None:
             nonlocal occupancy_clock
@@ -223,7 +261,12 @@ class PerceptionRuntime:
         push(self.request_period, "request")
         self._schedule_fault(push, 0.0)
         if self.rejuvenator is not None:
-            push(self.rejuvenator.next_tick_after(0.0), "tick")
+            # an active monitor replaces the built-in clock: same tick
+            # grid, but selection/timing decisions come from the policy
+            push(
+                self.rejuvenator.next_tick_after(0.0),
+                "monitor-tick" if monitor_drives else "tick",
+            )
         if self.campaign is not None:
             for boundary in self.campaign.boundaries():
                 if 0.0 < boundary <= end:
@@ -249,7 +292,12 @@ class PerceptionRuntime:
                 record_dwell(now)
             if kind == "request":
                 truth = int(self.rng.integers(self.n_labels))
-                outcome = self.voter.decide(self._module_outputs(truth), truth)
+                outputs = self._module_outputs(truth)
+                if self.monitor is None:
+                    outcome = self.voter.decide(outputs, truth)
+                else:
+                    tally = self.voter.tally(outputs, truth)
+                    outcome = self.voter.classify(tally)
                 if now > warmup:
                     requests += 1
                     if outcome is VoteOutcome.CORRECT:
@@ -261,13 +309,21 @@ class PerceptionRuntime:
                     else:
                         inconclusive += 1
                         close_burst()
+                if self.monitor is not None:
+                    commands = self.monitor.observe_round(
+                        now, outputs, tally, outcome
+                    )
+                    if commands:
+                        record_dwell(now)
+                        self._start_commanded(push, now, commands)
                 push(now + self.request_period, "request")
             elif kind == "fault":
                 event_kind, version = payload  # type: ignore[misc]
                 if version != self._fault_version:
                     continue  # superseded by a resample after a state change
-                self.injector.apply(event_kind, self.modules, self.rng)
-                if self.rejuvenator is not None:
+                module = self.injector.apply(event_kind, self.modules, self.rng)
+                self._notify(now, module, event_kind)
+                if self.rejuvenator is not None and not monitor_drives:
                     started = self.rejuvenator.apply_pending(self.modules, self.rng)
                     self._schedule_completion(push, now, started)
                 self._schedule_fault(push, now)
@@ -278,14 +334,22 @@ class PerceptionRuntime:
                 push(self.rejuvenator.next_tick_after(now), "tick")
                 if started:
                     self._schedule_fault(push, now)
+            elif kind == "monitor-tick":
+                assert self.monitor is not None and self.rejuvenator is not None
+                commands = self.monitor.on_tick(
+                    now, [m.is_operational for m in self.modules]
+                )
+                self._start_commanded(push, now, commands)
+                push(self.rejuvenator.next_tick_after(now), "monitor-tick")
             elif kind == "campaign-boundary":
                 # the compromise rate just changed: redraw the fault event
                 self._schedule_fault(push, now)
             elif kind == "rejuvenation-done":
-                module: MLModule = payload  # type: ignore[assignment]
+                module = payload  # type: ignore[assignment]
                 if module.state is ModuleState.REJUVENATING:
                     module.finish_rejuvenation()
-                if self.rejuvenator is not None:
+                    self._notify(now, module, "rejuvenation-done")
+                if self.rejuvenator is not None and not monitor_drives:
                     started = self.rejuvenator.apply_pending(self.modules, self.rng)
                     self._schedule_completion(push, now, started)
                 self._schedule_fault(push, now)
@@ -303,6 +367,7 @@ class PerceptionRuntime:
             occupancy=occupancy,
             longest_error_burst=max(bursts, default=0),
             error_bursts=bursts,
+            seed=self.seed,
         )
 
     # ------------------------------------------------------------------
@@ -331,6 +396,7 @@ class PerceptionRuntime:
 
     def _schedule_completion(self, push, now: float, started: list[MLModule]) -> None:
         for module in started:
+            self._notify(now, module, "rejuvenation-start")
             batch = sum(
                 1 for m in self.modules if m.state is ModuleState.REJUVENATING
             )
@@ -339,3 +405,29 @@ class PerceptionRuntime:
                 "rejuvenation-done",
                 module,
             )
+
+    def _start_commanded(self, push, now: float, commands: list[int]) -> None:
+        """Execute the monitor's rejuvenation commands.
+
+        The controller already enforced the budget; the runtime enforces
+        guard g2 (never more than ``r`` modules failed or rejuvenating)
+        and operational state as the final authority, silently dropping
+        commands the guard forbids.
+        """
+        started: list[MLModule] = []
+        for module_id in commands:
+            if self.rejuvenator._budget_used(self.modules) >= self.parameters.r:
+                break
+            module = self.modules[module_id]
+            if not module.is_operational:
+                continue
+            module.start_rejuvenation()
+            started.append(module)
+        self._schedule_completion(push, now, started)
+        if started:
+            self._schedule_fault(push, now)
+
+    def _notify(self, now: float, module: MLModule, event: str) -> None:
+        """Stream a ground-truth transition to the attached monitor."""
+        if self.monitor is not None:
+            self.monitor.notify_transition(now, module.module_id, event)

@@ -20,10 +20,16 @@ from repro.utils.tables import render_table
 
 @dataclass
 class StateOccupancy:
-    """Accumulated dwell time per (healthy, compromised, unavailable) census."""
+    """Accumulated dwell time per (healthy, compromised, unavailable) census.
+
+    ``seed`` records the RNG seed of the run that produced the trace
+    (``None`` when the run was not seeded), so occupancy comparisons are
+    reproducible from their own output.
+    """
 
     dwell: dict[ModuleCounts, float] = field(default_factory=dict)
     total: float = 0.0
+    seed: int | None = None
 
     def record(self, census: ModuleCounts, duration: float) -> None:
         """Add ``duration`` seconds spent in ``census``."""
@@ -47,6 +53,9 @@ class OccupancyComparison:
 
     rows: list[tuple[ModuleCounts, float, float]]  # (state, empirical, analytic)
     total_variation_distance: float
+    #: Seed of the run behind the empirical side (propagated from the
+    #: occupancy trace; None = unseeded, not reproducible).
+    seed: int | None = None
 
     def render(self, *, limit: int = 12) -> str:
         """Aligned table of the largest-probability states."""
@@ -59,9 +68,11 @@ class OccupancyComparison:
             ],
             float_format=".5f",
         )
+        seed = "unseeded" if self.seed is None else str(self.seed)
         return (
             table
             + f"\ntotal variation distance: {self.total_variation_distance:.5f}"
+            + f"\nseed: {seed}"
         )
 
 
@@ -88,4 +99,6 @@ def compare_with_analytic(
         for state in states
     ]
     distance = 0.5 * sum(abs(e - a) for _, e, a in rows)
-    return OccupancyComparison(rows=rows, total_variation_distance=distance)
+    return OccupancyComparison(
+        rows=rows, total_variation_distance=distance, seed=occupancy.seed
+    )

@@ -15,6 +15,13 @@ Two agreement models are available:
   modules then push the vote towards ``INCONCLUSIVE`` rather than
   ``ERROR``.  This is the realistic multi-class behaviour and shows how
   conservative the analytic model is.
+
+Classification runs over an intermediate :class:`VoteTally` — the
+per-label vote counts and the winning margin of one round.  The tally is
+also the raw material of the monitoring layer
+(:mod:`repro.monitor.signals`): a module that keeps landing outside the
+plurality label is statistically suspect, and the margin says how
+decisive each round was.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from collections.abc import Sequence
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.nversion.voting import VotingScheme
@@ -42,6 +50,43 @@ class AgreementModel(enum.Enum):
     PER_LABEL = "per-label"
 
 
+@dataclass(frozen=True)
+class VoteTally:
+    """Per-label vote counts and the winning margin of one round.
+
+    Attributes
+    ----------
+    counts:
+        Votes per concrete label (missing outputs excluded).
+    ground_truth:
+        The true label of the round.
+    votes:
+        Total votes cast (modules that produced an output).
+    correct:
+        Votes for the ground-truth label.
+    winner:
+        The plurality label (ties broken towards the smaller label so
+        the result is deterministic), or ``None`` when no votes were
+        cast.
+    margin:
+        Vote lead of the winner over the runner-up label (equal to the
+        winner's count when only one label received votes, 0 when no
+        votes were cast).
+    """
+
+    counts: dict[int, int]
+    ground_truth: int
+    votes: int
+    correct: int
+    winner: int | None
+    margin: int
+
+    @property
+    def incorrect(self) -> int:
+        """Votes cast for any wrong label."""
+        return self.votes - self.correct
+
+
 class Voter:
     """BFT-threshold voter over per-request module outputs."""
 
@@ -53,6 +98,58 @@ class Voter:
     ) -> None:
         self.scheme = scheme
         self.agreement = agreement
+
+    def tally(
+        self,
+        outputs: Sequence[Optional[int]],
+        ground_truth: int,
+    ) -> VoteTally:
+        """Count the round's votes per label and compute the margin.
+
+        Shared by :meth:`decide` and the monitoring layer's disagreement
+        signals; the tally itself is agreement-model independent (the
+        model only matters when *classifying* a tally).
+        """
+        counts = Counter(label for label in outputs if label is not None)
+        votes = sum(counts.values())
+        if counts:
+            # deterministic plurality: most votes, then smallest label
+            winner, top = min(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+            runner_up = max(
+                (count for label, count in counts.items() if label != winner),
+                default=0,
+            )
+            margin = top - runner_up
+        else:
+            winner, margin = None, 0
+        return VoteTally(
+            counts=dict(counts),
+            ground_truth=ground_truth,
+            votes=votes,
+            correct=counts.get(ground_truth, 0),
+            winner=winner,
+            margin=margin,
+        )
+
+    def classify(self, tally: VoteTally) -> VoteOutcome:
+        """Classify a tallied round against the BFT threshold."""
+        threshold = self.scheme.threshold
+        if tally.correct >= threshold:
+            return VoteOutcome.CORRECT
+
+        if self.agreement is AgreementModel.WORST_CASE:
+            if tally.incorrect >= threshold:
+                return VoteOutcome.ERROR
+            return VoteOutcome.INCONCLUSIVE
+
+        wrong_counts = [
+            count
+            for label, count in tally.counts.items()
+            if label != tally.ground_truth
+        ]
+        if wrong_counts and max(wrong_counts) >= threshold:
+            return VoteOutcome.ERROR
+        return VoteOutcome.INCONCLUSIVE
 
     def decide(
         self,
@@ -69,20 +166,4 @@ class Voter:
         ground_truth:
             The true label.
         """
-        votes = [label for label in outputs if label is not None]
-        correct = sum(1 for label in votes if label == ground_truth)
-        threshold = self.scheme.threshold
-
-        if correct >= threshold:
-            return VoteOutcome.CORRECT
-
-        if self.agreement is AgreementModel.WORST_CASE:
-            incorrect = len(votes) - correct
-            if incorrect >= threshold:
-                return VoteOutcome.ERROR
-            return VoteOutcome.INCONCLUSIVE
-
-        wrong_counts = Counter(label for label in votes if label != ground_truth)
-        if wrong_counts and max(wrong_counts.values()) >= threshold:
-            return VoteOutcome.ERROR
-        return VoteOutcome.INCONCLUSIVE
+        return self.classify(self.tally(outputs, ground_truth))

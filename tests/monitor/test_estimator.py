@@ -1,0 +1,125 @@
+"""Tests for the Bayesian health estimator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.monitor.estimator import (
+    HealthEstimator,
+    healthy_deviation_probability,
+    per_module_compromise_rate,
+)
+from repro.perception.parameters import PerceptionParameters
+from repro.simulation.faults import FaultSemantics
+
+
+@pytest.fixture
+def parameters():
+    return PerceptionParameters.six_version_defaults()
+
+
+class TestPriorDynamics:
+    def test_rates_come_from_the_analytic_model(self, parameters):
+        """The filter's dynamics are the DSPN's Tc/Tf rates, untouched."""
+        estimator = HealthEstimator(parameters)
+        assert estimator.failure_rate == parameters.lambda_f
+        assert estimator.compromise_rate == pytest.approx(
+            parameters.lambda_c / parameters.n_modules
+        )
+
+    def test_per_module_semantics_uses_full_rate(self, parameters):
+        assert per_module_compromise_rate(
+            parameters, FaultSemantics.PER_MODULE
+        ) == pytest.approx(parameters.lambda_c)
+
+    def test_belief_drifts_towards_compromised_without_votes(self, parameters):
+        estimator = HealthEstimator(parameters)
+        early = estimator.probability_compromised(0, now=10.0)
+        late = estimator.probability_compromised(0, now=5000.0)
+        assert 0.0 < early < late < 1.0
+
+    def test_time_running_backwards_rejected(self, parameters):
+        estimator = HealthEstimator(parameters)
+        estimator.update(0, False, now=10.0)
+        with pytest.raises(SimulationError):
+            estimator.update(0, False, now=5.0)
+
+
+class TestLikelihood:
+    def test_healthy_deviation_probability_below_p_prime(self, parameters):
+        assert (
+            healthy_deviation_probability(parameters) < parameters.p_prime
+        )
+
+    def test_uninformative_likelihoods_rejected(self, parameters):
+        with pytest.raises(SimulationError):
+            HealthEstimator(
+                parameters,
+                p_deviate_healthy=0.5,
+                p_deviate_compromised=0.5,
+            )
+
+    def test_deviations_raise_suspicion(self, parameters):
+        estimator = HealthEstimator(parameters)
+        for i in range(20):
+            estimator.update(0, deviated=True, now=float(i + 1))
+        assert estimator.probability_compromised(0) > 0.99
+
+    def test_agreement_clears_suspicion(self, parameters):
+        estimator = HealthEstimator(parameters)
+        for i in range(5):
+            estimator.update(0, deviated=True, now=float(i + 1))
+        suspicious = estimator.probability_compromised(0)
+        for i in range(50):
+            estimator.update(0, deviated=False, now=float(i + 6))
+        assert estimator.probability_compromised(0) < suspicious
+
+    def test_compromised_behaviour_detected_quickly(self, parameters):
+        """A module deviating at rate p' crosses 0.9 within ~20 rounds."""
+        estimator = HealthEstimator(parameters)
+        crossed_at = None
+        pattern = [True, False] * 15  # deviation rate 0.5 = p'
+        for i, deviated in enumerate(pattern):
+            p = estimator.update(0, deviated, now=float(i + 1))
+            if p > 0.9:
+                crossed_at = i
+                break
+        assert crossed_at is not None and crossed_at <= 20
+
+    def test_healthy_behaviour_stays_calm(self, parameters):
+        """Isolated deviations at the healthy rate never cross 0.5."""
+        estimator = HealthEstimator(parameters)
+        for i in range(300):
+            estimator.update(0, deviated=(i % 25 == 0), now=float(i + 1))
+            assert estimator.probability_compromised(0) < 0.5
+
+
+class TestAvailability:
+    def test_unavailable_module_has_no_posterior(self, parameters):
+        estimator = HealthEstimator(parameters)
+        estimator.observe_unavailable(0, now=5.0)
+        assert estimator.probability_compromised(0) is None
+        with pytest.raises(SimulationError):
+            estimator.update(0, False, now=6.0)
+
+    def test_return_resets_belief_and_staleness(self, parameters):
+        estimator = HealthEstimator(parameters)
+        for i in range(10):
+            estimator.update(0, True, now=float(i + 1))
+        estimator.observe_unavailable(0, now=20.0)
+        estimator.observe_return(0, now=25.0)
+        assert estimator.probability_compromised(0) == 0.0
+        assert estimator.last_reset(0) == 25.0
+
+    def test_suspicion_map_covers_all_modules(self, parameters):
+        estimator = HealthEstimator(parameters)
+        estimator.observe_unavailable(2, now=1.0)
+        suspicion = estimator.suspicion()
+        assert set(suspicion) == set(range(parameters.n_modules))
+        assert suspicion[2] is None
+
+    def test_reset_restores_fresh_state(self, parameters):
+        estimator = HealthEstimator(parameters)
+        estimator.update(0, True, now=1.0)
+        estimator.reset()
+        assert estimator.probability_compromised(0) == 0.0
+        assert estimator.last_reset(0) == 0.0

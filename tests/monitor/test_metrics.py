@@ -1,0 +1,147 @@
+"""Tests for the ground-truth monitoring metrics."""
+
+import pytest
+
+from repro.monitor.metrics import MonitorMetrics
+from repro.simulation.voter import VoteOutcome
+
+
+@pytest.fixture
+def metrics():
+    return MonitorMetrics(detection_threshold=0.5, reliability_window=4)
+
+
+class TestDetection:
+    def test_latency_from_compromise_to_flag(self, metrics):
+        metrics.record_transition(10.0, 0, "compromise")
+        metrics.record_flag(15.0, 0)
+        summary = metrics.summary()
+        assert summary.compromises == 1
+        assert summary.detected == 1
+        assert summary.mean_detection_latency == pytest.approx(5.0)
+        assert summary.max_detection_latency == pytest.approx(5.0)
+        assert summary.false_alarms == 0
+
+    def test_undetected_compromise_is_censored(self, metrics):
+        metrics.record_transition(10.0, 0, "compromise")
+        metrics.record_transition(20.0, 0, "rejuvenation-start")
+        summary = metrics.summary()
+        assert summary.censored == 1
+        assert summary.detected == 0
+        assert summary.mean_detection_latency is None
+
+    def test_failure_censors_too(self, metrics):
+        metrics.record_transition(10.0, 0, "compromise")
+        metrics.record_transition(12.0, 0, "fail")
+        assert metrics.summary().censored == 1
+
+    def test_flag_on_healthy_module_is_false_alarm(self, metrics):
+        metrics.record_flag(5.0, 3)
+        summary = metrics.summary()
+        assert summary.false_alarms == 1
+        assert summary.detected == 0
+
+    def test_compromise_while_flagged_detected_immediately(self, metrics):
+        """A standing (false-alarm) flag detects the compromise at t=0."""
+        metrics.record_flag(5.0, 0)
+        metrics.record_transition(10.0, 0, "compromise")
+        summary = metrics.summary()
+        assert summary.detected == 1
+        assert summary.mean_detection_latency == 0.0
+
+    def test_duplicate_flags_ignored(self, metrics):
+        metrics.record_flag(5.0, 0)
+        metrics.record_flag(6.0, 0)
+        assert metrics.summary().false_alarms == 1
+
+    def test_repair_clears_stale_flag(self, metrics):
+        """After a repair the module is healthy; old flags must not
+        detect the *next* compromise instantly."""
+        metrics.record_flag(5.0, 0)
+        metrics.record_transition(6.0, 0, "repair")
+        metrics.record_transition(10.0, 0, "compromise")
+        metrics.record_flag(14.0, 0)
+        summary = metrics.summary()
+        assert summary.detected == 1
+        assert summary.mean_detection_latency == pytest.approx(4.0)
+
+
+class TestTriggers:
+    def test_trigger_on_compromised_module(self, metrics):
+        metrics.record_transition(10.0, 0, "compromise")
+        metrics.record_transition(20.0, 0, "rejuvenation-start")
+        summary = metrics.summary()
+        assert summary.triggers == 1
+        assert summary.false_triggers == 0
+        assert summary.false_trigger_rate == 0.0
+
+    def test_trigger_on_healthy_module_is_false(self, metrics):
+        metrics.record_transition(20.0, 1, "rejuvenation-start")
+        summary = metrics.summary()
+        assert summary.triggers == 1
+        assert summary.false_triggers == 1
+        assert summary.false_trigger_rate == 1.0
+
+    def test_trigger_after_detection_still_attributed(self, metrics):
+        """Detection pops the pending-compromise entry; the later
+        rejuvenation must still count as a true trigger."""
+        metrics.record_transition(10.0, 0, "compromise")
+        metrics.record_flag(12.0, 0)
+        metrics.record_transition(600.0, 0, "rejuvenation-start")
+        summary = metrics.summary()
+        assert summary.triggers == 1
+        assert summary.false_triggers == 0
+
+    def test_rejuvenation_done_resets_attribution(self, metrics):
+        metrics.record_transition(10.0, 0, "compromise")
+        metrics.record_transition(20.0, 0, "rejuvenation-start")
+        metrics.record_transition(23.0, 0, "rejuvenation-done")
+        metrics.record_transition(30.0, 0, "rejuvenation-start")
+        summary = metrics.summary()
+        assert summary.triggers == 2
+        assert summary.false_triggers == 1
+
+
+class TestReliability:
+    def test_cumulative_and_rolling(self, metrics):
+        for outcome in [
+            VoteOutcome.ERROR,
+            VoteOutcome.CORRECT,
+            VoteOutcome.CORRECT,
+            VoteOutcome.CORRECT,
+            VoteOutcome.CORRECT,
+            VoteOutcome.CORRECT,
+        ]:
+            metrics.record_round(outcome)
+        summary = metrics.summary()
+        assert summary.rounds == 6
+        assert summary.errors == 1
+        assert summary.empirical_reliability == pytest.approx(5 / 6)
+        # window of 4: the error has rolled out
+        assert summary.rolling_reliability == 1.0
+
+    def test_inconclusive_is_not_an_error(self, metrics):
+        metrics.record_round(VoteOutcome.INCONCLUSIVE)
+        assert metrics.summary().errors == 0
+
+    def test_empty_run(self, metrics):
+        summary = metrics.summary()
+        assert summary.empirical_reliability == 1.0
+        assert summary.rolling_reliability == 1.0
+        assert summary.detection_rate == 0.0
+
+    def test_render_mentions_key_numbers(self, metrics):
+        metrics.record_transition(10.0, 0, "compromise")
+        metrics.record_flag(15.0, 0)
+        metrics.record_round(VoteOutcome.CORRECT)
+        text = metrics.summary().render()
+        assert "5.0 s" in text
+        assert "1 detected" in text
+
+    def test_reset(self, metrics):
+        metrics.record_transition(10.0, 0, "compromise")
+        metrics.record_round(VoteOutcome.ERROR)
+        metrics.reset()
+        summary = metrics.summary()
+        assert summary.compromises == 0
+        assert summary.rounds == 0

@@ -1,0 +1,123 @@
+"""Tests for rejuvenation policies and the token-bucket budget."""
+
+import pytest
+
+from repro.monitor.policies import (
+    POLICY_NAMES,
+    PeriodicPolicy,
+    PolicyView,
+    RejuvenationBudget,
+    TargetedPolicy,
+    ThresholdPolicy,
+    make_policy,
+)
+
+
+def view(suspicion, *, tokens=1, capacity=1, staleness=None, now=100.0):
+    return PolicyView(
+        now=now,
+        suspicion=suspicion,
+        staleness=staleness or {module_id: now for module_id in suspicion},
+        budget_tokens=tokens,
+        capacity=capacity,
+    )
+
+
+class TestBudget:
+    def test_accrual_capped(self):
+        budget = RejuvenationBudget(rate=1, cap=2)
+        for _ in range(5):
+            budget.accrue()
+        assert budget.tokens == 2
+
+    def test_spend_and_exhaustion(self):
+        budget = RejuvenationBudget(rate=2)
+        budget.accrue()
+        budget.spend(2)
+        assert budget.tokens == 0
+        with pytest.raises(ValueError):
+            budget.spend()
+
+    def test_cap_defaults_to_rate(self):
+        assert RejuvenationBudget(rate=3).cap == 3
+
+    def test_starts_empty(self):
+        """No spending before the first tick: fairness vs the baseline."""
+        assert RejuvenationBudget(rate=1).tokens == 0
+
+
+class TestPolicyView:
+    def test_ranking_most_suspect_first(self):
+        v = view({0: 0.1, 1: 0.9, 2: 0.4, 3: None})
+        assert v.ranked_candidates() == [1, 2, 0]
+
+    def test_tie_breaks_towards_stalest(self):
+        v = view(
+            {0: 0.0, 1: 0.0},
+            staleness={0: 10.0, 1: 500.0},
+        )
+        assert v.ranked_candidates() == [1, 0]
+
+    def test_allowance_is_min_of_budget_and_guard(self):
+        assert view({0: 0.5}, tokens=3, capacity=1).allowance == 1
+        assert view({0: 0.5}, tokens=0, capacity=2).allowance == 0
+
+
+class TestPeriodicPolicy:
+    def test_is_passive_and_silent(self):
+        policy = PeriodicPolicy()
+        assert policy.passive
+        v = view({0: 1.0, 1: 1.0}, tokens=5, capacity=5)
+        assert policy.on_tick(v) == []
+        assert policy.on_round(v) == []
+
+
+class TestTargetedPolicy:
+    def test_spends_allowance_on_most_suspect(self):
+        policy = TargetedPolicy()
+        v = view({0: 0.2, 1: 0.8, 2: 0.5}, tokens=2, capacity=2)
+        assert policy.on_tick(v) == [1, 2]
+
+    def test_respects_guard(self):
+        policy = TargetedPolicy()
+        v = view({0: 0.2, 1: 0.8}, tokens=2, capacity=0)
+        assert policy.on_tick(v) == []
+
+    def test_silent_between_ticks(self):
+        assert TargetedPolicy().on_round(view({0: 1.0})) == []
+
+
+class TestThresholdPolicy:
+    def test_fires_only_above_bound(self):
+        policy = ThresholdPolicy(bound=0.7)
+        assert policy.on_round(view({0: 0.69, 1: 0.2})) == []
+        assert policy.on_round(view({0: 0.71, 1: 0.2})) == [0]
+
+    def test_budget_limits_simultaneous_fires(self):
+        policy = ThresholdPolicy(bound=0.5)
+        v = view({0: 0.9, 1: 0.8, 2: 0.7}, tokens=1, capacity=3)
+        assert policy.on_round(v) == [0]
+
+    def test_tick_retries_suspects(self):
+        policy = ThresholdPolicy(bound=0.5)
+        v = view({0: 0.9}, tokens=1, capacity=1)
+        assert policy.on_tick(v) == [0]
+
+    def test_invalid_bound_rejected(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            ThresholdPolicy(bound=1.5)
+
+
+class TestRegistry:
+    def test_make_policy_all_names(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name).name == name
+
+    def test_make_policy_kwargs(self):
+        assert make_policy("threshold", bound=0.42).bound == 0.42
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("oracle")

@@ -1,11 +1,65 @@
 """Tests for the runtime voter."""
 
+import pytest
+
 from repro.nversion.voting import VotingScheme
 from repro.simulation.voter import AgreementModel, VoteOutcome, Voter
 
 
 def bft_voter(agreement=AgreementModel.WORST_CASE):
     return Voter(VotingScheme.bft(1), agreement=agreement)  # threshold 3 of 4
+
+
+class TestTally:
+    def test_counts_and_margin(self):
+        tally = bft_voter().tally([7, 7, 2, 2, 2, None], ground_truth=7)
+        assert tally.counts == {7: 2, 2: 3}
+        assert tally.votes == 5
+        assert tally.correct == 2
+        assert tally.incorrect == 3
+        assert tally.winner == 2
+        assert tally.margin == 1
+
+    def test_single_label_margin_is_count(self):
+        tally = bft_voter().tally([7, 7, 7, None], ground_truth=7)
+        assert tally.winner == 7
+        assert tally.margin == 3
+
+    def test_tie_breaks_towards_smaller_label(self):
+        tally = bft_voter().tally([5, 5, 9, 9], ground_truth=9)
+        assert tally.winner == 5
+        assert tally.margin == 0
+
+    def test_empty_round(self):
+        tally = bft_voter().tally([None, None, None, None], ground_truth=3)
+        assert tally.counts == {}
+        assert tally.votes == tally.correct == tally.margin == 0
+        assert tally.winner is None
+
+    @pytest.mark.parametrize(
+        "agreement", [AgreementModel.WORST_CASE, AgreementModel.PER_LABEL]
+    )
+    def test_tally_is_agreement_independent(self, agreement):
+        """The tally is raw counts; only classify() depends on the model."""
+        outputs = [1, 2, 3, 7]
+        assert bft_voter(agreement).tally(outputs, 7) == bft_voter().tally(outputs, 7)
+
+    @pytest.mark.parametrize(
+        "agreement", [AgreementModel.WORST_CASE, AgreementModel.PER_LABEL]
+    )
+    def test_decide_equals_classify_of_tally(self, agreement):
+        """decide() is exactly classify(tally()) for both agreement models."""
+        voter = bft_voter(agreement)
+        cases = [
+            [7, 7, 7, 2],
+            [1, 2, 3, 7],
+            [2, 2, 2, 7],
+            [7, 7, None, None],
+            [None, None, None, None],
+        ]
+        for outputs in cases:
+            tally = voter.tally(outputs, 7)
+            assert voter.decide(outputs, 7) is voter.classify(tally)
 
 
 class TestWorstCase:

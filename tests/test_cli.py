@@ -102,6 +102,36 @@ class TestMetrics:
         assert "error:" in capsys.readouterr().err
 
 
+class TestMonitor:
+    def test_policy_comparison_table(self, capsys):
+        assert main(
+            [
+                "monitor", "--six",
+                "--policy", "periodic,threshold",
+                "--horizon", "3000", "--seed", "7",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "false-trigger rate" in output
+        assert "-- steady / periodic (seed 7)" in output
+        assert "-- steady / threshold (seed 7)" in output
+        assert "rolling reliability" in output
+
+    def test_attack_scenario(self, capsys):
+        assert main(
+            [
+                "monitor", "--six",
+                "--policy", "threshold",
+                "--horizon", "3000", "--attack",
+            ]
+        ) == 0
+        assert "-- attack / threshold" in capsys.readouterr().out
+
+    def test_unknown_policy_exits(self):
+        with pytest.raises(SystemExit, match="unknown policy"):
+            main(["monitor", "--six", "--policy", "oracle"])
+
+
 class TestProvision:
     def test_feasible_target(self, capsys):
         assert main(["provision", "--four", "--target", "0.93"]) == 0
