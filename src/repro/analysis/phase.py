@@ -14,8 +14,10 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.analysis.sweeps import SWEEPABLE
+from repro.engine import SweepPlan
+from repro.engine.tasks import expected_reliability
 from repro.errors import ParameterError
-from repro.perception.evaluation import evaluate
+from repro.nversion.conventions import OutputConvention
 from repro.perception.parameters import PerceptionParameters
 
 
@@ -71,11 +73,13 @@ def phase_diagram(
     label_a: str = "a",
     label_b: str = "b",
     max_states: int = 200_000,
+    jobs: int = 1,
 ) -> PhaseDiagram:
     """Evaluate both configurations over the grid and map the winner.
 
     Both configurations receive the same (x, y) parameter values at each
-    grid point.
+    grid point.  ``jobs`` fans the 2 × |x| × |y| evaluations out over
+    worker processes (results are identical to a serial run).
     """
     for name in (parameter_x, parameter_y):
         if name not in SWEEPABLE:
@@ -87,18 +91,36 @@ def phase_diagram(
     if not x_values or not y_values:
         raise ParameterError("grids must not be empty")
 
-    rows = []
-    for y in y_values:
-        row = []
-        for x in x_values:
+    plan = SweepPlan(
+        expected_reliability, label=f"phase:{parameter_x}x{parameter_y}"
+    )
+    for x in x_values:
+        for y in y_values:
             overrides = {parameter_x: float(x), parameter_y: float(y)}
-            a = evaluate(
-                config_a.replace(**overrides), max_states=max_states
-            ).expected_reliability
-            b = evaluate(
-                config_b.replace(**overrides), max_states=max_states
-            ).expected_reliability
-            row.append(b - a)
+            plan.add(
+                config_a.replace(**overrides),
+                OutputConvention.SAFE_SKIP,
+                None,
+                max_states,
+            )
+            plan.add(
+                config_b.replace(**overrides),
+                OutputConvention.SAFE_SKIP,
+                None,
+                max_states,
+            )
+    # Column-major points, one x-column per chunk: when only the
+    # x-parameter reaches the net (e.g. mttc x p', where p' exists only
+    # in the reliability function), every chunk solves its own two nets
+    # exactly once and workers never duplicate each other's solves.
+    results = plan.run(jobs=jobs, chunk_size=2 * len(y_values))
+
+    rows = []
+    for i in range(len(y_values)):
+        row = []
+        for j in range(len(x_values)):
+            base = 2 * (j * len(y_values) + i)
+            row.append(results[base + 1] - results[base])
         rows.append(tuple(row))
     return PhaseDiagram(
         parameter_x=parameter_x,

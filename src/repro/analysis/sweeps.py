@@ -5,9 +5,10 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.engine import SweepPlan
+from repro.engine.tasks import expected_reliability
 from repro.errors import ParameterError
 from repro.nversion.conventions import OutputConvention
-from repro.perception.evaluation import evaluate
 from repro.perception.parameters import PerceptionParameters
 
 # Parameters that may be swept; anything else is almost certainly a typo.
@@ -47,10 +48,12 @@ def sweep_parameter(
     *,
     convention: OutputConvention = OutputConvention.SAFE_SKIP,
     max_states: int = 200_000,
+    jobs: int = 1,
 ) -> SweepResult:
     """Evaluate E[R_sys] for each value of ``parameter``.
 
-    ``base`` supplies every other parameter.  Raises
+    ``base`` supplies every other parameter; ``jobs`` parallelizes the
+    grid (identical results to a serial run).  Raises
     :class:`ParameterError` for unknown or non-sweepable parameter
     names.
     """
@@ -60,11 +63,11 @@ def sweep_parameter(
         )
     if not values:
         raise ParameterError("values must not be empty")
-    reliabilities = []
+    plan = SweepPlan(expected_reliability, label=f"sweep:{parameter}")
     for value in values:
         configured = base.replace(**{parameter: float(value)})
-        result = evaluate(configured, convention=convention, max_states=max_states)
-        reliabilities.append(result.expected_reliability)
+        plan.add(configured, convention, None, max_states)
+    reliabilities = plan.run(jobs=jobs)
     return SweepResult(
         parameter=parameter,
         values=tuple(float(v) for v in values),

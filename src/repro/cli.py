@@ -56,6 +56,22 @@ def _add_parameter_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep grids (results identical to serial)",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", action="store_true",
+        help="persist solver results on disk (~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    cache_group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable solver-result caching entirely",
+    )
+
+
 def _parameters_from(args: argparse.Namespace) -> PerceptionParameters:
     overrides = {}
     for attribute, name in (
@@ -116,8 +132,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.sweeps import sweep_parameter
     from repro.utils.tables import render_table
 
+    _apply_cache_flags(args)
     values = [float(v) for v in args.values.split(",")]
-    result = sweep_parameter(_parameters_from(args), args.parameter, values)
+    result = sweep_parameter(
+        _parameters_from(args), args.parameter, values, jobs=args.jobs
+    )
     print(
         render_table(
             [args.parameter, "E[R]"],
@@ -129,6 +148,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_cache_flags(args: argparse.Namespace) -> None:
+    """Apply ``--cache``/``--no-cache`` to the process-wide solver cache."""
+    from repro.engine import configure_cache, default_cache_directory
+
+    if getattr(args, "cache", False):
+        configure_cache(enabled=True, directory=default_cache_directory())
+    elif getattr(args, "no_cache", False):
+        configure_cache(enabled=False)
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
 
@@ -136,9 +165,14 @@ def _command_experiments(args: argparse.Namespace) -> int:
         for experiment_id in EXPERIMENT_IDS:
             print(experiment_id)
         return 0
+    _apply_cache_flags(args)
     ids = args.ids or list(EXPERIMENT_IDS)
     for experiment_id in ids:
-        print(run_experiment(experiment_id).render(plot=not args.no_plot))
+        print(
+            run_experiment(experiment_id, jobs=args.jobs).render(
+                plot=not args.no_plot
+            )
+        )
         print()
     return 0
 
@@ -308,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser("sweep", help="sweep one parameter")
     _add_parameter_arguments(sweep)
+    _add_engine_arguments(sweep)
     sweep.add_argument("--parameter", required=True, help="parameter to vary")
     sweep.add_argument(
         "--values", required=True, help="comma-separated grid, e.g. 0.1,0.3,0.5"
@@ -319,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     experiments.add_argument("--list", action="store_true", help="list ids and exit")
+    _add_engine_arguments(experiments)
     experiments.add_argument(
         "--no-plot", action="store_true", help="suppress ASCII plots"
     )

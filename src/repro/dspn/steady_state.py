@@ -10,10 +10,14 @@ import numpy as np
 from repro.dspn.ctmc_builder import build_ctmc
 from repro.dspn.mrgp_builder import build_mrgp_kernels
 from repro.dspn.rewards import RewardFunction, reward_vector
+from repro.errors import ParameterError, UnsupportedModelError
 from repro.markov.mrgp import solve_mrgp
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
 from repro.statespace import TangibleGraph, tangible_reachability
+
+#: Analytic routes accepted by :func:`solve_steady_state`.
+METHODS = ("auto", "ctmc", "mrgp")
 
 
 @dataclass
@@ -58,11 +62,23 @@ def solve_steady_state(
     net: PetriNet,
     *,
     max_states: int = 200_000,
+    method: str = "auto",
+    use_cache: bool | None = None,
 ) -> SteadyStateResult:
     """Solve ``net`` for its stationary marking distribution.
 
-    Dispatches automatically: exponential-only nets are solved as CTMCs;
-    nets enabling deterministic transitions are solved as MRGPs.
+    ``method="auto"`` dispatches on the model class: exponential-only
+    nets are solved as CTMCs; nets enabling deterministic transitions
+    are solved as MRGPs.  ``"ctmc"`` insists on the CTMC route (raising
+    on deterministic nets); ``"mrgp"`` forces the MRGP route even for
+    exponential-only nets, where its renewal equations reduce to the
+    embedded-chain solution — the two routes must then agree, which the
+    differential harness in ``tests/engine/`` exploits.
+
+    Solutions are memoized in the engine's solver cache (keyed by the
+    canonical net fingerprint plus ``max_states`` and ``method``) unless
+    caching is disabled globally or via ``use_cache=False``.  Cached
+    results are shared objects: treat them as immutable.
 
     Raises
     ------
@@ -70,12 +86,47 @@ def solve_steady_state(
         If the reachable marking space exceeds ``max_states``.
     UnsupportedModelError
         If some tangible marking enables more than one deterministic
-        transition (fall back to :func:`repro.dspn.simulate.simulate`).
+        transition (fall back to :func:`repro.dspn.simulate.simulate`),
+        or if ``method="ctmc"`` is requested for a deterministic net.
     SolverError
         If the resulting process has no unique stationary distribution.
     """
+    if method not in METHODS:
+        raise ParameterError(
+            f"unknown method {method!r}; choose from {', '.join(METHODS)}"
+        )
+
+    # Lazy import: the engine package imports SteadyStateResult from here.
+    from repro.engine.cache import active_cache
+    from repro.engine.hashing import solver_cache_key
+
+    cache = active_cache() if use_cache in (None, True) else None
+    key = None
+    if cache is not None:
+        key = solver_cache_key(net, max_states=max_states, method=method)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+    result = _solve_uncached(net, max_states=max_states, method=method)
+    result.pi.setflags(write=False)  # cached results are shared; freeze
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result
+
+
+def _solve_uncached(
+    net: PetriNet, *, max_states: int, method: str
+) -> SteadyStateResult:
+    """The actual reachability + solve pipeline, without memoization."""
     graph = tangible_reachability(net, max_states=max_states)
-    if graph.has_deterministic():
+    deterministic = graph.has_deterministic()
+    if method == "ctmc" and deterministic:
+        raise UnsupportedModelError(
+            f"net {net.name!r} enables deterministic transitions; the CTMC "
+            "route cannot solve it — use method='auto' or 'mrgp'"
+        )
+    if deterministic or method == "mrgp":
         kernel, sojourn = build_mrgp_kernels(graph)
         solution = solve_mrgp(kernel, sojourn)
         return SteadyStateResult(

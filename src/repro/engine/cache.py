@@ -1,0 +1,233 @@
+"""Memoization of steady-state solutions.
+
+Two storage tiers, both keyed by :func:`repro.engine.hashing.solver_cache_key`:
+
+* an in-memory LRU (always available, per process), and
+* an optional content-verified on-disk store (shared across processes
+  and runs) under ``~/.cache/repro`` or ``$REPRO_CACHE_DIR``.
+
+Disk entries are a 64-hex-character SHA-256 digest line followed by the
+pickled payload.  The digest is recomputed on every load; a mismatch —
+truncation, bit rot, or deliberate tampering — makes the entry a miss,
+deletes the file and falls through to recomputation.  A wrong cache hit
+would silently corrupt every downstream number, so the store refuses to
+trust anything it cannot verify.
+
+The process-wide default cache is controlled by :func:`configure_cache`
+(wired to the CLI ``--cache`` / ``--no-cache`` flags) and consulted by
+:func:`repro.dspn.steady_state.solve_steady_state`.  The sweep executor
+snapshots the active settings with :func:`cache_settings` and replays
+them inside worker processes, so parallel runs honour the same policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+DEFAULT_MAXSIZE = 256
+
+_DIGEST_LENGTH = 64  # hex characters of SHA-256
+
+
+def default_cache_directory() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+class SolverCache:
+    """An in-memory LRU with an optional verified on-disk second tier."""
+
+    def __init__(
+        self,
+        *,
+        maxsize: int = DEFAULT_MAXSIZE,
+        directory: Path | str | None = None,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.directory = Path(directory) if directory is not None else None
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.rejected = 0  # disk entries dropped on digest mismatch
+
+    # -- in-memory tier -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Any | None:
+        """The cached value for ``key``, or None (counts hit/miss stats)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        value = self._load_from_disk(key)
+        if value is not None:
+            self._remember(key, value)
+            self.hits += 1
+            self.disk_hits += 1
+            return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` in memory (and on disk when configured)."""
+        self._remember(key, value)
+        if self.directory is not None:
+            self._store_to_disk(key, value)
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory tier (and the disk tier with ``disk=True``)."""
+        self._entries.clear()
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+
+    # -- disk tier ------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        # shard by prefix so a big store doesn't degrade into one huge dir
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def _store_to_disk(self, key: str, value: Any) -> None:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode()
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # atomic publish: concurrent workers may race on the same key
+        descriptor, temporary = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(digest + b"\n" + payload)
+            os.replace(temporary, path)
+        except BaseException:
+            os.unlink(temporary)
+            raise
+
+    def _load_from_disk(self, key: str) -> Any | None:
+        if self.directory is None:
+            return None
+        path = self._path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        digest, newline, payload = (
+            raw[:_DIGEST_LENGTH],
+            raw[_DIGEST_LENGTH : _DIGEST_LENGTH + 1],
+            raw[_DIGEST_LENGTH + 1 :],
+        )
+        if (
+            newline != b"\n"
+            or hashlib.sha256(payload).hexdigest().encode() != digest
+        ):
+            # tampered or corrupt: refuse, remove, recompute
+            self.rejected += 1
+            path.unlink(missing_ok=True)
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            self.rejected += 1
+            path.unlink(missing_ok=True)
+            return None
+
+    def stats(self) -> dict[str, int]:
+        """Counters for diagnostics and benchmarks."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "rejected": self.rejected,
+        }
+
+
+# ----------------------------------------------------------------------
+# process-wide default cache
+# ----------------------------------------------------------------------
+_enabled: bool = True
+_directory: Path | None = None
+_maxsize: int = DEFAULT_MAXSIZE
+_cache: SolverCache | None = None
+
+
+#: Sentinel distinguishing "keep the current directory" from "memory only".
+_KEEP = object()
+
+
+def configure_cache(
+    *,
+    enabled: bool | None = None,
+    directory: "Path | str | None | object" = _KEEP,
+    maxsize: int | None = None,
+) -> None:
+    """Reconfigure the process-wide solver cache.
+
+    ``enabled=False`` turns memoization off entirely; ``directory``
+    (None = memory only) adds the on-disk tier; ``maxsize`` bounds the
+    in-memory LRU.  Omitted arguments keep their current value.  Any
+    change discards the current in-memory entries.
+    """
+    global _enabled, _directory, _maxsize, _cache
+    if enabled is not None:
+        _enabled = enabled
+    if directory is not _KEEP:
+        _directory = Path(directory) if directory is not None else None
+    if maxsize is not None:
+        _maxsize = maxsize
+    _cache = None
+
+
+def active_cache() -> SolverCache | None:
+    """The default cache, or None when caching is disabled."""
+    global _cache
+    if not _enabled:
+        return None
+    if _cache is None:
+        _cache = SolverCache(maxsize=_maxsize, directory=_directory)
+    return _cache
+
+
+def cache_settings() -> dict[str, Any]:
+    """Picklable snapshot of the active policy (for worker processes)."""
+    return {
+        "enabled": _enabled,
+        "directory": str(_directory) if _directory is not None else None,
+        "maxsize": _maxsize,
+    }
+
+
+@contextmanager
+def cache_override(
+    *,
+    enabled: bool | None = None,
+    directory: "Path | str | None | object" = _KEEP,
+    maxsize: int | None = None,
+):
+    """Temporarily reconfigure the default cache (tests, benchmarks)."""
+    saved = (_enabled, _directory, _maxsize)
+    configure_cache(enabled=enabled, directory=directory, maxsize=maxsize)
+    try:
+        yield active_cache()
+    finally:
+        configure_cache(enabled=saved[0], directory=saved[1], maxsize=saved[2])

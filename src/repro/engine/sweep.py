@@ -1,0 +1,149 @@
+"""Deterministic parallel execution of sweep grids.
+
+A :class:`SweepPlan` is a list of points — ``(fn, args)`` pairs sharing
+one module-level function — executed either serially or across a
+``ProcessPoolExecutor``.  Three properties make parallel runs safe to
+substitute for serial ones:
+
+* **deterministic chunking** — points are split into fixed, contiguous
+  chunks computed from ``(len(points), jobs)`` only, never from timing;
+* **ordered reassembly** — results are returned in point order no matter
+  which worker finished first, so downstream reports are byte-identical
+  to a serial run;
+* **cache-policy replay** — the parent's solver-cache settings are
+  shipped to every worker, so ``--no-cache`` (or a test's cache
+  override) means the same thing in all processes.
+
+The point function must be picklable (a module-level function), as must
+every argument and result; the experiment runners keep their worker
+functions in :mod:`repro.engine.tasks` for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.cache import cache_settings, configure_cache
+from repro.errors import ParameterError
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/0 mean "all available CPUs"."""
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ParameterError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+    return jobs
+
+
+def chunk_points(n_points: int, jobs: int, chunk_size: int | None = None) -> list[range]:
+    """Contiguous index chunks; a pure function of its arguments.
+
+    Default chunk size targets four chunks per worker so stragglers can
+    be rebalanced, while keeping per-chunk dispatch overhead amortized.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, -(-n_points // (4 * jobs)))
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        range(start, min(start + chunk_size, n_points))
+        for start in range(0, n_points, chunk_size)
+    ]
+
+
+def _run_chunk(
+    fn: Callable[..., Any],
+    chunk: list[tuple],
+    settings: dict[str, Any],
+) -> list[Any]:
+    """Worker entry point: replay the cache policy, then run the points."""
+    configure_cache(**settings)
+    return [fn(*args) for args in chunk]
+
+
+@dataclass
+class SweepPlan:
+    """An ordered grid of calls to one picklable function.
+
+    Build with :meth:`over` (one argument per point) or by passing
+    ``points`` as argument tuples directly, then execute with
+    :meth:`run`.  Results always come back in point order.
+    """
+
+    fn: Callable[..., Any]
+    points: list[tuple] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.points = [
+            args if isinstance(args, tuple) else (args,) for args in self.points
+        ]
+
+    @classmethod
+    def over(
+        cls,
+        fn: Callable[..., Any],
+        values: Iterable[Any],
+        *,
+        label: str = "",
+    ) -> "SweepPlan":
+        """A plan calling ``fn(value)`` for each value."""
+        return cls(fn=fn, points=[(value,) for value in values], label=label)
+
+    def add(self, *args: Any) -> int:
+        """Append one point; returns its index (for later lookup)."""
+        self.points.append(args)
+        return len(self.points) - 1
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def run(
+        self,
+        *,
+        jobs: int | None = 1,
+        chunk_size: int | None = None,
+    ) -> list[Any]:
+        """Execute every point and return the results in point order.
+
+        ``jobs <= 1`` runs serially in-process (the reference path);
+        anything larger fans the chunks out over a process pool.  Both
+        paths produce identical results for pure point functions.
+        """
+        jobs = resolve_jobs(jobs)
+        if jobs <= 1 or len(self.points) <= 1:
+            return [self.fn(*args) for args in self.points]
+
+        chunks = chunk_points(len(self.points), jobs, chunk_size)
+        settings = cache_settings()
+        results: list[Any] = [None] * len(self.points)
+        workers = min(jobs, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(
+                    _run_chunk,
+                    self.fn,
+                    [self.points[i] for i in chunk],
+                    settings,
+                )
+                for chunk in chunks
+            ]
+            for chunk, future in zip(chunks, futures):
+                for index, value in zip(chunk, future.result()):
+                    results[index] = value
+        return results
+
+
+def sweep(
+    fn: Callable[..., Any],
+    values: Iterable[Any],
+    *,
+    jobs: int | None = 1,
+) -> list[Any]:
+    """One-shot convenience: ``SweepPlan.over(fn, values).run(jobs=...)``."""
+    return SweepPlan.over(fn, values).run(jobs=jobs)

@@ -24,41 +24,31 @@ defaults unless stated):
 
 from __future__ import annotations
 
-from repro.dspn import solve_steady_state
+from repro.engine import SweepPlan
+from repro.engine.tasks import variant_reliability
 from repro.experiments.report import ExperimentReport
-from repro.nversion.reliability import GeneralizedReliability, ReliabilityFunction
+from repro.nversion.reliability import GeneralizedReliability
 from repro.perception.evaluation import default_reliability_function
 from repro.perception.parameters import PerceptionParameters
-from repro.perception.rejuvenation import build_rejuvenation_net
-from repro.perception.statemap import module_counts
 from repro.petri import ServerSemantics
 
 
-def _expected_reliability(
-    net, reliability: ReliabilityFunction
-) -> float:
-    result = solve_steady_state(net)
-
-    def reward(marking):
-        counts = module_counts(marking)
-        return reliability(counts.healthy, counts.compromised, counts.unavailable)
-
-    return result.expected_reward(reward)
-
-
-def run_ablation_selection() -> ExperimentReport:
+def run_ablation_selection(*, jobs: int = 1) -> ExperimentReport:
     """Blind vs oracle vs adversarial rejuvenation-target selection."""
     parameters = PerceptionParameters.six_version_defaults()
     reliability = default_reliability_function(parameters)
-    rows = []
-    values = {}
-    for policy, description in (
+    policies = (
         ("oracle", "perfect compromise detection"),
         ("uniform", "voter-blind (the paper)"),
         ("anti-oracle", "adversarially subverted selector"),
-    ):
-        net = build_rejuvenation_net(parameters, selection=policy)
-        value = _expected_reliability(net, reliability)
+    )
+    plan = SweepPlan(variant_reliability, label="ablation-selection")
+    for policy, _description in policies:
+        plan.add(parameters, reliability, {"selection": policy})
+    results = plan.run(jobs=jobs)
+    rows = []
+    values = {}
+    for (policy, description), value in zip(policies, results):
         values[policy] = value
         rows.append([policy, description, value])
     return ExperimentReport(
@@ -79,16 +69,19 @@ def run_ablation_selection() -> ExperimentReport:
     )
 
 
-def run_ablation_clock() -> ExperimentReport:
+def run_ablation_clock(*, jobs: int = 1) -> ExperimentReport:
     """Deterministic period vs memoryless clock with the same mean."""
     parameters = PerceptionParameters.six_version_defaults()
     reliability = default_reliability_function(parameters)
+    kinds = ("deterministic", "exponential")
+    plan = SweepPlan(variant_reliability, label="ablation-clock")
+    for kind in kinds:
+        plan.add(parameters, reliability, {"clock": kind})
+    results = plan.run(jobs=jobs)
     rows = []
     values = {}
-    for kind in ("deterministic", "exponential"):
-        net = build_rejuvenation_net(parameters, clock=kind)
+    for kind, value in zip(kinds, results):
         solution_kind = "mrgp" if kind == "deterministic" else "ctmc"
-        value = _expected_reliability(net, reliability)
         values[kind] = value
         rows.append([kind, solution_kind, value])
     return ExperimentReport(
@@ -107,30 +100,22 @@ def run_ablation_clock() -> ExperimentReport:
     )
 
 
-def run_ablation_server() -> ExperimentReport:
+def run_ablation_server(*, jobs: int = 1) -> ExperimentReport:
     """Single-server (calibrated) vs infinite-server fault scaling."""
-    reliability4 = default_reliability_function(
-        PerceptionParameters.four_version_defaults()
-    )
-    reliability6 = default_reliability_function(
-        PerceptionParameters.six_version_defaults()
-    )
-    from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+    four_parameters = PerceptionParameters.four_version_defaults()
+    six_parameters = PerceptionParameters.six_version_defaults()
+    reliability4 = default_reliability_function(four_parameters)
+    reliability6 = default_reliability_function(six_parameters)
 
+    semantics_grid = (ServerSemantics.SINGLE, ServerSemantics.INFINITE)
+    plan = SweepPlan(variant_reliability, label="ablation-server")
+    for semantics in semantics_grid:
+        plan.add(four_parameters, reliability4, {"server": semantics})
+        plan.add(six_parameters, reliability6, {"server": semantics})
+    results = plan.run(jobs=jobs)
     rows = []
-    for semantics in (ServerSemantics.SINGLE, ServerSemantics.INFINITE):
-        four = _expected_reliability(
-            build_no_rejuvenation_net(
-                PerceptionParameters.four_version_defaults(), server=semantics
-            ),
-            reliability4,
-        )
-        six = _expected_reliability(
-            build_rejuvenation_net(
-                PerceptionParameters.six_version_defaults(), server=semantics
-            ),
-            reliability6,
-        )
+    for position, semantics in enumerate(semantics_grid):
+        four, six = results[2 * position], results[2 * position + 1]
         rows.append([semantics.value, four, six])
     return ExperimentReport(
         experiment_id="ablation-server",
@@ -148,15 +133,18 @@ def run_ablation_server() -> ExperimentReport:
     )
 
 
-def run_ablation_ticks() -> ExperimentReport:
+def run_ablation_ticks(*, jobs: int = 1) -> ExperimentReport:
     """Deferred (Table I reading) vs lost rejuvenation ticks."""
     parameters = PerceptionParameters.six_version_defaults()
     reliability = default_reliability_function(parameters)
+    variants = ((False, "deferred (paper)"), (True, "lost"))
+    plan = SweepPlan(variant_reliability, label="ablation-ticks")
+    for lost, _label in variants:
+        plan.add(parameters, reliability, {"lost_ticks": lost})
+    results = plan.run(jobs=jobs)
     rows = []
     values = {}
-    for lost, label in ((False, "deferred (paper)"), (True, "lost")):
-        net = build_rejuvenation_net(parameters, lost_ticks=lost)
-        value = _expected_reliability(net, reliability)
+    for (_lost, label), value in zip(variants, results):
         values[label] = value
         rows.append([label, value])
     delta = abs(values["deferred (paper)"] - values["lost"])
@@ -175,16 +163,15 @@ def run_ablation_ticks() -> ExperimentReport:
     )
 
 
-def run_ablation_threshold() -> ExperimentReport:
+def run_ablation_threshold(*, jobs: int = 1) -> ExperimentReport:
     """2f+r+1 (Sousa bound, the paper) vs plain 2f+1 voting on 6 modules."""
     parameters = PerceptionParameters.six_version_defaults()
-    net = build_rejuvenation_net(parameters)
-    rows = []
-    values = {}
-    for threshold, label in (
+    variants = (
         (4, "2f+r+1 = 4 (paper, safe during rejuvenation)"),
         (3, "2f+1 = 3 (ignores rejuvenating replicas)"),
-    ):
+    )
+    plan = SweepPlan(variant_reliability, label="ablation-threshold")
+    for threshold, _label in variants:
         reliability = GeneralizedReliability(
             n_modules=6,
             threshold=threshold,
@@ -192,7 +179,11 @@ def run_ablation_threshold() -> ExperimentReport:
             p_prime=parameters.p_prime,
             alpha=parameters.alpha,
         )
-        value = _expected_reliability(net, reliability)
+        plan.add(parameters, reliability, None)
+    results = plan.run(jobs=jobs)
+    rows = []
+    values = {}
+    for (threshold, label), value in zip(variants, results):
         values[threshold] = value
         rows.append([label, value])
     return ExperimentReport(

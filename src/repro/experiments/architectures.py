@@ -17,20 +17,22 @@ collapses, while the BFT schemes balance the two.
 
 from __future__ import annotations
 
+from repro.engine import SweepPlan
+from repro.engine.tasks import expected_reliability
 from repro.experiments.report import ExperimentReport
 from repro.nversion.conventions import OutputConvention
 from repro.nversion.reliability import GeneralizedReliability
 from repro.nversion.voting import VotingScheme
-from repro.perception.evaluation import evaluate
 from repro.perception.parameters import PerceptionParameters
 
 
-def _evaluate_scheme(
+def _scheme_point(
+    plan: SweepPlan,
     scheme: VotingScheme,
     *,
     rejuvenation: bool,
     convention: OutputConvention,
-) -> float:
+) -> int:
     parameters = PerceptionParameters(
         n_modules=scheme.n_modules,
         f=1,
@@ -46,10 +48,10 @@ def _evaluate_scheme(
         alpha=parameters.alpha,
         convention=convention,
     )
-    return evaluate(parameters, reliability=reliability).expected_reliability
+    return plan.add(parameters, convention, reliability)
 
 
-def run_architectures() -> ExperimentReport:
+def run_architectures(*, jobs: int = 1) -> ExperimentReport:
     """Compare the related-work architectures under Table II faults."""
     zoo: list[tuple[str, VotingScheme, bool]] = [
         ("2-version agreement [9]", VotingScheme.unanimity(2), False),
@@ -62,16 +64,24 @@ def run_architectures() -> ExperimentReport:
             True,
         ),
     ]
-    rows = []
-    for name, scheme, rejuvenation in zoo:
-        safe = _evaluate_scheme(
-            scheme, rejuvenation=rejuvenation, convention=OutputConvention.SAFE_SKIP
+    plan = SweepPlan(expected_reliability, label="architectures")
+    for _name, scheme, rejuvenation in zoo:
+        _scheme_point(
+            plan,
+            scheme,
+            rejuvenation=rejuvenation,
+            convention=OutputConvention.SAFE_SKIP,
         )
-        strict = _evaluate_scheme(
+        _scheme_point(
+            plan,
             scheme,
             rejuvenation=rejuvenation,
             convention=OutputConvention.STRICT_CORRECT,
         )
+    results = plan.run(jobs=jobs)
+    rows = []
+    for position, (name, scheme, _rejuvenation) in enumerate(zoo):
+        safe, strict = results[2 * position], results[2 * position + 1]
         rows.append([name, scheme.n_modules, scheme.threshold, safe, strict])
 
     by_name = {row[0]: row for row in rows}

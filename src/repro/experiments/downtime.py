@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.engine import SweepPlan
+from repro.engine.tasks import expected_reliability
 from repro.experiments.report import ExperimentReport
 from repro.nversion.conventions import OutputConvention
-from repro.perception.evaluation import evaluate
 from repro.perception.parameters import PerceptionParameters
 
 INTERVALS: tuple[float, ...] = (150, 300, 600, 900, 1200, 1800, 2400, 3600, 4800)
@@ -35,23 +36,25 @@ REGIMES: tuple[tuple[str, float, float], ...] = (
 )
 
 
-def run_downtime(intervals: Sequence[float] = INTERVALS) -> ExperimentReport:
+def run_downtime(
+    intervals: Sequence[float] = INTERVALS, *, jobs: int = 1
+) -> ExperimentReport:
     """Strict-correct interval sweeps in two downtime/severity regimes."""
-    rows = []
-    series: dict[str, list[float]] = {}
-    peaks: dict[str, tuple[float, float]] = {}
-    for label, downtime, p_prime in REGIMES:
+    plan = SweepPlan(expected_reliability, label="ablation-downtime")
+    for _label, downtime, p_prime in REGIMES:
         base = PerceptionParameters.six_version_defaults(
             rejuvenation_time_per_module=downtime, p_prime=p_prime
         )
-        values = []
         for interval in intervals:
             configured = base.replace(rejuvenation_interval=float(interval))
-            values.append(
-                evaluate(
-                    configured, convention=OutputConvention.STRICT_CORRECT
-                ).expected_reliability
-            )
+            plan.add(configured, OutputConvention.STRICT_CORRECT)
+    results = plan.run(jobs=jobs)
+
+    rows = []
+    series: dict[str, list[float]] = {}
+    peaks: dict[str, tuple[float, float]] = {}
+    for position, (label, _downtime, _p_prime) in enumerate(REGIMES):
+        values = results[position * len(intervals) : (position + 1) * len(intervals)]
         series[label] = values
         best = max(range(len(values)), key=values.__getitem__)
         peaks[label] = (float(intervals[best]), values[best])

@@ -15,9 +15,10 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.analysis.optimize import optimal_rejuvenation_interval
+from repro.engine import SweepPlan
+from repro.engine.tasks import expected_reliability
 from repro.experiments.report import ExperimentReport
 from repro.nversion.conventions import OutputConvention
-from repro.perception.evaluation import evaluate
 from repro.perception.parameters import PerceptionParameters
 
 DEFAULT_INTERVALS: tuple[float, ...] = (
@@ -29,21 +30,22 @@ def run_fig3(
     intervals: Sequence[float] = DEFAULT_INTERVALS,
     *,
     find_optimum: bool = True,
+    jobs: int = 1,
 ) -> ExperimentReport:
     """Sweep the rejuvenation interval for the six-version system."""
     base = PerceptionParameters.six_version_defaults()
-    safe_skip: list[float] = []
-    strict: list[float] = []
-    rows = []
+    plan = SweepPlan(expected_reliability, label="fig3")
     for interval in intervals:
         configured = base.replace(rejuvenation_interval=float(interval))
-        r_safe = evaluate(configured).expected_reliability
-        r_strict = evaluate(
-            configured, convention=OutputConvention.STRICT_CORRECT
-        ).expected_reliability
-        safe_skip.append(r_safe)
-        strict.append(r_strict)
-        rows.append([float(interval), r_safe, r_strict])
+        plan.add(configured, OutputConvention.SAFE_SKIP)
+        plan.add(configured, OutputConvention.STRICT_CORRECT)
+    results = plan.run(jobs=jobs)
+    safe_skip = results[0::2]
+    strict = results[1::2]
+    rows = [
+        [float(interval), r_safe, r_strict]
+        for interval, r_safe, r_strict in zip(intervals, safe_skip, strict)
+    ]
 
     observations = [
         f"safe-skip E[R] falls from {safe_skip[0]:.5f} at {intervals[0]:.0f}s "

@@ -14,8 +14,9 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.analysis.crossover import find_crossovers
+from repro.engine import SweepPlan
+from repro.engine.tasks import expected_reliability
 from repro.experiments.report import ExperimentReport
-from repro.perception.evaluation import evaluate
 from repro.perception.parameters import PerceptionParameters
 
 GRID_MTTC: tuple[float, ...] = (
@@ -26,19 +27,21 @@ GRID_P: tuple[float, ...] = (0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.1
 GRID_P_PRIME: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
 
 
-def _sweep_both(parameter: str, values: Sequence[float]):
+def _sweep_both(parameter: str, values: Sequence[float], *, jobs: int = 1):
     """E[R] of both paper configurations over a shared grid."""
     four_base = PerceptionParameters.four_version_defaults()
     six_base = PerceptionParameters.six_version_defaults()
-    rows = []
-    four_series: list[float] = []
-    six_series: list[float] = []
+    plan = SweepPlan(expected_reliability, label=f"fig4:{parameter}")
     for value in values:
-        r4 = evaluate(four_base.replace(**{parameter: float(value)})).expected_reliability
-        r6 = evaluate(six_base.replace(**{parameter: float(value)})).expected_reliability
-        four_series.append(r4)
-        six_series.append(r6)
-        rows.append([float(value), r4, r6, "6v" if r6 > r4 else "4v"])
+        plan.add(four_base.replace(**{parameter: float(value)}))
+        plan.add(six_base.replace(**{parameter: float(value)}))
+    results = plan.run(jobs=jobs)
+    four_series = results[0::2]
+    six_series = results[1::2]
+    rows = [
+        [float(value), r4, r6, "6v" if r6 > r4 else "4v"]
+        for value, r4, r6 in zip(values, four_series, six_series)
+    ]
     return rows, four_series, six_series
 
 
@@ -58,9 +61,11 @@ def _crossover_observations(parameter: str, grid: Sequence[float]) -> list[str]:
     ]
 
 
-def run_fig4a(grid: Sequence[float] = GRID_MTTC) -> ExperimentReport:
+def run_fig4a(
+    grid: Sequence[float] = GRID_MTTC, *, jobs: int = 1
+) -> ExperimentReport:
     """Panel (a): mean time to compromise/degrade a module (1/λc)."""
-    rows, four_series, six_series = _sweep_both("mttc", grid)
+    rows, four_series, six_series = _sweep_both("mttc", grid, jobs=jobs)
     observations = _crossover_observations("mttc", grid)
     return ExperimentReport(
         experiment_id="fig4a",
@@ -76,9 +81,11 @@ def run_fig4a(grid: Sequence[float] = GRID_MTTC) -> ExperimentReport:
     )
 
 
-def run_fig4b(grid: Sequence[float] = GRID_ALPHA) -> ExperimentReport:
+def run_fig4b(
+    grid: Sequence[float] = GRID_ALPHA, *, jobs: int = 1
+) -> ExperimentReport:
     """Panel (b): error-probability dependency α."""
-    rows, four_series, six_series = _sweep_both("alpha", grid)
+    rows, four_series, six_series = _sweep_both("alpha", grid, jobs=jobs)
     span4 = (max(four_series) - min(four_series)) / max(four_series) * 100
     span6 = (max(six_series) - min(six_series)) / max(six_series) * 100
     return ExperimentReport(
@@ -97,9 +104,11 @@ def run_fig4b(grid: Sequence[float] = GRID_ALPHA) -> ExperimentReport:
     )
 
 
-def run_fig4c(grid: Sequence[float] = GRID_P) -> ExperimentReport:
+def run_fig4c(
+    grid: Sequence[float] = GRID_P, *, jobs: int = 1
+) -> ExperimentReport:
     """Panel (c): healthy-module inaccuracy p."""
-    rows, four_series, six_series = _sweep_both("p", grid)
+    rows, four_series, six_series = _sweep_both("p", grid, jobs=jobs)
     span4 = (max(four_series) - min(four_series)) / max(four_series) * 100
     span6 = (max(six_series) - min(six_series)) / max(six_series) * 100
     return ExperimentReport(
@@ -119,9 +128,11 @@ def run_fig4c(grid: Sequence[float] = GRID_P) -> ExperimentReport:
     )
 
 
-def run_fig4d(grid: Sequence[float] = GRID_P_PRIME) -> ExperimentReport:
+def run_fig4d(
+    grid: Sequence[float] = GRID_P_PRIME, *, jobs: int = 1
+) -> ExperimentReport:
     """Panel (d): compromised-module inaccuracy p'."""
-    rows, four_series, six_series = _sweep_both("p_prime", grid)
+    rows, four_series, six_series = _sweep_both("p_prime", grid, jobs=jobs)
     observations = _crossover_observations("p_prime", grid)
     return ExperimentReport(
         experiment_id="fig4d",

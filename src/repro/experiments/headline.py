@@ -7,21 +7,21 @@ rejuvenation), an improvement "superior to 13 %".
 
 from __future__ import annotations
 
+from repro.engine import SweepPlan
+from repro.engine.tasks import expected_reliability
 from repro.experiments.report import ExperimentReport
-from repro.perception.evaluation import evaluate
 from repro.perception.parameters import PerceptionParameters
 
 PAPER_FOUR_VERSION = 0.8233477
 PAPER_SIX_VERSION = 0.93464665
 
 
-def run_headline() -> ExperimentReport:
+def run_headline(*, jobs: int = 1) -> ExperimentReport:
     """Evaluate both paper configurations with Table II defaults."""
-    four = evaluate(PerceptionParameters.four_version_defaults())
-    six = evaluate(PerceptionParameters.six_version_defaults())
-
-    r4 = four.expected_reliability
-    r6 = six.expected_reliability
+    plan = SweepPlan(expected_reliability, label="table2-defaults")
+    plan.add(PerceptionParameters.four_version_defaults())
+    plan.add(PerceptionParameters.six_version_defaults())
+    r4, r6 = plan.run(jobs=jobs)
     improvement = (r6 / r4 - 1.0) * 100.0
     paper_improvement = (PAPER_SIX_VERSION / PAPER_FOUR_VERSION - 1.0) * 100.0
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.engine import SweepPlan
 from repro.experiments.report import ExperimentReport
 from repro.monitor.controller import MonitorController
 from repro.monitor.metrics import MonitorSummary
@@ -94,6 +95,13 @@ def run_policy(
     )
 
 
+def _policy_point(
+    parameters: PerceptionParameters, policy_name: str, options: dict
+) -> PolicyRun:
+    """Picklable sweep point: one policy in one scenario."""
+    return run_policy(parameters, policy_name, **options)
+
+
 def compare_policies(
     parameters: PerceptionParameters | None = None,
     *,
@@ -105,11 +113,14 @@ def compare_policies(
     attack: bool = True,
     threshold_bound: float = 0.9,
     detection_threshold: float = 0.5,
+    jobs: int = 1,
 ) -> list[PolicyRun]:
     """Run every policy in the steady (and optionally attack) scenario.
 
     All runs share the seed, the request stream and the rejuvenation
-    budget; only the *selection* of rejuvenation victims differs.
+    budget; only the *selection* of rejuvenation victims differs.  The
+    runs are independent simulations, so ``jobs`` fans them out over
+    worker processes without changing any trajectory.
     """
     parameters = parameters or PerceptionParameters.six_version_defaults()
     scenarios: list[tuple[str, AttackCampaign | None]] = [("steady", None)]
@@ -125,22 +136,24 @@ def compare_policies(
                 ),
             )
         )
-    return [
-        run_policy(
-            parameters,
-            policy_name,
-            duration=duration,
-            warmup=warmup,
-            request_period=request_period,
-            seed=seed,
-            campaign=campaign,
-            threshold_bound=threshold_bound,
-            detection_threshold=detection_threshold,
-            scenario=scenario,
-        )
-        for scenario, campaign in scenarios
-        for policy_name in policies
-    ]
+    plan = SweepPlan(_policy_point, label="monitor-policies")
+    for scenario, campaign in scenarios:
+        for policy_name in policies:
+            plan.add(
+                parameters,
+                policy_name,
+                dict(
+                    duration=duration,
+                    warmup=warmup,
+                    request_period=request_period,
+                    seed=seed,
+                    campaign=campaign,
+                    threshold_bound=threshold_bound,
+                    detection_threshold=detection_threshold,
+                    scenario=scenario,
+                ),
+            )
+    return plan.run(jobs=jobs)
 
 
 def _latency_cell(summary: MonitorSummary) -> "float | str":
@@ -149,9 +162,9 @@ def _latency_cell(summary: MonitorSummary) -> "float | str":
     return summary.mean_detection_latency
 
 
-def run_monitor_policies() -> ExperimentReport:
+def run_monitor_policies(*, jobs: int = 1) -> ExperimentReport:
     """The registered ``monitor-policies`` experiment."""
-    runs = compare_policies()
+    runs = compare_policies(jobs=jobs)
     rows = [
         [
             run.scenario,

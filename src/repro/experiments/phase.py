@@ -22,6 +22,8 @@ GRID_P_PRIME: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8)
 def run_phase_diagram(
     mttc_grid: Sequence[float] = GRID_MTTC,
     p_prime_grid: Sequence[float] = GRID_P_PRIME,
+    *,
+    jobs: int = 1,
 ) -> ExperimentReport:
     """Winner map over (mttc, p')."""
     diagram = phase_diagram(
@@ -30,6 +32,7 @@ def run_phase_diagram(
         "mttc", mttc_grid,
         "p_prime", p_prime_grid,
         label_a="4v", label_b="6v",
+        jobs=jobs,
     )
     rows = []
     for row_index, p_prime in enumerate(diagram.y_values):

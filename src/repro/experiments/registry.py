@@ -22,7 +22,7 @@ from repro.experiments.phase import run_phase_diagram
 from repro.experiments.report import ExperimentReport
 from repro.experiments.scaling import run_scaling
 
-_REGISTRY: dict[str, Callable[[], ExperimentReport]] = {
+_REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
     "table2-defaults": run_headline,
     "fig3": run_fig3,
     "fig4a": run_fig4a,
@@ -44,17 +44,22 @@ _REGISTRY: dict[str, Callable[[], ExperimentReport]] = {
 EXPERIMENT_IDS: tuple[str, ...] = tuple(_REGISTRY)
 
 
-def run_experiment(experiment_id: str) -> ExperimentReport:
+def run_experiment(experiment_id: str, *, jobs: int = 1) -> ExperimentReport:
     """Run one registered experiment by id.
+
+    ``jobs`` fans the experiment's sweep grid out over worker processes
+    through :class:`repro.engine.SweepPlan`; every runner guarantees a
+    report byte-identical to the serial one (``jobs=1``).
 
     Raises
     ------
     ParameterError
-        For unknown ids (the message lists the valid ones).
+        For unknown ids (the message lists the valid ones, sorted).
     """
     runner = _REGISTRY.get(experiment_id)
     if runner is None:
         raise ParameterError(
-            f"unknown experiment {experiment_id!r}; valid ids: {', '.join(EXPERIMENT_IDS)}"
+            f"unknown experiment {experiment_id!r}; "
+            f"valid ids: {', '.join(sorted(EXPERIMENT_IDS))}"
         )
-    return runner()
+    return runner(jobs=jobs)

@@ -14,13 +14,15 @@ pool or as a smaller clockless pool?
 
 from __future__ import annotations
 
+from repro.engine import SweepPlan
+from repro.engine.tasks import expected_reliability
 from repro.experiments.report import ExperimentReport
+from repro.nversion.conventions import OutputConvention
 from repro.nversion.reliability import GeneralizedReliability
-from repro.perception.evaluation import evaluate
 from repro.perception.parameters import PerceptionParameters
 
 
-def _generalized_value(parameters: PerceptionParameters) -> float:
+def _generalized_point(plan: SweepPlan, parameters: PerceptionParameters) -> int:
     reliability = GeneralizedReliability(
         n_modules=parameters.n_modules,
         threshold=parameters.voting_scheme.threshold,
@@ -28,32 +30,44 @@ def _generalized_value(parameters: PerceptionParameters) -> float:
         p_prime=parameters.p_prime,
         alpha=parameters.alpha,
     )
-    return evaluate(parameters, reliability=reliability).expected_reliability
+    return plan.add(parameters, OutputConvention.SAFE_SKIP, reliability)
 
 
-def run_scaling(max_modules: int = 9) -> ExperimentReport:
+def run_scaling(max_modules: int = 9, *, jobs: int = 1) -> ExperimentReport:
     """E[R] vs module count for both architectures (f=1), plus f=2."""
+    grid = list(range(4, max_modules + 1))
+    plan = SweepPlan(expected_reliability, label="scaling")
+    plain_slots: list[int] = []
+    rejuvenating_slots: dict[int, int] = {}
+    for n in grid:
+        plain_slots.append(
+            _generalized_point(
+                plan, PerceptionParameters(n_modules=n, f=1, rejuvenation=False)
+            )
+        )
+        if n >= 6:
+            rejuvenating_slots[n] = _generalized_point(
+                plan,
+                PerceptionParameters(n_modules=n, f=1, r=1, rejuvenation=True),
+            )
+    f2_slot = _generalized_point(
+        plan, PerceptionParameters(n_modules=9, f=2, r=1, rejuvenation=True)
+    )
+    results = plan.run(jobs=jobs)
+
     rows = []
     series_plain: list[float] = []
     series_rejuvenating: list[float] = []
-    grid = list(range(4, max_modules + 1))
-    for n in grid:
-        plain = _generalized_value(
-            PerceptionParameters(n_modules=n, f=1, rejuvenation=False)
+    for position, n in enumerate(grid):
+        plain = results[plain_slots[position]]
+        rejuvenating = (
+            results[rejuvenating_slots[n]] if n in rejuvenating_slots else float("nan")
         )
         series_plain.append(plain)
-        if n >= 6:
-            rejuvenating = _generalized_value(
-                PerceptionParameters(n_modules=n, f=1, r=1, rejuvenation=True)
-            )
-        else:
-            rejuvenating = float("nan")
         series_rejuvenating.append(rejuvenating)
         rows.append([n, plain, rejuvenating])
 
-    f2 = _generalized_value(
-        PerceptionParameters(n_modules=9, f=2, r=1, rejuvenation=True)
-    )
+    f2 = results[f2_slot]
     plain_direction = (
         "helps" if series_plain[-1] > series_plain[0] else "actively hurts"
     )

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.dspn import SteadyStateResult, solve_steady_state
 from repro.nversion.conventions import OutputConvention
 from repro.nversion.reliability import (
@@ -27,7 +29,6 @@ from repro.perception.no_rejuvenation import build_no_rejuvenation_net
 from repro.perception.parameters import PerceptionParameters
 from repro.perception.rejuvenation import build_rejuvenation_net
 from repro.perception.statemap import ModuleCounts, module_counts
-from repro.petri.marking import Marking
 
 
 def default_reliability_function(
@@ -133,23 +134,25 @@ def evaluate(
     )
     solution = solve_steady_state(net, max_states=max_states)
 
-    def reward(marking: Marking) -> float:
-        counts = module_counts(marking)
-        return reliability(counts.healthy, counts.compromised, counts.unavailable)
-
     state_probabilities: dict[ModuleCounts, float] = {}
     state_reliability: dict[ModuleCounts, float] = {}
-    for marking, probability in zip(solution.markings, solution.pi):
+    rewards = np.empty(len(solution.pi), dtype=float)
+    for index, (marking, probability) in enumerate(
+        zip(solution.markings, solution.pi)
+    ):
         counts = module_counts(marking)
         state_probabilities[counts] = state_probabilities.get(counts, 0.0) + float(
             probability
         )
         if counts not in state_reliability:
-            state_reliability[counts] = reliability(
-                counts.healthy, counts.compromised, counts.unavailable
+            state_reliability[counts] = float(
+                reliability(counts.healthy, counts.compromised, counts.unavailable)
             )
+        rewards[index] = state_reliability[counts]
 
-    expected = solution.expected_reward(reward)
+    # Same contraction as SteadyStateResult.expected_reward (Eq. 1),
+    # with each distinct (i, j, k) evaluated once instead of per marking.
+    expected = float(solution.pi @ rewards)
     return EvaluationResult(
         expected_reliability=expected,
         state_probabilities=state_probabilities,

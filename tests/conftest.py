@@ -8,6 +8,21 @@ from repro.perception.parameters import PerceptionParameters
 from repro.petri import NetBuilder
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes exercised by the engine differential tests",
+    )
+
+
+@pytest.fixture
+def engine_jobs(request) -> int:
+    """The --jobs value the parallel differential tests run with."""
+    return request.config.getoption("--jobs")
+
+
 @pytest.fixture
 def two_state_net():
     """A minimal up/down repairable component (2-state CTMC)."""

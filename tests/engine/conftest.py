@@ -1,0 +1,30 @@
+"""Fixtures for the engine differential harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import cache_override
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="module")
+def baseline_render():
+    """Lazily computed serial, uncached render of each experiment.
+
+    The uncached serial run is the reference semantics every other
+    execution mode (cached, parallel) must reproduce byte-for-byte;
+    computing it once per module keeps the harness at one reference
+    pass over the registry.
+    """
+    renders: dict[str, str] = {}
+
+    def get(experiment_id: str) -> str:
+        if experiment_id not in renders:
+            with cache_override(enabled=False):
+                renders[experiment_id] = run_experiment(experiment_id).render(
+                    plot=False
+                )
+        return renders[experiment_id]
+
+    return get

@@ -1,0 +1,115 @@
+"""Satellite (b): pin the headline numbers to engine-produced reports.
+
+Unlike ``tests/integration/test_paper_numbers.py`` (which calls the
+evaluation pipeline directly), these regressions go through the full
+experiment engine — registry dispatch, sweep plans, and the solver
+cache — so a caching or reassembly bug that shifted any Table 2 /
+Fig. 3 / Fig. 4 value would trip here even if the pipeline itself is
+sound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine import cache_override
+from repro.experiments.registry import run_experiment
+
+# Calibrated reproduction values (see tests/integration/test_paper_numbers.py).
+REPRO_4V = 0.8223487
+REPRO_6V = 0.9430077
+
+# Fig. 3 safe-skip curve: (interval_s, E[R]) at the grid's anchor points.
+FIG3_SAFE_SKIP = {
+    200.0: 0.9455769,
+    600.0: 0.9430077,
+    3000.0: 0.8597921,
+}
+
+# Fig. 4a crossover: the 6v system overtakes between mttc 300 and 400 s.
+FIG4A_ROWS = {
+    300.0: (0.7607621, 0.7579736, "4v"),
+    400.0: (0.7648030, 0.8007264, "6v"),
+}
+
+# Fig. 4d crossover: the 6v system wins only for p' >= 0.3.
+FIG4D_ROWS = {
+    0.2: (0.9794315, 0.9648685, "4v"),
+    0.3: (0.9487418, 0.9585874, "6v"),
+    0.5: (0.8223487, 0.9430077, "6v"),
+}
+
+TOLERANCE = 1e-6
+
+
+@pytest.fixture(scope="module", params=["serial", "cached-parallel"])
+def engine_report(request, tmp_path_factory):
+    """Run an experiment through both engine execution modes."""
+    mode = request.param
+    reports: dict[str, object] = {}
+
+    def get(experiment_id: str):
+        if experiment_id not in reports:
+            if mode == "serial":
+                with cache_override(enabled=False):
+                    reports[experiment_id] = run_experiment(experiment_id)
+            else:
+                directory = tmp_path_factory.mktemp("engine-regression")
+                with cache_override(enabled=True, directory=directory):
+                    reports[experiment_id] = run_experiment(
+                        experiment_id, jobs=2
+                    )
+        return reports[experiment_id]
+
+    return get
+
+
+class TestTable2:
+    def test_headline_values(self, engine_report):
+        report = engine_report("table2-defaults")
+        values = {row[0]: row[1] for row in report.rows}
+        assert math.isclose(
+            values["4-version (no rejuvenation)"], REPRO_4V, abs_tol=TOLERANCE
+        )
+        assert math.isclose(
+            values["6-version (rejuvenation)"], REPRO_6V, abs_tol=TOLERANCE
+        )
+
+
+class TestFig3:
+    def test_safe_skip_anchor_points(self, engine_report):
+        report = engine_report("fig3")
+        curve = {row[0]: row[1] for row in report.rows}
+        for interval, expected in FIG3_SAFE_SKIP.items():
+            assert math.isclose(curve[interval], expected, abs_tol=TOLERANCE)
+
+    def test_table2_interval_matches_headline(self, engine_report):
+        report = engine_report("fig3")
+        curve = {row[0]: row[1] for row in report.rows}
+        assert math.isclose(curve[600.0], REPRO_6V, abs_tol=TOLERANCE)
+
+
+class TestFig4:
+    def test_fig4a_crossover(self, engine_report):
+        report = engine_report("fig4a")
+        rows = {row[0]: (row[1], row[2], row[3]) for row in report.rows}
+        for mttc, (four, six, winner) in FIG4A_ROWS.items():
+            assert math.isclose(rows[mttc][0], four, abs_tol=TOLERANCE)
+            assert math.isclose(rows[mttc][1], six, abs_tol=TOLERANCE)
+            assert rows[mttc][2] == winner
+
+    def test_fig4d_crossover(self, engine_report):
+        report = engine_report("fig4d")
+        rows = {row[0]: (row[1], row[2], row[3]) for row in report.rows}
+        for p_prime, (four, six, winner) in FIG4D_ROWS.items():
+            assert math.isclose(rows[p_prime][0], four, abs_tol=TOLERANCE)
+            assert math.isclose(rows[p_prime][1], six, abs_tol=TOLERANCE)
+            assert rows[p_prime][2] == winner
+
+    def test_fig4d_default_point_is_table2(self, engine_report):
+        report = engine_report("fig4d")
+        rows = {row[0]: (row[1], row[2]) for row in report.rows}
+        assert math.isclose(rows[0.5][0], REPRO_4V, abs_tol=TOLERANCE)
+        assert math.isclose(rows[0.5][1], REPRO_6V, abs_tol=TOLERANCE)

@@ -34,6 +34,14 @@ class TestRegistry:
         with pytest.raises(ParameterError, match="valid ids"):
             run_experiment("fig99")
 
+    def test_unknown_id_message_lists_sorted_registry(self):
+        with pytest.raises(ParameterError) as error:
+            run_experiment("fig99")
+        message = str(error.value)
+        assert "'fig99'" in message
+        listed = message.split("valid ids: ")[1].split(", ")
+        assert listed == sorted(EXPERIMENT_IDS)
+
     def test_run_by_id(self):
         report = run_experiment("table2-defaults")
         assert report.experiment_id == "table2-defaults"
