@@ -7,6 +7,7 @@ Usage (also available as ``python -m repro``)::
     repro sweep --six --parameter p_prime --values 0.1,0.3,0.5,0.8
     repro experiments fig3 fig4a               # regenerate paper artifacts
     repro experiments --list
+    repro verify --all                         # lint + certify every net
     repro simulate --six --horizon 100000      # Monte-Carlo cross-check
     repro monitor --six --attack               # rejuvenation-policy shootout
     repro dot --six                            # Graphviz of the DSPN
@@ -175,6 +176,28 @@ def _command_experiments(args: argparse.Namespace) -> int:
         )
         print()
     return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENT_IDS
+    from repro.verify.runner import verify_experiments
+
+    if args.list:
+        for experiment_id in EXPERIMENT_IDS:
+            print(experiment_id)
+        return 0
+    _apply_cache_flags(args)
+    ids = args.ids or None
+    if args.all and args.ids:
+        raise SystemExit("--all and explicit experiment ids are mutually exclusive")
+    report = verify_experiments(
+        ids,
+        jobs=args.jobs,
+        tolerance=args.tolerance,
+        oracles=not args.no_oracles,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
@@ -359,6 +382,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-plot", action="store_true", help="suppress ASCII plots"
     )
     experiments.set_defaults(handler=_command_experiments)
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="lint + certify the experiment nets and run the statistical "
+        "oracles (exit 1 on any failure)",
+    )
+    verify.add_argument(
+        "ids", nargs="*", help="experiment ids to verify (default: all)"
+    )
+    verify.add_argument(
+        "--all", action="store_true",
+        help="verify the whole registry (the default; spelled out for CI)",
+    )
+    verify.add_argument("--list", action="store_true", help="list ids and exit")
+    verify.add_argument(
+        "--tolerance", type=float, default=1e-9,
+        help="certificate residual tolerance (default 1e-9)",
+    )
+    verify.add_argument(
+        "--no-oracles", action="store_true",
+        help="skip the simulation-backed statistical oracles",
+    )
+    _add_engine_arguments(verify)
+    verify.set_defaults(handler=_command_verify)
 
     simulate = subparsers.add_parser(
         "simulate", help="Monte-Carlo cross-check of the analytic result"

@@ -24,6 +24,7 @@ from repro.dspn.rewards import reward_vector
 from repro.dspn.simulate import (
     SimulationEstimate,
     TransientProfile,
+    replication_averages,
     simulate,
     transient_profile,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "SimulationEstimate",
     "SteadyStateResult",
     "TransientProfile",
+    "replication_averages",
     "reward_vector",
     "simulate",
     "solve_steady_state",

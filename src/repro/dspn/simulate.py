@@ -77,6 +77,37 @@ class SimulationEstimate:
         return low <= value <= high
 
 
+def replication_averages(
+    net: PetriNet,
+    *,
+    reward: RewardFunction,
+    horizon: float,
+    warmup: float = 0.0,
+    replications: int = 10,
+    seed: int | None = None,
+) -> list[float]:
+    """Per-replication time-averages of ``reward`` — the raw samples.
+
+    This is the sampling core of :func:`simulate`, exposed so callers
+    that need the individual replication averages (e.g. the sequential
+    agreement oracle in :mod:`repro.verify.oracles`, which accumulates
+    batches drawn with consecutive seeds) can aggregate them their own
+    way.  ``replications >= 1`` here; :func:`simulate` additionally
+    requires two for a confidence interval.
+    """
+    if horizon <= 0:
+        raise SimulationError(f"horizon must be > 0, got {horizon}")
+    if warmup < 0:
+        raise SimulationError(f"warmup must be >= 0, got {warmup}")
+    if replications < 1:
+        raise SimulationError(f"need >= 1 replication, got {replications}")
+    rng = np.random.default_rng(seed)
+    return [
+        _run_replication(net, reward, horizon, warmup, rng)
+        for _ in range(replications)
+    ]
+
+
 def simulate(
     net: PetriNet,
     *,
@@ -104,18 +135,17 @@ def simulate(
     seed:
         Seed of the underlying ``numpy`` generator for reproducibility.
     """
-    if horizon <= 0:
-        raise SimulationError(f"horizon must be > 0, got {horizon}")
-    if warmup < 0:
-        raise SimulationError(f"warmup must be >= 0, got {warmup}")
     if replications < 2:
         raise SimulationError(f"need >= 2 replications, got {replications}")
 
-    rng = np.random.default_rng(seed)
-    averages = [
-        _run_replication(net, reward, horizon, warmup, rng)
-        for _ in range(replications)
-    ]
+    averages = replication_averages(
+        net,
+        reward=reward,
+        horizon=horizon,
+        warmup=warmup,
+        replications=replications,
+        seed=seed,
+    )
     mean = float(np.mean(averages))
     std = float(np.std(averages, ddof=1))
     half_width = _t_quantile(replications) * std / math.sqrt(replications)

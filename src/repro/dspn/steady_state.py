@@ -4,17 +4,21 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.dspn.ctmc_builder import build_ctmc
 from repro.dspn.mrgp_builder import build_mrgp_kernels
 from repro.dspn.rewards import RewardFunction, reward_vector
-from repro.errors import ParameterError, UnsupportedModelError
+from repro.errors import ParameterError, UnsupportedModelError, VerificationError
 from repro.markov.mrgp import solve_mrgp
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
 from repro.statespace import TangibleGraph, tangible_reachability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.verify.certify import Certificate
 
 #: Analytic routes accepted by :func:`solve_steady_state`.
 METHODS = ("auto", "ctmc", "mrgp")
@@ -34,12 +38,17 @@ class SteadyStateResult:
         ``"ctmc"`` or ``"mrgp"`` — which analytic route was taken.
     graph:
         The underlying tangible reachability graph (for diagnostics).
+    certificate:
+        Numerical certificate attached when the solve was requested with
+        ``verify=...`` (``None`` otherwise).  Travels with the result
+        through the engine cache.
     """
 
     markings: list[Marking]
     pi: np.ndarray
     method: str
     graph: TangibleGraph
+    certificate: "Certificate | None" = None
 
     def expected_reward(self, reward: RewardFunction) -> float:
         """Eq. 1: the ``pi``-weighted sum of ``reward`` over markings."""
@@ -58,12 +67,30 @@ class SteadyStateResult:
         return pairs
 
 
+def _verification_tolerance(verify: "bool | float | None") -> float | None:
+    """Normalize the ``verify`` argument to a tolerance (or ``None``)."""
+    if verify is None or verify is False:
+        return None
+    if verify is True:
+        from repro.verify.certify import DEFAULT_TOLERANCE
+
+        return DEFAULT_TOLERANCE
+    if isinstance(verify, (int, float)):
+        if verify <= 0:
+            raise ParameterError(f"verify tolerance must be > 0, got {verify}")
+        return float(verify)
+    raise ParameterError(
+        f"verify must be None, a bool, or a positive tolerance, got {verify!r}"
+    )
+
+
 def solve_steady_state(
     net: PetriNet,
     *,
     max_states: int = 200_000,
     method: str = "auto",
     use_cache: bool | None = None,
+    verify: "bool | float | None" = None,
 ) -> SteadyStateResult:
     """Solve ``net`` for its stationary marking distribution.
 
@@ -80,6 +107,17 @@ def solve_steady_state(
     caching is disabled globally or via ``use_cache=False``.  Cached
     results are shared objects: treat them as immutable.
 
+    ``verify`` requests a post-hoc numerical certificate of the returned
+    distribution (see :mod:`repro.verify.certify`): ``True`` certifies
+    at the default ``1e-9`` residual tolerance, a positive float sets a
+    custom tolerance, and ``None``/``False`` (the default) skips
+    certification.  Certified results carry their
+    :class:`~repro.verify.certify.Certificate` into the cache; on a
+    cache hit under ``verify``, an entry whose certificate is missing or
+    stale is re-certified in place, and one whose certificate fails (or
+    that fails re-certification) is **refused** and recomputed from
+    scratch.
+
     Raises
     ------
     StateSpaceError
@@ -90,15 +128,21 @@ def solve_steady_state(
         or if ``method="ctmc"`` is requested for a deterministic net.
     SolverError
         If the resulting process has no unique stationary distribution.
+    VerificationError
+        If ``verify`` is requested and the freshly computed solution
+        fails its certificate.
     """
     if method not in METHODS:
         raise ParameterError(
             f"unknown method {method!r}; choose from {', '.join(METHODS)}"
         )
+    tolerance = _verification_tolerance(verify)
 
     # Lazy import: the engine package imports SteadyStateResult from here.
     from repro.engine.cache import active_cache
-    from repro.engine.hashing import solver_cache_key
+    from repro.engine.hashing import net_fingerprint, solver_cache_key
+
+    fingerprint = net_fingerprint(net) if tolerance is not None else None
 
     cache = active_cache() if use_cache in (None, True) else None
     key = None
@@ -106,13 +150,72 @@ def solve_steady_state(
         key = solver_cache_key(net, max_states=max_states, method=method)
         cached = cache.get(key)
         if cached is not None:
-            return cached
+            if tolerance is None:
+                return cached
+            served = _serve_verified(cache, key, cached, fingerprint, tolerance)
+            if served is not None:
+                return served
+            # stale-and-failing or failing certificate: refuse the entry
 
     result = _solve_uncached(net, max_states=max_states, method=method)
     result.pi.setflags(write=False)  # cached results are shared; freeze
+    if tolerance is not None:
+        result.certificate = _certify_or_raise(result, fingerprint, tolerance)
     if cache is not None and key is not None:
         cache.put(key, result)
     return result
+
+
+def _serve_verified(
+    cache,
+    key: str,
+    cached: SteadyStateResult,
+    fingerprint: str | None,
+    tolerance: float,
+) -> SteadyStateResult | None:
+    """Vet a cache hit under ``verify``; ``None`` means refuse the entry.
+
+    A hit with a current, passing certificate at (or below) the
+    requested tolerance is served as-is.  A hit whose certificate is
+    missing, stale, or looser than requested is re-certified in place —
+    cheap, no state-space rebuild — and re-stored on success.  Anything
+    that fails certification is refused so the caller recomputes.
+    """
+    certificate = getattr(cached, "certificate", None)
+    if (
+        certificate is not None
+        and certificate.passed
+        and certificate.is_current(fingerprint)
+        and certificate.tolerance <= tolerance
+    ):
+        return cached
+    if certificate is not None and certificate.is_current(fingerprint):
+        if certificate.tolerance <= tolerance:
+            return None  # current, tight enough, and failing: refuse
+    from repro.verify.certify import certify_steady_state
+
+    fresh = certify_steady_state(cached, fingerprint=fingerprint, tolerance=tolerance)
+    if not fresh.passed:
+        return None
+    cached.certificate = fresh
+    cache.put(key, cached)
+    return cached
+
+
+def _certify_or_raise(
+    result: SteadyStateResult, fingerprint: str | None, tolerance: float
+) -> "Certificate":
+    from repro.verify.certify import certify_steady_state
+
+    certificate = certify_steady_state(
+        result, fingerprint=fingerprint, tolerance=tolerance
+    )
+    if not certificate.passed:
+        failures = "; ".join(check.render() for check in certificate.failures())
+        raise VerificationError(
+            f"steady-state solution failed certification: {failures}"
+        )
+    return certificate
 
 
 def _solve_uncached(

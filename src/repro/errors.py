@@ -58,3 +58,14 @@ class UnsupportedModelError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation could not be carried out."""
+
+
+class VerificationError(ReproError):
+    """A solver result failed its post-hoc certification.
+
+    Raised by :func:`repro.dspn.steady_state.solve_steady_state` when
+    ``verify`` is requested and the returned distribution violates one of
+    its numerical certificates (negative mass, normalization drift, or a
+    balance-equation residual above tolerance) — see
+    :mod:`repro.verify.certify`.
+    """

@@ -38,14 +38,24 @@ class ServerSemantics(enum.Enum):
     INFINITE = "infinite"
 
 
-def as_marking_function(name: str, value: RateLike) -> MarkingFunction:
-    """Wrap a constant into a marking function; pass callables through."""
+def as_marking_function(
+    name: str, value: RateLike, *, require_positive: bool = False
+) -> MarkingFunction:
+    """Wrap a constant into a marking function; pass callables through.
+
+    ``require_positive`` rejects constant values ≤ 0 *eagerly*, at
+    construction time.  Callables cannot be vetted until evaluated
+    against a marking, so they are still checked lazily (by ``rate_in``
+    / ``weight_in``) — and flagged by lint rules V002/V008.
+    """
     if callable(value):
         return value
     try:
         constant = float(value)
     except (TypeError, ValueError) as exc:
         raise ParameterError(f"{name} must be a number or callable, got {value!r}") from exc
+    if require_positive and constant <= 0.0:
+        raise ParameterError(f"{name} must be > 0, got {constant}")
 
     def constant_function(_: Marking, _constant: float = constant) -> float:
         return _constant
@@ -112,7 +122,9 @@ class ImmediateTransition(Transition):
         guard: GuardFunction | None = None,
     ) -> None:
         super().__init__(name, guard=guard)
-        self.weight = as_marking_function(f"weight of {name!r}", weight)
+        self.weight = as_marking_function(
+            f"weight of {name!r}", weight, require_positive=True
+        )
         if priority < 0:
             raise ModelDefinitionError(
                 f"priority of transition {name!r} must be >= 0, got {priority}"
@@ -144,7 +156,9 @@ class ExponentialTransition(Transition):
         guard: GuardFunction | None = None,
     ) -> None:
         super().__init__(name, guard=guard)
-        self.rate = as_marking_function(f"rate of {name!r}", rate)
+        self.rate = as_marking_function(
+            f"rate of {name!r}", rate, require_positive=True
+        )
         if not isinstance(server, ServerSemantics):
             raise ModelDefinitionError(
                 f"server of transition {name!r} must be a ServerSemantics value"

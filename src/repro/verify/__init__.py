@@ -1,0 +1,77 @@
+"""Correctness tooling: model linting, numerical certificates, oracles.
+
+The paper's headline claim (Eq. 1) is only as trustworthy as the DSPN
+solutions beneath it.  This package turns the simulator-vs-analytic spot
+checks scattered through the test suite into a first-class verification
+layer with three cooperating pieces:
+
+* :mod:`repro.verify.lint` — a **structural model linter** walking any
+  :class:`~repro.petri.net.PetriNet` for dead transitions, unreachable
+  places, conflicting deterministic clocks, guard contradictions and
+  friends, each finding carrying a severity and a stable rule id
+  (``V001``…);
+* :mod:`repro.verify.certify` — **numerical certificates** post-checking
+  every solver result (π ≥ 0, Σπ = 1, balance residuals, Eq. 1 reward
+  bounds) as machine-readable :class:`~repro.verify.certify.Certificate`
+  objects that the engine cache stores alongside solutions and refuses
+  to serve when stale or failing;
+* :mod:`repro.verify.oracles` — **statistical oracles** generalizing the
+  simulator-agreement tests into library code: confidence intervals,
+  a sequential two-sided agreement test against the analytic π, and
+  metamorphic relations on E[R_sys].
+
+:mod:`repro.verify.targets` maps every registered experiment to the nets
+it solves, and :mod:`repro.verify.runner` lints + certifies the whole
+registry deterministically (the ``repro verify`` CLI subcommand).
+"""
+
+from repro.verify.certify import (
+    CERTIFICATE_VERSION,
+    Certificate,
+    CertificateCheck,
+    certify_expected_reward,
+    certify_steady_state,
+)
+from repro.verify.lint import (
+    LINT_RULES,
+    LintFinding,
+    LintReport,
+    Severity,
+    lint_net,
+)
+from repro.verify.oracles import (
+    OracleResult,
+    monotone_degradation,
+    normal_interval,
+    relabeling_invariance,
+    sequential_agreement,
+    threshold_consistency,
+    wilson_interval,
+)
+from repro.verify.runner import VerificationReport, verify_experiments
+from repro.verify.targets import VerifyTarget, experiment_targets, paper_net_targets
+
+__all__ = [
+    "CERTIFICATE_VERSION",
+    "Certificate",
+    "CertificateCheck",
+    "LINT_RULES",
+    "LintFinding",
+    "LintReport",
+    "OracleResult",
+    "Severity",
+    "VerificationReport",
+    "VerifyTarget",
+    "certify_expected_reward",
+    "certify_steady_state",
+    "experiment_targets",
+    "lint_net",
+    "monotone_degradation",
+    "normal_interval",
+    "paper_net_targets",
+    "relabeling_invariance",
+    "sequential_agreement",
+    "threshold_consistency",
+    "verify_experiments",
+    "wilson_interval",
+]

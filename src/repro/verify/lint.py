@@ -1,0 +1,505 @@
+"""Structural model linter for DSPNs.
+
+:func:`lint_net` walks a :class:`~repro.petri.net.PetriNet` — its static
+structure plus a bounded, failure-tolerant reachability survey — and
+reports findings against a fixed rule catalogue.  Each finding carries a
+stable rule id (``V001``…), a severity, the offending element and a
+human-readable message; reports render deterministically so they can be
+diffed across runs and machines.
+
+The survey is deliberately *defensive*: unlike
+:func:`repro.statespace.reachability.explore`, which raises on the first
+bad rate or weight, the linter evaluates every marking-dependent
+quantity under ``try``/``except`` and converts failures into findings.
+A net that cannot even be explored still gets a useful report.
+
+Rule catalogue (see ``docs/VERIFY.md`` for the full discussion):
+
+========  ========  =====================================================
+rule id   severity  meaning
+========  ========  =====================================================
+``V001``  error     dead transition: never enabled in any reachable marking
+``V002``  error     exponential rate evaluates ≤ 0 (or raises) while enabled
+``V003``  error     ≥ 2 deterministic transitions enabled in one marking
+``V004``  warning   place never marked in any reachable marking
+``V005``  warning   exploration bound hit — the net may be unbounded
+``V006``  warning   disconnected element: place/transition with no arcs
+``V007``  error     guard contradiction: token-enabled but guard never true
+``V008``  error     immediate weight evaluates ≤ 0 (or raises) while competing
+``V009``  info      reachable dead marking (absorbing deadlock)
+``V010``  error     vanishing loop: immediate firings never reach a tangible
+                    marking
+``V011``  warning   transition moves no tokens (guard/inhibitor-only)
+========  ========  =====================================================
+
+Rules V001/V004/V007/V009/V010 need the full reachable set, so they are
+suppressed when the exploration bound is hit (V005 fires instead).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.transition import (
+    DeterministicTransition,
+    ExponentialTransition,
+    ImmediateTransition,
+    Transition,
+)
+
+#: Default bound on the number of markings the lint survey explores.
+DEFAULT_LINT_MAX_STATES = 50_000
+
+#: The rule catalogue: id -> (severity name, one-line title).
+LINT_RULES: dict[str, tuple[str, str]] = {
+    "V001": ("error", "dead transition (never enabled in any reachable marking)"),
+    "V002": ("error", "exponential rate evaluates <= 0 or raises while enabled"),
+    "V003": ("error", "conflicting deterministic clocks enabled together"),
+    "V004": ("warning", "place never marked in any reachable marking"),
+    "V005": ("warning", "exploration bound hit; the net may be unbounded"),
+    "V006": ("warning", "disconnected element (no arcs attached)"),
+    "V007": ("error", "guard contradiction (token-enabled, guard never true)"),
+    "V008": ("error", "immediate weight evaluates <= 0 or raises while competing"),
+    "V009": ("info", "reachable dead marking (absorbing deadlock)"),
+    "V010": ("error", "vanishing loop (immediate firings never reach tangible)"),
+    "V011": ("warning", "transition moves no tokens (guard/inhibitor-only)"),
+}
+
+
+class Severity(enum.Enum):
+    """Severity of a lint finding, ordered error > warning > info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter finding: a rule violated by one net element."""
+
+    rule: str
+    severity: Severity
+    element: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.rule} {self.severity.value:7s} {self.element}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """All findings for one net, plus survey metadata.
+
+    ``truncated`` means the reachability survey hit its bound, so the
+    whole-state-space rules (V001/V004/V007/V009/V010) were suppressed.
+    """
+
+    net_name: str
+    n_markings: int
+    truncated: bool
+    findings: tuple[LintFinding, ...] = field(default_factory=tuple)
+
+    @property
+    def errors(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the net is free of error-severity findings."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.rule == rule)
+
+    def render(self) -> str:
+        """Deterministic text rendering (one line per finding)."""
+        header = (
+            f"lint {self.net_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) over {self.n_markings} marking(s)"
+            + (" [truncated]" if self.truncated else "")
+        )
+        lines = [header]
+        lines.extend(f"  {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the defensive reachability survey
+# ----------------------------------------------------------------------
+@dataclass
+class _Survey:
+    """What one bounded, failure-tolerant exploration learned."""
+
+    n_markings: int = 0
+    truncated: bool = False
+    ever_enabled: set[str] = field(default_factory=set)
+    token_enabled: set[str] = field(default_factory=set)  # ignoring the guard
+    guard_true_somewhere: set[str] = field(default_factory=set)
+    marked_places: set[str] = field(default_factory=set)
+    deadlock_markings: list[Marking] = field(default_factory=list)
+    det_conflicts: dict[frozenset[str], Marking] = field(default_factory=dict)
+    rate_failures: dict[str, str] = field(default_factory=dict)
+    weight_failures: dict[str, str] = field(default_factory=dict)
+    # immediate successor edges per vanishing state (for loop detection)
+    vanishing: list[bool] = field(default_factory=list)
+    successors: list[list[int]] = field(default_factory=list)
+    markings: list[Marking] = field(default_factory=list)
+
+
+def _degree_ignoring_guard(net: PetriNet, transition: Transition, marking: Marking) -> int:
+    """Enabling degree with the guard treated as vacuously true."""
+    for arc in net.inhibitor_arcs(transition.name):
+        if marking[arc.place] >= _safe_multiplicity(arc, marking):
+            return 0
+    degree: int | None = None
+    for arc in net.input_arcs(transition.name):
+        needed = _safe_multiplicity(arc, marking)
+        if needed == 0:
+            continue
+        available = marking[arc.place] // needed
+        degree = available if degree is None else min(degree, available)
+        if degree == 0:
+            return 0
+    if degree is None:
+        degree = 1
+    for arc in net.output_arcs(transition.name):
+        place = net.places[arc.place]
+        if place.capacity is not None:
+            produced = _safe_multiplicity(arc, marking)
+            if produced and marking[arc.place] + produced > place.capacity:
+                return 0
+    return degree
+
+
+def _safe_multiplicity(arc, marking: Marking) -> int:
+    try:
+        return arc.multiplicity_in(marking)
+    except Exception:
+        return 0
+
+
+def _guard_value(transition: Transition, marking: Marking) -> bool:
+    """The guard's verdict; a raising guard counts as false."""
+    try:
+        return transition.guard_satisfied(marking)
+    except Exception:
+        return False
+
+
+def _survey(net: PetriNet, max_states: int) -> _Survey:
+    """Bounded BFS over the reachable markings, tolerant of bad callables."""
+    survey = _Survey()
+    immediates = net.immediate_transitions()
+    timed = [t for t in net.transitions.values() if t.is_timed]
+
+    initial = net.initial_marking()
+    index: dict[Marking, int] = {initial: 0}
+    survey.markings.append(initial)
+    survey.successors.append([])
+    survey.vanishing.append(False)
+    queue: deque[int] = deque([0])
+
+    def intern(marking: Marking) -> int | None:
+        found = index.get(marking)
+        if found is not None:
+            return found
+        if len(survey.markings) >= max_states:
+            survey.truncated = True
+            return None
+        position = len(survey.markings)
+        index[marking] = position
+        survey.markings.append(marking)
+        survey.successors.append([])
+        survey.vanishing.append(False)
+        queue.append(position)
+        return position
+
+    while queue:
+        state = queue.popleft()
+        marking = survey.markings[state]
+        for name, tokens in marking.items():
+            if tokens > 0:
+                survey.marked_places.add(name)
+
+        enabled_immediate: list[ImmediateTransition] = []
+        for transition in immediates:
+            token_degree = _degree_ignoring_guard(net, transition, marking)
+            if token_degree > 0:
+                survey.token_enabled.add(transition.name)
+                if _guard_value(transition, marking):
+                    survey.guard_true_somewhere.add(transition.name)
+                    enabled_immediate.append(transition)
+
+        if enabled_immediate:
+            survey.vanishing[state] = True
+            top = max(t.priority for t in enabled_immediate)
+            competing = [t for t in enabled_immediate if t.priority == top]
+            for transition in competing:
+                survey.ever_enabled.add(transition.name)
+                if transition.name not in survey.weight_failures:
+                    try:
+                        transition.weight_in(marking)
+                    except Exception as error:
+                        survey.weight_failures[transition.name] = (
+                            f"{type(error).__name__} in {marking.compact()}"
+                        )
+                successor = _safe_fire(net, transition, marking)
+                if successor is not None:
+                    target = intern(successor)
+                    if target is not None:
+                        survey.successors[state].append(target)
+            continue
+
+        enabled_timed: list[tuple[Transition, int]] = []
+        for transition in timed:
+            token_degree = _degree_ignoring_guard(net, transition, marking)
+            if token_degree > 0:
+                survey.token_enabled.add(transition.name)
+                if _guard_value(transition, marking):
+                    survey.guard_true_somewhere.add(transition.name)
+                    degree = token_degree
+                    enabled_timed.append((transition, degree))
+
+        if not enabled_timed:
+            survey.deadlock_markings.append(marking)
+            continue
+
+        det_enabled = sorted(
+            t.name for t, _ in enabled_timed if isinstance(t, DeterministicTransition)
+        )
+        if len(det_enabled) > 1:
+            survey.det_conflicts.setdefault(frozenset(det_enabled), marking)
+
+        for transition, degree in enabled_timed:
+            survey.ever_enabled.add(transition.name)
+            if (
+                isinstance(transition, ExponentialTransition)
+                and transition.name not in survey.rate_failures
+            ):
+                try:
+                    transition.rate_in(marking, degree)
+                except Exception as error:
+                    survey.rate_failures[transition.name] = (
+                        f"{type(error).__name__} in {marking.compact()}"
+                    )
+            successor = _safe_fire(net, transition, marking)
+            if successor is not None:
+                intern(successor)
+
+    survey.n_markings = len(survey.markings)
+    return survey
+
+
+def _safe_fire(net: PetriNet, transition: Transition, marking: Marking) -> Marking | None:
+    try:
+        return net.fire(transition, marking)
+    except Exception:
+        return None
+
+
+def _vanishing_loop_states(survey: _Survey) -> list[int]:
+    """Vanishing states from which no tangible marking is reachable.
+
+    Reverse BFS from the tangible states over the immediate-successor
+    edges; any vanishing state left unvisited can only cycle through
+    other vanishing states forever.
+    """
+    n = len(survey.markings)
+    predecessors: list[list[int]] = [[] for _ in range(n)]
+    for source, targets in enumerate(survey.successors):
+        for target in targets:
+            predecessors[target].append(source)
+    reaches_tangible = [not survey.vanishing[i] for i in range(n)]
+    queue = deque(i for i in range(n) if reaches_tangible[i])
+    while queue:
+        state = queue.popleft()
+        for predecessor in predecessors[state]:
+            if not reaches_tangible[predecessor]:
+                reaches_tangible[predecessor] = True
+                queue.append(predecessor)
+    return [i for i in range(n) if survey.vanishing[i] and not reaches_tangible[i]]
+
+
+# ----------------------------------------------------------------------
+# rule evaluation
+# ----------------------------------------------------------------------
+def lint_net(net: PetriNet, *, max_states: int = DEFAULT_LINT_MAX_STATES) -> LintReport:
+    """Lint ``net`` against the full rule catalogue.
+
+    Parameters
+    ----------
+    net:
+        Any built Petri net.
+    max_states:
+        Bound on the reachability survey; hitting it suppresses the
+        whole-state-space rules and emits ``V005`` instead.
+    """
+    findings: list[LintFinding] = []
+    survey = _survey(net, max_states)
+
+    arc_touched: set[str] = set()
+    for arc in net.arcs:
+        arc_touched.add(arc.place)
+        arc_touched.add(arc.transition)
+
+    # -- static rules (no reachability needed) --------------------------
+    for name in sorted(net.places):
+        if name not in arc_touched:
+            findings.append(
+                LintFinding(
+                    "V006",
+                    Severity.WARNING,
+                    name,
+                    "place is connected to no arc; it can never change",
+                )
+            )
+    for name in sorted(net.transitions):
+        if name not in arc_touched:
+            findings.append(
+                LintFinding(
+                    "V006",
+                    Severity.WARNING,
+                    name,
+                    "transition is connected to no arc",
+                )
+            )
+        transition = net.transitions[name]
+        if not net.input_arcs(name) and not net.output_arcs(name):
+            findings.append(
+                LintFinding(
+                    "V011",
+                    Severity.WARNING,
+                    name,
+                    f"{transition.kind} transition moves no tokens; firing it "
+                    "is an invisible self-loop",
+                )
+            )
+
+    # -- evaluation failures observed during the survey -----------------
+    for name in sorted(survey.rate_failures):
+        findings.append(
+            LintFinding(
+                "V002",
+                Severity.ERROR,
+                name,
+                "rate evaluated to <= 0 or raised while enabled: "
+                + survey.rate_failures[name],
+            )
+        )
+    for name in sorted(survey.weight_failures):
+        findings.append(
+            LintFinding(
+                "V008",
+                Severity.ERROR,
+                name,
+                "weight evaluated to <= 0 or raised while competing: "
+                + survey.weight_failures[name],
+            )
+        )
+
+    # -- conflicting deterministic clocks -------------------------------
+    for group in sorted(survey.det_conflicts, key=sorted):
+        marking = survey.det_conflicts[group]
+        findings.append(
+            LintFinding(
+                "V003",
+                Severity.ERROR,
+                "+".join(sorted(group)),
+                f"deterministic transitions {sorted(group)} are enabled "
+                f"together in {marking.compact()}; the MRGP solver supports "
+                "at most one",
+            )
+        )
+
+    # -- whole-state-space rules ----------------------------------------
+    if survey.truncated:
+        findings.append(
+            LintFinding(
+                "V005",
+                Severity.WARNING,
+                net.name,
+                f"exploration stopped at {survey.n_markings} markings; the "
+                "net may be unbounded (whole-state-space rules suppressed)",
+            )
+        )
+    else:
+        guard_contradicted: set[str] = set()
+        for name in sorted(net.transitions):
+            transition = net.transitions[name]
+            if (
+                transition.guard is not None
+                and name in survey.token_enabled
+                and name not in survey.guard_true_somewhere
+            ):
+                guard_contradicted.add(name)
+                findings.append(
+                    LintFinding(
+                        "V007",
+                        Severity.ERROR,
+                        name,
+                        "guard is false in every reachable marking where the "
+                        "transition is otherwise enabled",
+                    )
+                )
+        for name in sorted(net.transitions):
+            if name in survey.ever_enabled or name in guard_contradicted:
+                continue
+            findings.append(
+                LintFinding(
+                    "V001",
+                    Severity.ERROR,
+                    name,
+                    "transition is never enabled in any reachable marking",
+                )
+            )
+        for name in sorted(net.places):
+            if name not in survey.marked_places:
+                findings.append(
+                    LintFinding(
+                        "V004",
+                        Severity.WARNING,
+                        name,
+                        "place holds no token in any reachable marking",
+                    )
+                )
+        for marking in survey.deadlock_markings[:1]:
+            findings.append(
+                LintFinding(
+                    "V009",
+                    Severity.INFO,
+                    net.name,
+                    f"{len(survey.deadlock_markings)} reachable dead "
+                    f"marking(s), e.g. {marking.compact()}; steady state "
+                    "concentrates on absorbing states",
+                )
+            )
+        loop_states = _vanishing_loop_states(survey)
+        if loop_states:
+            example = survey.markings[loop_states[0]]
+            findings.append(
+                LintFinding(
+                    "V010",
+                    Severity.ERROR,
+                    net.name,
+                    f"{len(loop_states)} vanishing marking(s) never reach a "
+                    f"tangible marking, e.g. {example.compact()}; immediate "
+                    "transitions loop forever",
+                )
+            )
+
+    findings.sort(key=lambda f: (f.rule, f.element, f.message))
+    return LintReport(
+        net_name=net.name,
+        n_markings=survey.n_markings,
+        truncated=survey.truncated,
+        findings=tuple(findings),
+    )

@@ -1,0 +1,279 @@
+"""Statistical oracles: simulation agreement and metamorphic relations.
+
+This module generalizes the simulator-vs-analytic spot checks from the
+property-test suite into library code with three families of oracles:
+
+* **confidence intervals** — :func:`wilson_interval` for binomial
+  proportions and :func:`normal_interval` for sample means, both at an
+  arbitrary confidence level (the normal quantile is computed by
+  bisection on ``erf``, so there is no dependency on ``scipy``);
+* **sequential agreement** — :func:`sequential_agreement` draws batches
+  of simulated replication time-averages until the analytic value falls
+  inside the confidence interval (accept) or the sample budget is
+  exhausted (reject).  Disagreement therefore always gets the *full*
+  budget before the oracle fails, which keeps the false-alarm rate far
+  below the nominal level;
+* **metamorphic relations** on E[R_sys] — :func:`monotone_degradation`
+  (reliability must not improve as p or p′ grows),
+  :func:`relabeling_invariance` (module identity is immaterial), and
+  :func:`threshold_consistency` (the 2f+1 → 2f+r+1 voting-threshold
+  bookkeeping between the no-rejuvenation and rejuvenation nets, plus
+  the paper's claim that rejuvenation does not hurt at the defaults).
+
+All oracles are pure given their inputs — the simulation-based ones are
+deterministic in ``seed`` — and return an :class:`OracleResult` verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dspn.rewards import RewardFunction
+    from repro.petri.net import PetriNet
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Verdict of one statistical oracle."""
+
+    name: str
+    passed: bool
+    value: float
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "ok  " if self.passed else "FAIL"
+        line = f"{status} {self.name:28s} {self.value:.6f}"
+        return line + (f" — {self.detail}" if self.detail else "")
+
+
+# ----------------------------------------------------------------------
+# confidence intervals
+# ----------------------------------------------------------------------
+def _normal_quantile(confidence: float) -> float:
+    """The two-sided normal quantile z with Φ(z) = 1 - (1-confidence)/2.
+
+    Computed by bisection on ``math.erf`` — deterministic, dependency
+    free, and accurate to ~1e-12 which is far tighter than any
+    statistical statement built on top of it.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ParameterError(f"confidence must be in (0, 1), got {confidence}")
+    target = 1.0 - (1.0 - confidence) / 2.0
+    low, high = 0.0, 10.0
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if 0.5 * (1.0 + math.erf(mid / math.sqrt(2.0))) < target:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def wilson_interval(
+    successes: int, trials: int, *, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the normal approximation this stays inside ``[0, 1]`` and
+    behaves sensibly for extreme counts (0 or ``trials`` successes), so
+    it is the right interval for coverage-style checks on indicator
+    rewards.
+    """
+    if trials <= 0:
+        raise ParameterError(f"trials must be > 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ParameterError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    z = _normal_quantile(confidence)
+    n = float(trials)
+    proportion = successes / n
+    denominator = 1.0 + z * z / n
+    center = (proportion + z * z / (2.0 * n)) / denominator
+    margin = (
+        z
+        * math.sqrt(proportion * (1.0 - proportion) / n + z * z / (4.0 * n * n))
+        / denominator
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def normal_interval(
+    samples: Sequence[float], *, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval for a sample mean."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size < 2:
+        raise ParameterError(
+            f"need >= 2 samples for an interval, got {values.size}"
+        )
+    z = _normal_quantile(confidence)
+    mean = float(values.mean())
+    half = z * float(values.std(ddof=1)) / math.sqrt(values.size)
+    return (mean - half, mean + half)
+
+
+# ----------------------------------------------------------------------
+# sequential simulator-vs-analytic agreement
+# ----------------------------------------------------------------------
+def sequential_agreement(
+    net: "PetriNet",
+    *,
+    reward: "RewardFunction",
+    expected: float,
+    horizon: float,
+    warmup: float = 0.0,
+    seed: int = 0,
+    batch_size: int = 8,
+    max_batches: int = 6,
+    confidence: float = 0.95,
+) -> OracleResult:
+    """Sequential two-sided agreement test against an analytic value.
+
+    Draws ``batch_size`` independent replication time-averages per round
+    (round ``b`` is seeded ``seed + b``, so the sample sequence is fully
+    deterministic), recomputes the ``confidence`` interval over *all*
+    samples so far, and accepts as soon as ``expected`` lies inside it.
+    Only after ``max_batches`` rounds of sustained exclusion does the
+    oracle reject — a disagreement verdict always rests on the full
+    sample budget.
+    """
+    from repro.dspn.simulate import replication_averages
+
+    samples: list[float] = []
+    low = high = float("nan")
+    for batch in range(max_batches):
+        samples.extend(
+            replication_averages(
+                net,
+                reward=reward,
+                horizon=horizon,
+                warmup=warmup,
+                replications=batch_size,
+                seed=seed + batch,
+            )
+        )
+        low, high = normal_interval(samples, confidence=confidence)
+        if low <= expected <= high:
+            return OracleResult(
+                name="sequential-agreement",
+                passed=True,
+                value=float(np.mean(samples)),
+                detail=(
+                    f"analytic {expected:.6f} inside "
+                    f"[{low:.6f}, {high:.6f}] after {len(samples)} replications"
+                ),
+            )
+    return OracleResult(
+        name="sequential-agreement",
+        passed=False,
+        value=float(np.mean(samples)),
+        detail=(
+            f"analytic {expected:.6f} outside [{low:.6f}, {high:.6f}] "
+            f"after {len(samples)} replications"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# metamorphic relations on E[R_sys]
+# ----------------------------------------------------------------------
+def monotone_degradation(
+    points: Sequence[tuple[float, float]],
+    *,
+    label: str = "p",
+    tolerance: float = 1e-9,
+) -> OracleResult:
+    """E[R_sys] must not improve as an error probability grows.
+
+    ``points`` are ``(parameter_value, expected_reliability)`` pairs;
+    the oracle sorts them by parameter and checks the reliabilities are
+    non-increasing up to ``tolerance``.
+    """
+    if len(points) < 2:
+        raise ParameterError(f"need >= 2 points, got {len(points)}")
+    ordered = sorted(points, key=lambda point: point[0])
+    worst = 0.0
+    offender = ""
+    for (x0, r0), (x1, r1) in zip(ordered, ordered[1:]):
+        increase = r1 - r0
+        if increase > worst:
+            worst = increase
+            offender = f"{label}={x0:g}->{x1:g} raised E[R] by {increase:.3e}"
+    passed = worst <= tolerance
+    return OracleResult(
+        name=f"monotone-degradation[{label}]",
+        passed=passed,
+        value=worst,
+        detail=offender if not passed else f"non-increasing over {len(points)} points",
+    )
+
+
+def relabeling_invariance(
+    original: float, relabeled: float, *, tolerance: float = 1e-9
+) -> OracleResult:
+    """E[R_sys] must be invariant under renaming the module versions."""
+    drift = abs(original - relabeled)
+    return OracleResult(
+        name="relabeling-invariance",
+        passed=drift <= tolerance,
+        value=drift,
+        detail=f"|{original:.9f} - {relabeled:.9f}|",
+    )
+
+
+def threshold_consistency(
+    baseline: float,
+    rejuvenated: float,
+    *,
+    f: int,
+    r: int,
+    baseline_threshold: int,
+    rejuvenated_threshold: int,
+    tolerance: float = 1e-6,
+) -> OracleResult:
+    """2f+1 → 2f+r+1 consistency between the two perception models.
+
+    Checks the voting-threshold bookkeeping — the no-rejuvenation net
+    must vote at ``2f+1`` and the rejuvenation net at ``2f+r+1`` — and
+    the paper's headline relation that, at a common parameter set,
+    enabling rejuvenation does not reduce E[R_sys] (up to ``tolerance``).
+    """
+    expected_baseline = 2 * f + 1
+    expected_rejuvenated = 2 * f + r + 1
+    problems = []
+    if baseline_threshold != expected_baseline:
+        problems.append(
+            f"no-rejuvenation threshold {baseline_threshold} != 2f+1 = "
+            f"{expected_baseline}"
+        )
+    if rejuvenated_threshold != expected_rejuvenated:
+        problems.append(
+            f"rejuvenation threshold {rejuvenated_threshold} != 2f+r+1 = "
+            f"{expected_rejuvenated}"
+        )
+    drop = baseline - rejuvenated
+    if drop > tolerance:
+        problems.append(
+            f"rejuvenation lowered E[R] by {drop:.3e} "
+            f"({baseline:.9f} -> {rejuvenated:.9f})"
+        )
+    return OracleResult(
+        name="threshold-consistency",
+        passed=not problems,
+        value=max(drop, 0.0),
+        detail="; ".join(problems)
+        if problems
+        else (
+            f"thresholds {expected_baseline}/{expected_rejuvenated}, "
+            f"E[R] {baseline:.9f} -> {rejuvenated:.9f}"
+        ),
+    )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ModelDefinitionError
+from repro.errors import ModelDefinitionError, ParameterError
 from repro.petri import NetBuilder, ServerSemantics
 from repro.petri.transition import (
     DeterministicTransition,
@@ -68,3 +68,40 @@ class TestNetBuilder:
         transition = net.transitions["i"]
         assert transition.priority == 7
         assert transition.weight_in(net.initial_marking()) == 2.5
+
+
+class TestSilentAcceptanceGap:
+    """Regression tests for the silent-acceptance gap (ISSUE 3).
+
+    Degenerate constant timings must be rejected when the transition is
+    *declared*, not when the solver happens to evaluate them; only
+    marking-dependent callables stay lazy (lint rules V002/V008 cover
+    those).
+    """
+
+    def test_zero_rate_exponential_rejected(self):
+        builder = NetBuilder("n").place("A", tokens=1).place("B")
+        with pytest.raises(ParameterError, match="rate"):
+            builder.exponential("t", rate=0.0, inputs={"A": 1}, outputs={"B": 1})
+
+    def test_negative_rate_exponential_rejected(self):
+        builder = NetBuilder("n").place("A", tokens=1).place("B")
+        with pytest.raises(ParameterError, match="rate"):
+            builder.exponential("t", rate=-0.5, inputs={"A": 1}, outputs={"B": 1})
+
+    def test_zero_delay_deterministic_rejected(self):
+        builder = NetBuilder("n").place("A", tokens=1).place("B")
+        with pytest.raises(ParameterError, match="delay"):
+            builder.deterministic("d", delay=0.0, inputs={"A": 1}, outputs={"B": 1})
+
+    def test_zero_weight_immediate_rejected(self):
+        builder = NetBuilder("n").place("A", tokens=1).place("B")
+        with pytest.raises(ParameterError, match="weight"):
+            builder.immediate("i", weight=0.0, inputs={"A": 1}, outputs={"B": 1})
+
+    def test_positive_constants_still_accepted(self):
+        builder = NetBuilder("n").place("A", tokens=1).place("B").place("C")
+        builder.exponential("t", rate=0.25, inputs={"A": 1}, outputs={"B": 1})
+        builder.deterministic("d", delay=1.5, inputs={"B": 1}, outputs={"C": 1})
+        builder.immediate("i", weight=0.5, inputs={"C": 1}, outputs={"A": 1})
+        builder.build()

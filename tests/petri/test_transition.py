@@ -32,6 +32,15 @@ class TestAsMarkingFunction:
         with pytest.raises(ParameterError):
             as_marking_function("x", "nope")
 
+    def test_require_positive_rejects_constant_zero(self):
+        with pytest.raises(ParameterError, match="> 0"):
+            as_marking_function("x", 0.0, require_positive=True)
+
+    def test_require_positive_accepts_callable_unchecked(self):
+        # callables cannot be vetted until evaluated against a marking
+        fn = as_marking_function("x", lambda m: 0.0, require_positive=True)
+        assert fn(marking()) == 0.0
+
 
 class TestGuards:
     def test_no_guard_always_satisfied(self):
@@ -61,8 +70,16 @@ class TestImmediate:
         transition = ImmediateTransition("i", weight=lambda m: m["P"] / 4.0)
         assert transition.weight_in(marking(p=2)) == 0.5
 
-    def test_zero_weight_raises_when_evaluated(self):
-        transition = ImmediateTransition("i", weight=0.0)
+    def test_zero_constant_weight_rejected_at_construction(self):
+        with pytest.raises(ParameterError, match="weight"):
+            ImmediateTransition("i", weight=0.0)
+
+    def test_negative_constant_weight_rejected_at_construction(self):
+        with pytest.raises(ParameterError, match="weight"):
+            ImmediateTransition("i", weight=-2.0)
+
+    def test_zero_callable_weight_raises_when_evaluated(self):
+        transition = ImmediateTransition("i", weight=lambda m: 0.0)
         with pytest.raises(ParameterError, match="weight"):
             transition.weight_in(marking())
 
@@ -89,7 +106,15 @@ class TestExponential:
         transition = ExponentialTransition("t", rate=lambda m: 1.0 / (1 + m["P"]))
         assert transition.rate_in(marking(p=1), enabling_degree=1) == 0.5
 
-    def test_non_positive_rate_raises(self):
+    def test_zero_constant_rate_rejected_at_construction(self):
+        with pytest.raises(ParameterError, match="rate"):
+            ExponentialTransition("t", rate=0.0)
+
+    def test_negative_constant_rate_rejected_at_construction(self):
+        with pytest.raises(ParameterError, match="rate"):
+            ExponentialTransition("t", rate=-1.0)
+
+    def test_non_positive_callable_rate_raises_when_evaluated(self):
         transition = ExponentialTransition("t", rate=lambda m: 0.0)
         with pytest.raises(ParameterError, match="rate"):
             transition.rate_in(marking(), enabling_degree=1)

@@ -1,0 +1,301 @@
+"""One trigger/pass net pair per lint rule id (ISSUE 3, satellite 2).
+
+Every rule in the catalogue gets a minimal net that fires it and a
+minimal neighbouring net that does not, so rule regressions localize to
+one failing test.
+"""
+
+import pytest
+
+from repro.petri import NetBuilder
+from repro.verify import LINT_RULES, Severity, lint_net
+from repro.verify.lint import LintFinding, LintReport
+
+
+def live_cycle_net():
+    """A tiny healthy net: triggers no rule at all."""
+    builder = NetBuilder("live-cycle")
+    builder.place("A", tokens=1).place("B")
+    builder.exponential("go", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+    builder.exponential("back", rate=2.0, inputs={"B": 1}, outputs={"A": 1})
+    return builder.build()
+
+
+def rules(report, rule):
+    return [finding.rule for finding in report.by_rule(rule)]
+
+
+class TestCleanNet:
+    def test_no_findings(self):
+        report = lint_net(live_cycle_net())
+        assert report.findings == ()
+        assert report.ok
+
+    def test_catalogue_covers_all_rules(self):
+        assert sorted(LINT_RULES) == [f"V{i:03d}" for i in range(1, 12)]
+
+
+class TestV001DeadTransition:
+    def trigger(self):
+        builder = NetBuilder("dead")
+        builder.place("A", tokens=1).place("B").place("C")
+        builder.exponential("go", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        # needs a token in C, which nothing ever produces
+        builder.exponential("never", rate=1.0, inputs={"C": 1}, outputs={"A": 1})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        assert [f.element for f in report.by_rule("V001")] == ["never"]
+        assert not report.ok
+
+    def test_pass(self):
+        assert lint_net(live_cycle_net()).by_rule("V001") == ()
+
+
+class TestV002RateFailure:
+    def trigger(self):
+        builder = NetBuilder("zero-rate")
+        builder.place("A", tokens=1).place("B")
+        builder.exponential(
+            "bad", rate=lambda m: 0.0, inputs={"A": 1}, outputs={"B": 1}
+        )
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        assert [f.element for f in report.by_rule("V002")] == ["bad"]
+
+    def test_pass_marking_dependent_but_positive(self):
+        builder = NetBuilder("ok-rate")
+        builder.place("A", tokens=2).place("B")
+        builder.exponential(
+            "scaled", rate=lambda m: 0.5 * max(m["A"], 1), inputs={"A": 1}, outputs={"B": 1}
+        )
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        assert lint_net(builder.build()).by_rule("V002") == ()
+
+
+class TestV003ConflictingClocks:
+    def trigger(self):
+        builder = NetBuilder("two-clocks")
+        builder.place("A", tokens=1).place("B", tokens=1).place("C")
+        builder.deterministic("d1", delay=1.0, inputs={"A": 1}, outputs={"C": 1})
+        builder.deterministic("d2", delay=2.0, inputs={"B": 1}, outputs={"C": 1})
+        builder.exponential("drain", rate=1.0, inputs={"C": 1}, outputs={"A": 1})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        findings = report.by_rule("V003")
+        assert [f.element for f in findings] == ["d1+d2"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_pass_sequential_clocks(self):
+        builder = NetBuilder("sequential-clocks")
+        builder.place("A", tokens=1).place("B")
+        builder.deterministic("d1", delay=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.deterministic("d2", delay=2.0, inputs={"B": 1}, outputs={"A": 1})
+        assert lint_net(builder.build()).by_rule("V003") == ()
+
+
+class TestV004NeverMarkedPlace:
+    def trigger(self):
+        builder = NetBuilder("unmarked")
+        builder.place("A", tokens=1).place("B").place("Cold")
+        builder.exponential(
+            "go", rate=1.0, inputs={"A": 1}, outputs={"B": 1},
+            inhibitors={"Cold": 1},
+        )
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        assert [f.element for f in report.by_rule("V004")] == ["Cold"]
+
+    def test_pass(self):
+        assert lint_net(live_cycle_net()).by_rule("V004") == ()
+
+
+class TestV005Truncation:
+    def unbounded(self):
+        builder = NetBuilder("unbounded")
+        builder.place("A", tokens=1)
+        builder.exponential("grow", rate=1.0, inputs={"A": 1}, outputs={"A": 2})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.unbounded(), max_states=10)
+        assert report.truncated
+        assert len(report.by_rule("V005")) == 1
+        # whole-state-space rules are suppressed under truncation
+        for suppressed in ("V001", "V004", "V007", "V009", "V010"):
+            assert report.by_rule(suppressed) == ()
+
+    def test_pass_with_budget(self):
+        report = lint_net(live_cycle_net(), max_states=10)
+        assert not report.truncated
+        assert report.by_rule("V005") == ()
+
+
+class TestV006Disconnected:
+    def trigger(self):
+        builder = NetBuilder("loose")
+        builder.place("A", tokens=1).place("B").place("Island")
+        builder.exponential("go", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        assert [f.element for f in report.by_rule("V006")] == ["Island"]
+        assert report.ok  # warning severity only
+
+    def test_pass(self):
+        assert lint_net(live_cycle_net()).by_rule("V006") == ()
+
+
+class TestV007GuardContradiction:
+    def trigger(self):
+        builder = NetBuilder("contradiction")
+        builder.place("A", tokens=1).place("B")
+        builder.immediate(
+            "blocked", guard=lambda m: False, inputs={"A": 1}, outputs={"B": 1}
+        )
+        builder.exponential("cycle", rate=1.0, inputs={"A": 1}, outputs={"A": 1})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        assert [f.element for f in report.by_rule("V007")] == ["blocked"]
+        # the guard contradiction subsumes the dead-transition finding
+        assert report.by_rule("V001") == ()
+
+    def test_pass_guard_sometimes_true(self):
+        builder = NetBuilder("guarded")
+        builder.place("A", tokens=1).place("B")
+        builder.exponential("go", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.immediate(
+            "gated", guard=lambda m: m["B"] > 0, inputs={"B": 1}, outputs={"A": 1}
+        )
+        assert lint_net(builder.build()).by_rule("V007") == ()
+
+
+class TestV008WeightFailure:
+    def trigger(self):
+        builder = NetBuilder("zero-weight")
+        builder.place("A", tokens=1).place("B")
+        builder.immediate(
+            "bad", weight=lambda m: 0.0, inputs={"A": 1}, outputs={"B": 1}
+        )
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        assert [f.element for f in report.by_rule("V008")] == ["bad"]
+
+    def test_pass_positive_weights(self):
+        builder = NetBuilder("weighted")
+        builder.place("A", tokens=1).place("B").place("C")
+        builder.immediate("w1", weight=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.immediate("w2", weight=3.0, inputs={"A": 1}, outputs={"C": 1})
+        builder.exponential("back1", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        builder.exponential("back2", rate=1.0, inputs={"C": 1}, outputs={"A": 1})
+        assert lint_net(builder.build()).by_rule("V008") == ()
+
+
+class TestV009Deadlock:
+    def trigger(self):
+        builder = NetBuilder("absorbing")
+        builder.place("A", tokens=1).place("Sink")
+        builder.exponential("die", rate=1.0, inputs={"A": 1}, outputs={"Sink": 1})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        findings = report.by_rule("V009")
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.INFO
+        assert report.ok  # info severity keeps the net lintable
+
+    def test_pass(self):
+        assert lint_net(live_cycle_net()).by_rule("V009") == ()
+
+
+class TestV010VanishingLoop:
+    def trigger(self):
+        builder = NetBuilder("vanishing-loop")
+        builder.place("A", tokens=1).place("B")
+        builder.immediate("i1", inputs={"A": 1}, outputs={"B": 1})
+        builder.immediate("i2", inputs={"B": 1}, outputs={"A": 1})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        assert len(report.by_rule("V010")) == 1
+        assert not report.ok
+
+    def test_pass_immediates_reach_tangible(self):
+        builder = NetBuilder("vanishing-chain")
+        builder.place("A", tokens=1).place("B").place("C")
+        builder.immediate("i1", inputs={"A": 1}, outputs={"B": 1})
+        builder.exponential("slow", rate=1.0, inputs={"B": 1}, outputs={"C": 1})
+        builder.exponential("back", rate=1.0, inputs={"C": 1}, outputs={"A": 1})
+        assert lint_net(builder.build()).by_rule("V010") == ()
+
+
+class TestV011NoTokenFlow:
+    def trigger(self):
+        builder = NetBuilder("flowless")
+        builder.place("A", tokens=1).place("B")
+        builder.exponential("go", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        builder.exponential("spin", rate=1.0, inhibitors={"B": 2})
+        return builder.build()
+
+    def test_trigger(self):
+        report = lint_net(self.trigger())
+        assert [f.element for f in report.by_rule("V011")] == ["spin"]
+
+    def test_pass(self):
+        assert lint_net(live_cycle_net()).by_rule("V011") == ()
+
+
+class TestReportRendering:
+    def test_render_is_deterministic(self):
+        net = TestV001DeadTransition().trigger()
+        assert lint_net(net).render() == lint_net(net).render()
+
+    def test_findings_sorted_by_rule_then_element(self):
+        builder = NetBuilder("multi")
+        builder.place("A", tokens=1).place("B").place("Zed").place("Cold")
+        builder.exponential("go", rate=1.0, inputs={"A": 1}, outputs={"B": 1})
+        builder.exponential("back", rate=1.0, inputs={"B": 1}, outputs={"A": 1})
+        builder.exponential("never", rate=1.0, inputs={"Cold": 1}, outputs={"A": 1})
+        report = lint_net(builder.build())
+        assert [f.rule for f in report.findings] == sorted(
+            f.rule for f in report.findings
+        )
+
+    def test_finding_render_mentions_rule_and_element(self):
+        finding = LintFinding("V001", Severity.ERROR, "t", "dead")
+        assert "V001" in finding.render()
+        assert "t" in finding.render()
+
+    def test_report_properties(self):
+        report = LintReport(
+            net_name="n",
+            n_markings=3,
+            truncated=False,
+            findings=(
+                LintFinding("V001", Severity.ERROR, "t", "dead"),
+                LintFinding("V006", Severity.WARNING, "p", "loose"),
+            ),
+        )
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert not report.ok

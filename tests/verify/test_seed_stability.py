@@ -1,0 +1,69 @@
+"""`repro verify --all` must be byte-identical run-to-run and across jobs.
+
+The report is the artifact CI diffs; any nondeterminism (dict ordering,
+parallel reassembly order, simulation seeding) would show up here first.
+Each run is executed against a fresh in-memory cache so the later runs
+cannot trivially replay the first one.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.engine.cache import cache_override
+from repro.verify import verify_experiments
+
+# a small but representative slice: CTMC-only, MRGP, and explicit-threshold
+# nets, so the full report machinery is exercised without the full matrix
+SAMPLE_IDS = ["table2-defaults", "ablation-clock", "architectures"]
+
+
+def fresh_report(**kwargs):
+    with cache_override(enabled=True, directory=None):
+        return verify_experiments(SAMPLE_IDS, **kwargs).render()
+
+
+class TestReportStability:
+    def test_two_runs_byte_identical(self):
+        assert fresh_report(jobs=1) == fresh_report(jobs=1)
+
+    def test_jobs_one_matches_jobs_two(self):
+        assert fresh_report(jobs=1) == fresh_report(jobs=2)
+
+    def test_oracles_are_seeded(self):
+        # oracle verdicts embed simulation statistics; identical output
+        # proves the sequential test consumes fixed seeds, not wall clock
+        first = fresh_report(jobs=1, oracles=True)
+        second = fresh_report(jobs=2, oracles=True)
+        assert first == second
+
+
+class TestCliStability:
+    def run_cli(self, argv, capsys):
+        with cache_override(enabled=True, directory=None):
+            code = main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_verify_cli_byte_identical(self, capsys):
+        argv = ["verify", *SAMPLE_IDS, "--no-oracles", "--no-cache"]
+        code_a, out_a = self.run_cli(argv, capsys)
+        code_b, out_b = self.run_cli(argv, capsys)
+        assert code_a == code_b == 0
+        assert out_a == out_b
+        assert "PASS" in out_a
+
+    def test_verify_cli_jobs_invariant(self, capsys):
+        base = ["verify", *SAMPLE_IDS, "--no-oracles", "--no-cache"]
+        _, out_one = self.run_cli([*base, "--jobs", "1"], capsys)
+        _, out_two = self.run_cli([*base, "--jobs", "2"], capsys)
+        assert out_one == out_two
+
+
+@pytest.mark.slow
+class TestFullMatrixStability:
+    def test_all_experiments_byte_identical_across_jobs(self):
+        with cache_override(enabled=True, directory=None):
+            one = verify_experiments(jobs=1).render()
+        with cache_override(enabled=True, directory=None):
+            two = verify_experiments(jobs=2).render()
+        assert one == two
