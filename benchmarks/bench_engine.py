@@ -7,6 +7,12 @@ Two scenarios, both asserting byte-identical reports:
   wins from fan-out *and* from cache dedup of repeated nets;
 * ``table2-defaults`` cold cache vs warm disk cache.
 
+Timing goes through :func:`repro.obs.now` — the injectable clock — so a
+test (or a rerun under ``use_clock(ManualClock())``) can make the
+measurement itself deterministic.  The emitted JSON carries a
+:class:`~repro.obs.RunManifest` recording the git sha, interpreter,
+numpy version, and cache policy the numbers were produced under.
+
 Runnable two ways::
 
     PYTHONPATH=src python benchmarks/bench_engine.py   # writes BENCH_engine.json
@@ -17,11 +23,11 @@ from __future__ import annotations
 
 import json
 import tempfile
-import time
 from pathlib import Path
 
 from repro.engine import cache_override
 from repro.experiments.registry import run_experiment
+from repro.obs import collect_manifest, now
 
 RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -32,9 +38,9 @@ ROUNDS = 3
 
 
 def _timed(fn) -> tuple[float, str]:
-    start = time.perf_counter()
+    start = now()
     report = fn()
-    return time.perf_counter() - start, report.render(plot=False)
+    return now() - start, report.render(plot=False)
 
 
 def _best(scenario) -> tuple[float, str]:
@@ -79,6 +85,10 @@ def measure() -> dict:
     assert warm_render == cold_render, "warm-cache report differs from cold"
 
     return {
+        "manifest": collect_manifest(
+            experiment="bench_engine",
+            parameters={"rounds": ROUNDS},
+        ).as_dict(),
         "phase_diagram": {
             "serial_uncached_s": serial_s,
             "jobs4_cached_s": parallel_s,

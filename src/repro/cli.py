@@ -7,6 +7,7 @@ Usage (also available as ``python -m repro``)::
     repro sweep --six --parameter p_prime --values 0.1,0.3,0.5,0.8
     repro experiments fig3 fig4a               # regenerate paper artifacts
     repro experiments --list
+    repro trace table2-defaults --jobs 4       # profile a run (flamegraph)
     repro verify --all                         # lint + certify every net
     repro simulate --six --horizon 100000      # Monte-Carlo cross-check
     repro monitor --six --attack               # rejuvenation-policy shootout
@@ -200,6 +201,99 @@ def _command_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine import cache_override, default_cache_directory
+    from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
+    from repro.obs import (
+        ManualClock,
+        MonotonicClock,
+        collect_manifest,
+        registry_override,
+        render_flamegraph,
+        self_time_table,
+        span,
+        tracing,
+        use_clock,
+    )
+
+    if args.list:
+        for experiment_id in EXPERIMENT_IDS:
+            print(experiment_id)
+        return 0
+    if not args.experiment:
+        raise SystemExit("choose an experiment id (repro trace --list)")
+
+    clock = ManualClock() if args.manual_clock else MonotonicClock()
+    unit = "ticks" if args.manual_clock else "s"
+    # Tracing runs uncached by default: per-process cache-hit patterns
+    # would make the span tree depend on jobs and on prior runs, and a
+    # profile full of cache hits measures the cache, not the solvers.
+    cache_directory = default_cache_directory() if args.cache else None
+    with registry_override() as registry, cache_override(
+        enabled=bool(args.cache), directory=cache_directory
+    ), use_clock(clock), tracing() as tracer:
+        manifest = collect_manifest(experiment=args.experiment, jobs=args.jobs)
+        with span("experiment", experiment=args.experiment):
+            run_experiment(args.experiment, jobs=args.jobs)
+
+    roots = tracer.roots()
+    metrics = registry.snapshot()
+    if args.json:
+        payload = json.dumps(
+            {
+                "manifest": manifest.as_dict(),
+                "unit": unit,
+                "trace": [root.as_dict() for root in roots],
+                "normalized": [root.normalized() for root in roots],
+                "metrics": metrics,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(payload + "\n")
+        else:
+            print(payload)
+        return 0
+
+    lines = [
+        f"repro trace {args.experiment} "
+        f"(jobs={args.jobs}, cache {'on' if args.cache else 'off'}, "
+        f"clock={manifest.clock})",
+        f"git {manifest.git_sha or 'unknown'} · python "
+        f"{manifest.python_version} · numpy {manifest.numpy_version}",
+        "",
+        "== self-time summary ==",
+        self_time_table(roots, unit=unit),
+        "",
+        "== flamegraph ==",
+        render_flamegraph(
+            roots, width=args.width, unit=unit, max_depth=args.depth
+        ),
+    ]
+    if metrics["counters"] or metrics["histograms"]:
+        lines.extend(["", "== metrics =="])
+        for name, value in metrics["counters"].items():
+            lines.append(f"  {name} = {value:g}")
+        for name, summary in metrics["histograms"].items():
+            lines.append(
+                f"  {name}: n={summary['count']} mean={summary['mean']:.3e} "
+                f"max={summary['max']:.3e}"
+            )
+    output = "\n".join(lines)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(output + "\n")
+    else:
+        print(output)
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     from repro.perception.architecture import PerceptionSystem
 
@@ -382,6 +476,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-plot", action="store_true", help="suppress ASCII plots"
     )
     experiments.set_defaults(handler=_command_experiments)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run one experiment under span tracing and render a "
+        "self-time table and text flamegraph (with a provenance manifest)",
+    )
+    trace.add_argument(
+        "experiment", nargs="?", help="experiment id (see --list)"
+    )
+    trace.add_argument("--list", action="store_true", help="list ids and exit")
+    trace.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes; the normalized span tree is identical "
+        "for every value",
+    )
+    trace.add_argument(
+        "--cache", action="store_true",
+        help="trace with the solver cache enabled (default: off, so the "
+        "span tree is deterministic and measures real solver cost)",
+    )
+    trace.add_argument(
+        "--manual-clock", action="store_true",
+        help="use the injectable manual clock: timings count clock reads "
+        "instead of seconds, making the whole trace byte-reproducible",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the trace, metrics, and manifest as JSON",
+    )
+    trace.add_argument(
+        "--out", metavar="FILE", help="write the output to FILE instead of stdout"
+    )
+    trace.add_argument(
+        "--depth", type=int, default=None, help="flamegraph depth limit"
+    )
+    trace.add_argument(
+        "--width", type=int, default=40, help="flamegraph bar width (chars)"
+    )
+    trace.set_defaults(handler=_command_trace)
 
     verify = subparsers.add_parser(
         "verify",

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.errors import UnsupportedModelError
 from repro.markov.ctmc import CTMC
+from repro.obs import span
 from repro.statespace.graph import TangibleGraph
 
 
@@ -54,13 +55,14 @@ def build_ctmc(graph: TangibleGraph) -> CTMC:
         raise UnsupportedModelError(
             "the net enables deterministic transitions; build an MRGP instead"
         )
-    n = graph.n_states
-    generator = np.zeros((n, n))
-    for source in range(n):
-        for edge in graph.exponential_edges[source]:
-            for target, probability in edge.targets:
-                if target == source:
-                    continue  # invisible self-loops do not affect the CTMC
-                generator[source, target] += edge.rate * probability
-    np.fill_diagonal(generator, -generator.sum(axis=1))
-    return CTMC(generator, states=list(range(n)))
+    with span("dspn.ctmc_builder", states=graph.n_states):
+        n = graph.n_states
+        generator = np.zeros((n, n))
+        for source in range(n):
+            for edge in graph.exponential_edges[source]:
+                for target, probability in edge.targets:
+                    if target == source:
+                        continue  # invisible self-loops do not affect the CTMC
+                    generator[source, target] += edge.rate * probability
+        np.fill_diagonal(generator, -generator.sum(axis=1))
+        return CTMC(generator, states=list(range(n)))

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import UnsupportedModelError
 from repro.markov.uniformization import expm_and_integral
+from repro.obs import span
 from repro.statespace.graph import DeterministicEdge, TangibleGraph
 
 _PROBABILITY_TOLERANCE = 1e-14
@@ -43,6 +44,14 @@ def build_mrgp_kernels(graph: TangibleGraph) -> tuple[np.ndarray, np.ndarray]:
     Both are dense ``(n, n)`` arrays over the tangible markings of
     ``graph``.  Feed them to :func:`repro.markov.mrgp.solve_mrgp`.
     """
+    with span("dspn.mrgp_builder", states=graph.n_states) as sp:
+        kernel, sojourn, n_groups = _build_kernels(graph)
+        sp.set(deterministic_groups=n_groups)
+    return kernel, sojourn
+
+
+def _build_kernels(graph: TangibleGraph) -> tuple[np.ndarray, np.ndarray, int]:
+    """The untraced kernel construction behind :func:`build_mrgp_kernels`."""
     n = graph.n_states
     kernel = np.zeros((n, n))
     sojourn = np.zeros((n, n))
@@ -75,7 +84,7 @@ def build_mrgp_kernels(graph: TangibleGraph) -> tuple[np.ndarray, np.ndarray]:
     for transition_name, members in groups.items():
         _fill_group(graph, det_edge_of, transition_name, members, kernel, sojourn)
 
-    return kernel, sojourn
+    return kernel, sojourn, len(groups)
 
 
 def _deterministic_edge_per_state(
@@ -105,6 +114,22 @@ def _fill_group(
     sojourn: np.ndarray,
 ) -> None:
     """Fill kernel/sojourn rows for all markings enabling one transition."""
+    with span(
+        "dspn.mrgp_builder.group", transition=transition_name, members=len(members)
+    ):
+        _fill_group_untraced(
+            graph, det_edge_of, transition_name, members, kernel, sojourn
+        )
+
+
+def _fill_group_untraced(
+    graph: TangibleGraph,
+    det_edge_of: list[DeterministicEdge | None],
+    transition_name: str,
+    members: list[int],
+    kernel: np.ndarray,
+    sojourn: np.ndarray,
+) -> None:
     delays = {det_edge_of[state].delay for state in members}  # type: ignore[union-attr]
     if len(delays) != 1:
         raise UnsupportedModelError(

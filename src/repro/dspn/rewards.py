@@ -12,6 +12,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro.obs import span
 from repro.petri.marking import Marking
 
 RewardFunction = Callable[[Marking], float]
@@ -19,7 +20,10 @@ RewardFunction = Callable[[Marking], float]
 
 def reward_vector(markings: Sequence[Marking], reward: RewardFunction) -> np.ndarray:
     """Evaluate ``reward`` on every marking, returning a dense vector."""
-    return np.array([float(reward(marking)) for marking in markings], dtype=float)
+    with span("dspn.rewards", markings=len(markings)):
+        return np.array(
+            [float(reward(marking)) for marking in markings], dtype=float
+        )
 
 
 def indicator(predicate: Callable[[Marking], bool]) -> RewardFunction:

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.dspn.rewards import RewardFunction
 from repro.errors import SimulationError
+from repro.obs import counter, span
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
 from repro.petri.transition import (
@@ -102,10 +103,16 @@ def replication_averages(
     if replications < 1:
         raise SimulationError(f"need >= 1 replication, got {replications}")
     rng = np.random.default_rng(seed)
-    return [
-        _run_replication(net, reward, horizon, warmup, rng)
-        for _ in range(replications)
-    ]
+    with span(
+        "dspn.simulate", net=net.name, replications=replications
+    ) as sp:
+        before = counter("dspn.simulate.events").value
+        averages = [
+            _run_replication(net, reward, horizon, warmup, rng)
+            for _ in range(replications)
+        ]
+        sp.set(events=counter("dspn.simulate.events").value - before)
+    return averages
 
 
 def simulate(
@@ -205,8 +212,11 @@ def transient_profile(
     rng = np.random.default_rng(seed)
 
     samples = np.empty((replications, len(ordered)))
-    for replication in range(replications):
-        samples[replication] = _sample_trajectory(net, reward, ordered, rng)
+    with span(
+        "dspn.simulate.transient", net=net.name, replications=replications
+    ):
+        for replication in range(replications):
+            samples[replication] = _sample_trajectory(net, reward, ordered, rng)
 
     means = samples.mean(axis=0)
     stds = samples.std(axis=0, ddof=1)
@@ -319,6 +329,7 @@ def _run_replication(
     clock = 0.0
     end = warmup + horizon
     accumulated = 0.0
+    events = 0
     # remaining time of each enabled deterministic transition
     remaining: dict[str, float] = {
         t.name: t.delay for t in deterministics if net.is_enabled(t, marking)
@@ -369,6 +380,7 @@ def _run_replication(
             ][0]
 
         marking = _resolve_immediates(net, net.fire(transition, marking), rng)
+        events += 1
 
         # update deterministic timers under enabling memory
         new_remaining: dict[str, float] = {}
@@ -382,6 +394,7 @@ def _run_replication(
                 new_remaining[det.name] = previously - dt
         remaining = new_remaining
 
+    counter("dspn.simulate.events").inc(events)
     return accumulated / horizon
 
 

@@ -13,6 +13,7 @@ from repro.dspn.mrgp_builder import build_mrgp_kernels
 from repro.dspn.rewards import RewardFunction, reward_vector
 from repro.errors import ParameterError, UnsupportedModelError, VerificationError
 from repro.markov.mrgp import solve_mrgp
+from repro.obs import counter, span
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
 from repro.statespace import TangibleGraph, tangible_reachability
@@ -142,28 +143,34 @@ def solve_steady_state(
     from repro.engine.cache import active_cache
     from repro.engine.hashing import net_fingerprint, solver_cache_key
 
-    fingerprint = net_fingerprint(net) if tolerance is not None else None
+    with span("dspn.solve", net=net.name, requested=method) as sp:
+        fingerprint = net_fingerprint(net) if tolerance is not None else None
 
-    cache = active_cache() if use_cache in (None, True) else None
-    key = None
-    if cache is not None:
-        key = solver_cache_key(net, max_states=max_states, method=method)
-        cached = cache.get(key)
-        if cached is not None:
-            if tolerance is None:
-                return cached
-            served = _serve_verified(cache, key, cached, fingerprint, tolerance)
-            if served is not None:
-                return served
-            # stale-and-failing or failing certificate: refuse the entry
+        cache = active_cache() if use_cache in (None, True) else None
+        key = None
+        if cache is not None:
+            key = solver_cache_key(net, max_states=max_states, method=method)
+            cached = cache.get(key)
+            if cached is not None:
+                if tolerance is None:
+                    sp.set(cache="hit", method=cached.method)
+                    return cached
+                served = _serve_verified(cache, key, cached, fingerprint, tolerance)
+                if served is not None:
+                    sp.set(cache="hit", method=served.method)
+                    return served
+                # stale-and-failing or failing certificate: refuse the entry
+                counter("engine.cache.refused").inc()
+                sp.set(cache="refused")
 
-    result = _solve_uncached(net, max_states=max_states, method=method)
-    result.pi.setflags(write=False)  # cached results are shared; freeze
-    if tolerance is not None:
-        result.certificate = _certify_or_raise(result, fingerprint, tolerance)
-    if cache is not None and key is not None:
-        cache.put(key, result)
-    return result
+        result = _solve_uncached(net, max_states=max_states, method=method)
+        result.pi.setflags(write=False)  # cached results are shared; freeze
+        if tolerance is not None:
+            result.certificate = _certify_or_raise(result, fingerprint, tolerance)
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        sp.set(method=result.method, states=len(result.pi))
+        return result
 
 
 def _serve_verified(

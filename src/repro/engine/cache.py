@@ -23,6 +23,7 @@ them inside worker processes, so parallel runs honour the same policy.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -31,9 +32,13 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
+from repro.obs import counter
+
 DEFAULT_MAXSIZE = 256
 
 _DIGEST_LENGTH = 64  # hex characters of SHA-256
+
+_logger = logging.getLogger("repro.engine.cache")
 
 
 def default_cache_directory() -> Path:
@@ -61,7 +66,8 @@ class SolverCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
-        self.rejected = 0  # disk entries dropped on digest mismatch
+        self.rejected = 0  # disk entries dropped: corrupt digest or payload
+        self.evictions = 0  # in-memory entries displaced by the LRU bound
 
     # -- in-memory tier -------------------------------------------------
     def __len__(self) -> int:
@@ -72,14 +78,18 @@ class SolverCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            counter("engine.cache.hits").inc()
             return self._entries[key]
         value = self._load_from_disk(key)
         if value is not None:
             self._remember(key, value)
             self.hits += 1
             self.disk_hits += 1
+            counter("engine.cache.hits").inc()
+            counter("engine.cache.disk_hits").inc()
             return value
         self.misses += 1
+        counter("engine.cache.misses").inc()
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -93,6 +103,8 @@ class SolverCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            counter("engine.cache.evictions").inc()
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory tier (and the disk tier with ``disk=True``)."""
@@ -140,16 +152,28 @@ class SolverCache:
             newline != b"\n"
             or hashlib.sha256(payload).hexdigest().encode() != digest
         ):
-            # tampered or corrupt: refuse, remove, recompute
-            self.rejected += 1
-            path.unlink(missing_ok=True)
+            self._reject(path, "digest mismatch")
             return None
         try:
             return pickle.loads(payload)
         except Exception:
-            self.rejected += 1
-            path.unlink(missing_ok=True)
+            self._reject(path, "undecodable payload")
             return None
+
+    def _reject(self, path: Path, reason: str) -> None:
+        """Drop a corrupt/tampered disk entry: count, warn, remove.
+
+        Rejections are never silent — a corrupt store that keeps
+        recomputing looks identical to a cold one unless it says so.
+        """
+        self.rejected += 1
+        counter("engine.cache.rejected").inc()
+        _logger.warning(
+            "discarding corrupt solver-cache entry %s (%s); recomputing",
+            path,
+            reason,
+        )
+        path.unlink(missing_ok=True)
 
     def stats(self) -> dict[str, int]:
         """Counters for diagnostics and benchmarks."""
@@ -159,6 +183,7 @@ class SolverCache:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "rejected": self.rejected,
+            "evictions": self.evictions,
         }
 
 

@@ -14,6 +14,15 @@ substitute for serial ones:
   shipped to every worker, so ``--no-cache`` (or a test's cache
   override) means the same thing in all processes.
 
+Observability rides the same rails.  When the parent runs under
+:func:`repro.obs.tracing`, every point executes inside an
+``engine.sweep.point`` span: inline for serial runs, and under a fresh
+per-point tracer inside each worker for parallel runs.  Workers ship
+their span records and a metrics snapshot back with the results; the
+parent grafts the per-point subtrees under its ``engine.sweep`` span in
+point order and merges the metrics, so ``jobs=4`` reassembles to the
+same normalized trace tree (and the same counter totals) as ``jobs=1``.
+
 The point function must be picklable (a module-level function), as must
 every argument and result; the experiment runners keep their worker
 functions in :mod:`repro.engine.tasks` for exactly this reason.
@@ -29,6 +38,16 @@ from typing import Any
 
 from repro.engine.cache import cache_settings, configure_cache
 from repro.errors import ParameterError
+from repro.obs import (
+    clock_from_settings,
+    current_tracer,
+    registry_override,
+    span,
+    trace_settings,
+    tracing,
+)
+from repro.obs.metrics import active_registry
+from repro.obs.tracer import SpanRecord
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -58,12 +77,36 @@ def chunk_points(n_points: int, jobs: int, chunk_size: int | None = None) -> lis
 
 def _run_chunk(
     fn: Callable[..., Any],
-    chunk: list[tuple],
+    chunk: list[tuple[int, tuple]],
     settings: dict[str, Any],
-) -> list[Any]:
-    """Worker entry point: replay the cache policy, then run the points."""
+    obs_settings: dict[str, Any],
+) -> tuple[list[Any], list[list[SpanRecord]], dict[str, Any]]:
+    """Worker entry point: replay the parent's policies, run the points.
+
+    Returns the point results plus — for trace reassembly — one span
+    record list per point (empty when the parent was not tracing) and a
+    snapshot of the metrics this chunk produced.
+    """
     configure_cache(**settings)
-    return [fn(*args) for args in chunk]
+    values: list[Any] = []
+    records: list[list[SpanRecord]] = []
+    with registry_override() as registry:
+        if obs_settings.get("enabled"):
+            for index, args in chunk:
+                # A fresh tracer (and, for manual clocks, a fresh zeroed
+                # clock) per point: the captured subtree depends only on
+                # the point itself, never on chunk boundaries.
+                with tracing(
+                    clock=clock_from_settings(obs_settings["clock"])
+                ) as tracer:
+                    with span("engine.sweep.point", index=index):
+                        values.append(fn(*args))
+                records.append(tracer.records)
+        else:
+            values.extend(fn(*args) for _, args in chunk)
+            records.extend([] for _ in chunk)
+        snapshot = registry.snapshot()
+    return values, records, snapshot
 
 
 @dataclass
@@ -113,29 +156,52 @@ class SweepPlan:
 
         ``jobs <= 1`` runs serially in-process (the reference path);
         anything larger fans the chunks out over a process pool.  Both
-        paths produce identical results for pure point functions.
+        paths produce identical results for pure point functions — and,
+        under tracing, identical normalized span trees.
         """
         jobs = resolve_jobs(jobs)
+        label = self.label or getattr(self.fn, "__name__", "sweep")
         if jobs <= 1 or len(self.points) <= 1:
-            return [self.fn(*args) for args in self.points]
+            with span("engine.sweep", label=label, points=len(self.points)) as sp:
+                sp.set(jobs=1)
+                results = []
+                for index, args in enumerate(self.points):
+                    with span("engine.sweep.point", index=index):
+                        results.append(self.fn(*args))
+                return results
 
         chunks = chunk_points(len(self.points), jobs, chunk_size)
         settings = cache_settings()
+        obs_settings = trace_settings()
         results: list[Any] = [None] * len(self.points)
         workers = min(jobs, len(chunks))
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = [
-                executor.submit(
-                    _run_chunk,
-                    self.fn,
-                    [self.points[i] for i in chunk],
-                    settings,
-                )
-                for chunk in chunks
-            ]
-            for chunk, future in zip(chunks, futures):
-                for index, value in zip(chunk, future.result()):
-                    results[index] = value
+        with span("engine.sweep", label=label, points=len(self.points)) as sp:
+            sp.set(jobs=jobs, chunks=len(chunks))
+            tracer = current_tracer()
+            registry = active_registry()
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(
+                        _run_chunk,
+                        self.fn,
+                        [(i, self.points[i]) for i in chunk],
+                        settings,
+                        obs_settings,
+                    )
+                    for chunk in chunks
+                ]
+                # chunks are contiguous and ascending, so walking them in
+                # submission order grafts point subtrees (and merges
+                # metrics) in point order — independent of which worker
+                # finished first.
+                for chunk, future in zip(chunks, futures):
+                    values, records, snapshot = future.result()
+                    for index, value in zip(chunk, values):
+                        results[index] = value
+                    if tracer is not None:
+                        for point_records in records:
+                            tracer.graft(point_records)
+                    registry.merge(snapshot)
         return results
 
 

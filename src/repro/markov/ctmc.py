@@ -10,6 +10,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.markov.linear import check_generator, normalize_distribution, solve_stationary
 from repro.markov.uniformization import transient_distribution
+from repro.obs import span
 
 
 class CTMC:
@@ -78,7 +79,10 @@ class CTMC:
         chains whose stationary distribution is not unique.
         """
         if self._stationary is None:
-            self._stationary = solve_stationary(self.generator, what="CTMC stationary")
+            with span("markov.ctmc", states=self.n_states):
+                self._stationary = solve_stationary(
+                    self.generator, what="CTMC stationary"
+                )
         return self._stationary
 
     def expected_reward(self, rewards: Sequence[float] | np.ndarray) -> float:

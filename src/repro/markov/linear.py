@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SolverError
+from repro.obs import counter, histogram, span
 
 _RESIDUAL_TOLERANCE = 1e-8
 _NEGATIVE_TOLERANCE = 1e-10
@@ -42,22 +43,26 @@ def solve_stationary(matrix: np.ndarray, *, what: str) -> np.ndarray:
     n = matrix.shape[0]
     if matrix.shape != (n, n):
         raise SolverError(f"{what}: generator must be square, got {matrix.shape}")
-    system = np.vstack([matrix.T, np.ones((1, n))])
-    rhs = np.zeros(n + 1)
-    rhs[-1] = 1.0
-    if np.linalg.matrix_rank(system) < n:
-        raise SolverError(
-            f"{what}: stationary distribution is not unique; the chain is "
-            "reducible with multiple recurrent classes"
-        )
-    solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
-    residual = np.linalg.norm(system @ solution - rhs, ord=np.inf)
-    if residual > _RESIDUAL_TOLERANCE * max(1.0, np.abs(matrix).max()):
-        raise SolverError(
-            f"{what}: stationary solve residual {residual:.3e} too large; "
-            "the chain may be reducible with multiple recurrent classes"
-        )
-    return normalize_distribution(solution, what=what)
+    with span("markov.linear_solve", size=n) as sp:
+        system = np.vstack([matrix.T, np.ones((1, n))])
+        rhs = np.zeros(n + 1)
+        rhs[-1] = 1.0
+        if np.linalg.matrix_rank(system) < n:
+            raise SolverError(
+                f"{what}: stationary distribution is not unique; the chain is "
+                "reducible with multiple recurrent classes"
+            )
+        solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+        residual = np.linalg.norm(system @ solution - rhs, ord=np.inf)
+        counter("markov.linear_solves").inc()
+        histogram("markov.linear_residual").observe(float(residual))
+        sp.set(residual=float(residual))
+        if residual > _RESIDUAL_TOLERANCE * max(1.0, np.abs(matrix).max()):
+            raise SolverError(
+                f"{what}: stationary solve residual {residual:.3e} too large; "
+                "the chain may be reducible with multiple recurrent classes"
+            )
+        return normalize_distribution(solution, what=what)
 
 
 def solve_stationary_stochastic(matrix: np.ndarray, *, what: str) -> np.ndarray:

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.markov.dtmc import DTMC
 from repro.markov.linear import normalize_distribution
+from repro.obs import span
 
 
 @dataclass(frozen=True)
@@ -83,19 +84,23 @@ def solve_mrgp(kernel: np.ndarray, sojourn: np.ndarray) -> MRGPResult:
     if np.any(sojourn < -1e-12):
         raise SolverError("sojourn matrix has negative entries")
 
-    cycle_lengths = sojourn.sum(axis=1)
-    if np.any(cycle_lengths <= 0.0):
-        bad = int(np.argmin(cycle_lengths))
-        raise SolverError(
-            f"regeneration state {bad} has non-positive expected cycle "
-            f"length {cycle_lengths[bad]}"
-        )
+    with span("markov.mrgp", states=n) as sp:
+        cycle_lengths = sojourn.sum(axis=1)
+        if np.any(cycle_lengths <= 0.0):
+            bad = int(np.argmin(cycle_lengths))
+            raise SolverError(
+                f"regeneration state {bad} has non-positive expected cycle "
+                f"length {cycle_lengths[bad]}"
+            )
 
-    embedded = DTMC(kernel)
-    phi = embedded.stationary_distribution()
-    weighted_time = phi @ sojourn
-    mean_cycle = float(phi @ cycle_lengths)
-    if mean_cycle <= 0.0:
-        raise SolverError(f"mean cycle length is {mean_cycle}; cannot normalize")
-    pi = normalize_distribution(weighted_time / mean_cycle, what="MRGP distribution")
+        embedded = DTMC(kernel)
+        phi = embedded.stationary_distribution()
+        weighted_time = phi @ sojourn
+        mean_cycle = float(phi @ cycle_lengths)
+        if mean_cycle <= 0.0:
+            raise SolverError(f"mean cycle length is {mean_cycle}; cannot normalize")
+        pi = normalize_distribution(
+            weighted_time / mean_cycle, what="MRGP distribution"
+        )
+        sp.set(expected_cycle_length=mean_cycle)
     return MRGPResult(pi=pi, phi=phi, expected_cycle_length=mean_cycle)

@@ -1,0 +1,122 @@
+"""Injectable monotonic clocks for the observability layer.
+
+Every timestamp the tracer, the metrics exporter, or a benchmark takes
+goes through :func:`now`, which reads the process-wide active clock.
+The default :class:`MonotonicClock` wraps ``time.perf_counter``; tests
+and the ``repro trace --manual-clock`` mode swap in a
+:class:`ManualClock`, whose reads advance a virtual time by a fixed step
+— making every trace (and every duration derived from it) a pure
+function of the code path, hence byte-reproducible.
+
+Worker processes replay the parent's clock policy via
+:func:`clock_settings` / :func:`clock_from_settings`: a manual parent
+clock gives every worker point a fresh manual clock starting at zero, so
+parallel traces are as deterministic as serial ones.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Protocol
+
+
+class Clock(Protocol):
+    """Anything with a monotonically non-decreasing ``now()``."""
+
+    kind: str
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class MonotonicClock:
+    """Wall-clock time from ``time.perf_counter`` (the default)."""
+
+    kind = "monotonic"
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A virtual clock: every read returns ``start + step * reads_so_far``.
+
+    Auto-advancing on read means two successive reads are never equal,
+    so span durations are positive and — because the number of reads
+    between two program points is deterministic — reproducible.
+    :meth:`tick` advances time explicitly on top of the per-read step.
+    """
+
+    kind = "manual"
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        if step <= 0:
+            raise ValueError(f"step must be > 0, got {step}")
+        self.start = start
+        self.step = step
+        self._now = start
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self.step
+        return current
+
+    def tick(self, amount: float) -> None:
+        """Advance the virtual time by ``amount`` (in addition to steps)."""
+        if amount < 0:
+            raise ValueError(f"cannot tick backwards by {amount}")
+        self._now += amount
+
+
+_default = MonotonicClock()
+_active: Clock = _default
+
+
+def active_clock() -> Clock:
+    """The process-wide clock all observability timestamps come from."""
+    return _active
+
+
+def now() -> float:
+    """A timestamp from the active clock."""
+    return _active.now()
+
+
+def set_clock(clock: Clock | None) -> None:
+    """Install ``clock`` process-wide (``None`` restores the default)."""
+    global _active
+    _active = clock if clock is not None else _default
+
+
+@contextmanager
+def use_clock(clock: Clock):
+    """Temporarily install ``clock`` (tests, the trace CLI)."""
+    saved = _active
+    set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(saved)
+
+
+def clock_settings() -> dict[str, Any]:
+    """Picklable description of the active clock (for worker replay)."""
+    clock = _active
+    if isinstance(clock, ManualClock):
+        return {"kind": "manual", "start": clock.start, "step": clock.step}
+    return {"kind": "monotonic"}
+
+
+def clock_from_settings(settings: dict[str, Any]) -> Clock:
+    """A fresh clock matching ``settings``.
+
+    Manual clocks restart at their configured ``start`` so each worker
+    point gets an identical, deterministic timeline.
+    """
+    if settings.get("kind") == "manual":
+        return ManualClock(
+            start=float(settings.get("start", 0.0)),
+            step=float(settings.get("step", 1.0)),
+        )
+    return MonotonicClock()

@@ -1,0 +1,121 @@
+"""Text rendering of trace trees: self-time tables and flamegraphs.
+
+Consumes the :class:`~repro.obs.tracer.TraceNode` forest a
+:class:`~repro.obs.tracer.Tracer` assembles and renders it two ways:
+
+* :func:`self_time_table` — per-span-name aggregation (calls, total,
+  self time, share), the "where does the time go" summary;
+* :func:`render_flamegraph` — an indented tree with bars proportional
+  to each span's share of its root, the "how is it nested" view.
+
+Both are pure functions of the trace, so under a manual clock their
+output is byte-reproducible.  ``unit`` is ``"s"`` for wall-clock traces
+and ``"ticks"`` for manual-clock ones (where durations count clock
+reads, not time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import TraceNode
+from repro.utils.tables import render_table
+
+
+def _format_time(value: float, unit: str) -> str:
+    if unit == "ticks":
+        return f"{value:g}"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+@dataclass
+class _Aggregate:
+    calls: int = 0
+    total: float = 0.0
+    self_time: float = 0.0
+    names: set = field(default_factory=set)
+
+
+def aggregate_self_times(roots: list[TraceNode]) -> dict[str, _Aggregate]:
+    """Per-name call counts and total/self times across the forest.
+
+    ``total`` sums every span's duration, so recursively nested spans of
+    the same name count their shared time once per level; ``self_time``
+    has no such overlap and always sums to the trace's wall time.
+    """
+    aggregates: dict[str, _Aggregate] = {}
+    for root in roots:
+        for node in root.walk():
+            aggregate = aggregates.setdefault(node.name, _Aggregate())
+            aggregate.calls += 1
+            aggregate.total += node.duration
+            aggregate.self_time += node.self_time
+    return aggregates
+
+
+def self_time_table(roots: list[TraceNode], *, unit: str = "s") -> str:
+    """Aligned table of span names sorted by decreasing self time."""
+    aggregates = aggregate_self_times(roots)
+    wall = sum(root.duration for root in roots)
+    rows = []
+    for name, aggregate in sorted(
+        aggregates.items(), key=lambda item: (-item[1].self_time, item[0])
+    ):
+        share = (aggregate.self_time / wall * 100.0) if wall > 0 else 0.0
+        rows.append(
+            [
+                name,
+                aggregate.calls,
+                _format_time(aggregate.total, unit),
+                _format_time(aggregate.self_time, unit),
+                f"{share:.1f}%",
+            ]
+        )
+    return render_table(["span", "calls", "total", "self", "self%"], rows)
+
+
+def _label(node: TraceNode) -> str:
+    if not node.attrs:
+        return node.name
+    attrs = ",".join(f"{key}={node.attrs[key]}" for key in sorted(node.attrs))
+    return f"{node.name}{{{attrs}}}"
+
+
+def render_flamegraph(
+    roots: list[TraceNode],
+    *,
+    width: int = 40,
+    unit: str = "s",
+    max_depth: int | None = None,
+) -> str:
+    """Indented tree with bars scaled to each span's share of its root.
+
+    One line per span::
+
+        [########........]  52.3%  1.205ms  statespace.explore{net=...}
+
+    ``max_depth`` truncates the rendering (not the underlying trace);
+    deeper subtrees collapse into their parent's self time visually.
+    """
+    lines: list[str] = []
+
+    def render(node: TraceNode, root_duration: float, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        share = node.duration / root_duration if root_duration > 0 else 0.0
+        filled = round(share * width)
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(
+            f"{'  ' * depth}[{bar}] {share * 100.0:5.1f}%  "
+            f"{_format_time(node.duration, unit):>9}  {_label(node)}"
+        )
+        for child in node.children:
+            render(child, root_duration, depth + 1)
+
+    for root in roots:
+        render(root, root.duration, 0)
+    return "\n".join(lines)

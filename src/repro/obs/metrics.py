@@ -1,0 +1,212 @@
+"""Counters, gauges, and histograms for the solver/engine pipeline.
+
+Metrics are always on — instrumentation points increment them once per
+call with pre-aggregated totals (states explored, events simulated,
+residuals observed), so the cost is a dictionary lookup per solver
+invocation, not per inner-loop step.
+
+The active registry is context-local with a process-wide default:
+:func:`counter` / :func:`gauge` / :func:`histogram` read the registry of
+the current context, and :func:`registry_override` installs a fresh one
+for the extent of a block (tests, the trace CLI).  Worker processes
+snapshot their registry per sweep chunk and the parent merges the
+snapshots in deterministic point order, so counter totals are identical
+between serial and parallel runs.
+
+Export: :meth:`MetricsRegistry.snapshot` for in-memory consumption and
+:meth:`MetricsRegistry.to_jsonl` for machine-readable dumps.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution (no buckets).
+
+    Tracks count / total / min / max, which is what the self-time
+    summaries and residual reports need; full bucketed histograms would
+    cost more than the quantities they would describe.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        found = self.counters.get(name)
+        if found is None:
+            found = self.counters[name] = Counter()
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self.gauges.get(name)
+        if found is None:
+            found = self.gauges[name] = Gauge()
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        found = self.histograms.get(name)
+        if found is None:
+            found = self.histograms[name] = Histogram()
+        return found
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data copy of every metric (picklable, JSON-able)."""
+        return {
+            "counters": {
+                name: metric.value for name, metric in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: metric.value for name, metric in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: metric.summary()
+                for name, metric in sorted(self.histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry.
+
+        Counters add, gauges take the incoming value (merges happen in
+        deterministic point order), histograms combine their summaries.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            count = int(summary.get("count", 0))
+            if count == 0:
+                continue
+            histogram.count += count
+            histogram.total += float(summary.get("total", 0.0))
+            histogram.min = min(histogram.min, float(summary["min"]))
+            histogram.max = max(histogram.max, float(summary["max"]))
+
+    def to_jsonl(self) -> str:
+        """One JSON object per metric: ``{"kind", "name", ...}`` lines."""
+        snapshot = self.snapshot()
+        lines = []
+        for name, value in snapshot["counters"].items():
+            lines.append(
+                json.dumps(
+                    {"kind": "counter", "name": name, "value": value},
+                    sort_keys=True,
+                )
+            )
+        for name, value in snapshot["gauges"].items():
+            lines.append(
+                json.dumps(
+                    {"kind": "gauge", "name": name, "value": value}, sort_keys=True
+                )
+            )
+        for name, summary in snapshot["histograms"].items():
+            lines.append(
+                json.dumps(
+                    {"kind": "histogram", "name": name, **summary}, sort_keys=True
+                )
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+_default_registry = MetricsRegistry()
+_registry: ContextVar[MetricsRegistry] = ContextVar(
+    "repro_obs_metrics", default=_default_registry
+)
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry metrics helpers write to in the current context."""
+    return _registry.get()
+
+
+def counter(name: str) -> Counter:
+    return _registry.get().counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _registry.get().gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _registry.get().histogram(name)
+
+
+@contextmanager
+def registry_override(registry: MetricsRegistry | None = None):
+    """Install a fresh (or given) registry for the extent of the block."""
+    registry = registry if registry is not None else MetricsRegistry()
+    token = _registry.set(registry)
+    try:
+        yield registry
+    finally:
+        _registry.reset(token)

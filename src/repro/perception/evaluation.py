@@ -25,6 +25,7 @@ from repro.nversion.reliability import (
     PaperSixVersionReliability,
     ReliabilityFunction,
 )
+from repro.obs import span
 from repro.perception.no_rejuvenation import build_no_rejuvenation_net
 from repro.perception.parameters import PerceptionParameters
 from repro.perception.rejuvenation import build_rejuvenation_net
@@ -137,22 +138,23 @@ def evaluate(
     state_probabilities: dict[ModuleCounts, float] = {}
     state_reliability: dict[ModuleCounts, float] = {}
     rewards = np.empty(len(solution.pi), dtype=float)
-    for index, (marking, probability) in enumerate(
-        zip(solution.markings, solution.pi)
-    ):
-        counts = module_counts(marking)
-        state_probabilities[counts] = state_probabilities.get(counts, 0.0) + float(
-            probability
-        )
-        if counts not in state_reliability:
-            state_reliability[counts] = float(
-                reliability(counts.healthy, counts.compromised, counts.unavailable)
-            )
-        rewards[index] = state_reliability[counts]
+    with span("dspn.rewards", markings=len(solution.pi)):
+        for index, (marking, probability) in enumerate(
+            zip(solution.markings, solution.pi)
+        ):
+            counts = module_counts(marking)
+            state_probabilities[counts] = state_probabilities.get(
+                counts, 0.0
+            ) + float(probability)
+            if counts not in state_reliability:
+                state_reliability[counts] = float(
+                    reliability(counts.healthy, counts.compromised, counts.unavailable)
+                )
+            rewards[index] = state_reliability[counts]
 
-    # Same contraction as SteadyStateResult.expected_reward (Eq. 1),
-    # with each distinct (i, j, k) evaluated once instead of per marking.
-    expected = float(solution.pi @ rewards)
+        # Same contraction as SteadyStateResult.expected_reward (Eq. 1),
+        # with each distinct (i, j, k) evaluated once instead of per marking.
+        expected = float(solution.pi @ rewards)
     return EvaluationResult(
         expected_reliability=expected,
         state_probabilities=state_probabilities,

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.errors import StateSpaceError
+from repro.obs import counter, span
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
 from repro.petri.transition import (
@@ -50,6 +51,15 @@ def explore(net: PetriNet, *, max_states: int = 200_000) -> RawGraph:
         deadlock is *not* an error per se — deadlocked tangible markings
         are absorbing states).
     """
+    with span("statespace.explore", net=net.name) as sp:
+        graph = _explore(net, max_states=max_states)
+        counter("statespace.states_explored").inc(graph.n_states)
+        sp.set(states=graph.n_states, vanishing=sum(graph.vanishing))
+    return graph
+
+
+def _explore(net: PetriNet, *, max_states: int) -> RawGraph:
+    """The untraced exploration loop behind :func:`explore`."""
     initial = net.initial_marking()
     markings: list[Marking] = [initial]
     index: dict[Marking, int] = {initial: 0}

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import StateSpaceError
+from repro.obs import counter, span
 from repro.statespace.graph import (
     DeterministicEdge,
     ExponentialEdge,
@@ -35,6 +36,16 @@ _PROBABILITY_TOLERANCE = 1e-9
 
 def eliminate_vanishing(graph: RawGraph) -> TangibleGraph:
     """Collapse vanishing markings of ``graph`` into a tangible-only graph."""
+    with span("statespace.vanishing") as sp:
+        tangible = _eliminate(graph)
+        eliminated = graph.n_states - tangible.n_states
+        counter("statespace.vanishing_eliminated").inc(eliminated)
+        sp.set(tangible=tangible.n_states, eliminated=eliminated)
+    return tangible
+
+
+def _eliminate(graph: RawGraph) -> TangibleGraph:
+    """The untraced elimination behind :func:`eliminate_vanishing`."""
     tangible_indices = graph.tangible_indices()
     tangible_position = {raw: pos for pos, raw in enumerate(tangible_indices)}
     vanishing_indices = [i for i in range(graph.n_states) if graph.vanishing[i]]

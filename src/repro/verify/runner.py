@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.engine.sweep import SweepPlan
 from repro.experiments.registry import EXPERIMENT_IDS
+from repro.obs import counter, span
 from repro.verify.certify import (
     DEFAULT_TOLERANCE,
     Certificate,
@@ -145,36 +146,43 @@ def _reward_function(target: VerifyTarget):
 def _verify_target(target: VerifyTarget, tolerance: float) -> TargetVerification:
     from repro.dspn.steady_state import solve_steady_state
 
-    net = target.build()
-    lint = lint_net(net)
-    solution = solve_steady_state(
-        net, max_states=target.max_states, verify=tolerance
-    )
-    reward = _reward_function(target)
-    expected = solution.expected_reward(reward)
-    reward_checks = certify_expected_reward(
-        solution, reward, expected, tolerance=tolerance
-    )
-    assert solution.certificate is not None  # verify= attached it
-    return TargetVerification(
-        name=target.name,
-        method=solution.method,
-        n_states=len(solution.pi),
-        expected_reliability=expected,
-        lint=lint,
-        certificate=solution.certificate,
-        reward_checks=reward_checks,
-    )
+    with span("verify.target", target=target.name) as sp:
+        net = target.build()
+        lint = lint_net(net)
+        solution = solve_steady_state(
+            net, max_states=target.max_states, verify=tolerance
+        )
+        reward = _reward_function(target)
+        expected = solution.expected_reward(reward)
+        reward_checks = certify_expected_reward(
+            solution, reward, expected, tolerance=tolerance
+        )
+        assert solution.certificate is not None  # verify= attached it
+        verification = TargetVerification(
+            name=target.name,
+            method=solution.method,
+            n_states=len(solution.pi),
+            expected_reliability=expected,
+            lint=lint,
+            certificate=solution.certificate,
+            reward_checks=reward_checks,
+        )
+        counter("verify.targets").inc()
+        if not verification.ok:
+            counter("verify.failures").inc()
+        sp.set(ok=verification.ok, method=solution.method)
+    return verification
 
 
 def _verify_experiment(
     experiment_id: str, tolerance: float
 ) -> tuple[TargetVerification, ...]:
     """SweepPlan point function: verify every target of one experiment."""
-    return tuple(
-        _verify_target(target, tolerance)
-        for target in experiment_targets(experiment_id)
-    )
+    with span("verify.experiment", experiment=experiment_id):
+        return tuple(
+            _verify_target(target, tolerance)
+            for target in experiment_targets(experiment_id)
+        )
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +224,11 @@ def _relabeled_four_version_net(parameters):
 
 def _paper_oracles(tolerance: float) -> tuple[OracleResult, ...]:
     """All statistical oracles; deterministic given the fixed seeds."""
+    with span("verify.oracles"):
+        return _paper_oracles_untraced(tolerance)
+
+
+def _paper_oracles_untraced(tolerance: float) -> tuple[OracleResult, ...]:
     from repro.dspn.steady_state import solve_steady_state
     from repro.perception.evaluation import default_reliability_function
     from repro.perception.parameters import PerceptionParameters

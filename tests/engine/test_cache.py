@@ -47,6 +47,7 @@ class TestInMemoryTier:
             "misses": 1,
             "disk_hits": 0,
             "rejected": 0,
+            "evictions": 0,
         }
 
     def test_rejects_nonpositive_maxsize(self):

@@ -1,0 +1,76 @@
+"""Satellite (a): corrupt cache entries are counted, logged, recomputed."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from repro.dspn.steady_state import solve_steady_state
+from repro.engine import cache_override
+from repro.obs import registry_override
+from repro.perception.no_rejuvenation import build_no_rejuvenation_net
+from repro.perception.parameters import PerceptionParameters
+
+
+def _poison_single_entry(directory) -> None:
+    (path,) = sorted(directory.glob("*/*.pkl"))
+    path.write_bytes(b"not a cache entry")
+
+
+class TestCorruptEntryObservability:
+    def test_rejection_warns_once_and_counts(self, tmp_path, caplog):
+        net = build_no_rejuvenation_net(
+            PerceptionParameters.four_version_defaults()
+        )
+        with cache_override(enabled=True, directory=tmp_path):
+            honest = solve_steady_state(net)
+        _poison_single_entry(tmp_path)
+
+        with registry_override() as registry:
+            with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+                with cache_override(enabled=True, directory=tmp_path) as cache:
+                    recomputed = solve_steady_state(net)
+                    assert cache.rejected == 1
+
+        warnings = [
+            record for record in caplog.records
+            if record.name == "repro.engine.cache"
+        ]
+        assert len(warnings) == 1, "exactly one line per rejected entry"
+        assert "corrupt" in warnings[0].getMessage()
+        assert "recomputing" in warnings[0].getMessage()
+        assert registry.counter("engine.cache.rejected").value == 1.0
+        np.testing.assert_array_equal(recomputed.pi, honest.pi)
+
+    def test_hit_miss_eviction_counters(self, tmp_path):
+        net = build_no_rejuvenation_net(
+            PerceptionParameters.four_version_defaults()
+        )
+        with registry_override() as registry:
+            with cache_override(enabled=True, directory=None):
+                solve_steady_state(net)  # miss + compute
+                solve_steady_state(net)  # in-memory hit
+        assert registry.counter("engine.cache.misses").value == 1.0
+        assert registry.counter("engine.cache.hits").value == 1.0
+        assert registry.counter("engine.cache.rejected").value == 0.0
+
+    def test_disk_hits_and_evictions_surface_as_metrics(self, tmp_path):
+        net = build_no_rejuvenation_net(
+            PerceptionParameters.four_version_defaults()
+        )
+        with cache_override(enabled=True, directory=tmp_path):
+            solve_steady_state(net)
+        with registry_override() as registry:
+            # fresh in-memory tier: the hit must come from disk
+            with cache_override(enabled=True, directory=tmp_path):
+                solve_steady_state(net)
+            assert registry.counter("engine.cache.disk_hits").value == 1.0
+
+            from repro.engine.cache import SolverCache
+
+            tiny = SolverCache(maxsize=1)
+            tiny.put("a", 1)
+            tiny.put("b", 2)  # evicts "a"
+            assert tiny.evictions == 1
+            assert registry.counter("engine.cache.evictions").value == 1.0

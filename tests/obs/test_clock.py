@@ -1,0 +1,86 @@
+"""Tests of the injectable observability clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    ManualClock,
+    MonotonicClock,
+    active_clock,
+    clock_from_settings,
+    clock_settings,
+    now,
+    use_clock,
+)
+
+
+class TestManualClock:
+    def test_reads_advance_by_step(self):
+        clock = ManualClock()
+        assert [clock.now() for _ in range(4)] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_custom_start_and_step(self):
+        clock = ManualClock(start=10.0, step=0.5)
+        assert [clock.now() for _ in range(3)] == [10.0, 10.5, 11.0]
+
+    def test_tick_advances_on_top_of_steps(self):
+        clock = ManualClock()
+        clock.now()
+        clock.tick(100.0)
+        assert clock.now() == 101.0
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError, match="step"):
+            ManualClock(step=0.0)
+
+    def test_rejects_backwards_tick(self):
+        with pytest.raises(ValueError, match="backwards"):
+            ManualClock().tick(-1.0)
+
+    def test_two_clocks_same_configuration_same_timeline(self):
+        a, b = ManualClock(step=2.0), ManualClock(step=2.0)
+        assert [a.now() for _ in range(5)] == [b.now() for _ in range(5)]
+
+
+class TestMonotonicClock:
+    def test_is_nondecreasing(self):
+        clock = MonotonicClock()
+        first, second = clock.now(), clock.now()
+        assert second >= first
+
+
+class TestActiveClock:
+    def test_default_is_monotonic(self):
+        assert active_clock().kind == "monotonic"
+
+    def test_use_clock_installs_and_restores(self):
+        saved = active_clock()
+        manual = ManualClock()
+        with use_clock(manual):
+            assert active_clock() is manual
+            assert now() == 0.0
+            assert now() == 1.0
+        assert active_clock() is saved
+
+    def test_use_clock_restores_on_exception(self):
+        saved = active_clock()
+        with pytest.raises(RuntimeError):
+            with use_clock(ManualClock()):
+                raise RuntimeError("boom")
+        assert active_clock() is saved
+
+
+class TestClockSettings:
+    def test_monotonic_roundtrip(self):
+        assert clock_settings() == {"kind": "monotonic"}
+        assert clock_from_settings({"kind": "monotonic"}).kind == "monotonic"
+
+    def test_manual_roundtrip_restarts_at_start(self):
+        with use_clock(ManualClock(start=5.0, step=2.0)) as clock:
+            clock.now()  # advance the original past its start
+            settings = clock_settings()
+        assert settings == {"kind": "manual", "start": 5.0, "step": 2.0}
+        fresh = clock_from_settings(settings)
+        assert fresh.now() == 5.0  # restarted, not resumed
+        assert fresh.now() == 7.0

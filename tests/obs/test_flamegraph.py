@@ -1,0 +1,72 @@
+"""Tests of trace rendering: self-time tables and text flamegraphs."""
+
+from __future__ import annotations
+
+from repro.obs import ManualClock, render_flamegraph, self_time_table, span, tracing
+from repro.obs.flamegraph import _format_time, aggregate_self_times
+
+
+def _demo_roots():
+    """A deterministic trace: root (11 ticks) over two children (3 each)."""
+    with tracing(clock=ManualClock()) as tracer:
+        with span("root", net="demo"):
+            with span("child", index=0):
+                tracer.clock.tick(2)
+            with span("child", index=1):
+                tracer.clock.tick(2)
+            tracer.clock.tick(2)
+    return tracer.roots()
+
+
+class TestFormatTime:
+    def test_ticks_render_bare(self):
+        assert _format_time(3.0, "ticks") == "3"
+        assert _format_time(2.5, "ticks") == "2.5"
+
+    def test_seconds_pick_a_scale(self):
+        assert _format_time(1.5, "s") == "1.500s"
+        assert _format_time(0.0012, "s") == "1.200ms"
+        assert _format_time(2.5e-7, "s") == "0.2us"
+
+
+class TestSelfTimeTable:
+    def test_aggregates_calls_and_self_time(self):
+        aggregates = aggregate_self_times(_demo_roots())
+        assert aggregates["child"].calls == 2
+        assert aggregates["child"].self_time == 6.0
+        # self times partition the wall time
+        wall = sum(root.duration for root in _demo_roots())
+        assert sum(a.self_time for a in aggregates.values()) == wall
+
+    def test_table_sorted_by_self_time(self):
+        table = self_time_table(_demo_roots(), unit="ticks")
+        lines = table.splitlines()
+        assert "span" in lines[0] and "self%" in lines[0]
+        body = [line for line in lines if line.lstrip().startswith(("root", "child"))]
+        assert body[0].lstrip().startswith("child")  # 6 ticks self > root's 4
+
+    def test_is_deterministic_under_manual_clock(self):
+        assert self_time_table(_demo_roots(), unit="ticks") == self_time_table(
+            _demo_roots(), unit="ticks"
+        )
+
+
+class TestFlamegraph:
+    def test_one_line_per_span_with_bars(self):
+        text = render_flamegraph(_demo_roots(), width=10, unit="ticks")
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "root{net=demo}" in lines[0]
+        assert "100.0%" in lines[0]
+        assert lines[0].startswith("[##########]")
+        assert "child{index=0}" in lines[1]
+        assert lines[1].startswith("  [")  # children indent under the root
+
+    def test_max_depth_truncates_rendering(self):
+        text = render_flamegraph(_demo_roots(), unit="ticks", max_depth=0)
+        assert len(text.splitlines()) == 1
+
+    def test_is_deterministic_under_manual_clock(self):
+        first = render_flamegraph(_demo_roots(), unit="ticks")
+        second = render_flamegraph(_demo_roots(), unit="ticks")
+        assert first == second

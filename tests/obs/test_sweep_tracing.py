@@ -1,0 +1,100 @@
+"""Cross-process span reassembly: ``--jobs N`` traces like ``--jobs 1``.
+
+The tentpole invariant of the observability layer: a parallel sweep's
+grafted trace normalizes to exactly the serial sweep's trace, and its
+merged counters equal the serial totals.  Workers capture spans under
+fresh per-point tracers, ship the records back with the results, and the
+parent reassembles them in point order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine import SweepPlan, cache_override
+from repro.experiments.registry import run_experiment
+from repro.obs import ManualClock, counter, registry_override, span, tracing, use_clock
+
+
+def _traced_point(value: float) -> float:
+    """Module-level (hence picklable) point function that emits spans."""
+    with span("work", value=value):
+        with span("work.inner"):
+            counter("test.points").inc()
+    return value * 2.0
+
+
+def _normalized(tracer) -> str:
+    return json.dumps(
+        [root.normalized() for root in tracer.roots()], sort_keys=True
+    )
+
+
+def _run_sweep(jobs: int) -> tuple[str, dict]:
+    plan = SweepPlan.over(_traced_point, [float(v) for v in range(7)], label="demo")
+    with registry_override() as registry:
+        with use_clock(ManualClock()):
+            with tracing(clock=ManualClock()) as tracer:
+                results = plan.run(jobs=jobs)
+    assert results == [v * 2.0 for v in range(7)]
+    return _normalized(tracer), registry.snapshot()
+
+
+class TestSweepReassembly:
+    def test_parallel_tree_normalizes_to_serial(self):
+        serial_tree, serial_metrics = _run_sweep(jobs=1)
+        parallel_tree, parallel_metrics = _run_sweep(jobs=4)
+        assert parallel_tree == serial_tree  # byte-identical
+        assert parallel_metrics["counters"] == serial_metrics["counters"]
+
+    def test_tree_shape_has_points_under_sweep(self):
+        plan = SweepPlan.over(_traced_point, [1.0, 2.0], label="shape")
+        with registry_override():
+            with tracing(clock=ManualClock()) as tracer:
+                plan.run(jobs=2)
+        (root,) = tracer.roots()
+        assert root.name == "engine.sweep"
+        assert root.attrs == {"label": "shape", "points": 2}
+        assert [child.name for child in root.children] == [
+            "engine.sweep.point",
+            "engine.sweep.point",
+        ]
+        assert [child.attrs["index"] for child in root.children] == [0, 1]
+        assert [g.name for g in root.children[0].children] == ["work"]
+
+    def test_jobs_is_a_measure_not_an_attr(self):
+        """jobs differs between modes, so it must not affect normalization."""
+        plan = SweepPlan.over(_traced_point, [1.0, 2.0])
+        with registry_override():
+            with tracing(clock=ManualClock()) as tracer:
+                plan.run(jobs=2)
+        (root,) = tracer.roots()
+        assert "jobs" not in root.attrs
+        assert root.measures["jobs"] == 2
+
+    def test_untraced_parallel_sweep_still_merges_metrics(self):
+        plan = SweepPlan.over(_traced_point, [1.0, 2.0, 3.0])
+        with registry_override() as registry:
+            results = plan.run(jobs=2)
+        assert results == [2.0, 4.0, 6.0]
+        assert registry.counter("test.points").value == 3.0
+
+
+class TestExperimentReassembly:
+    def test_table2_defaults_traces_identically_serial_and_parallel(self):
+        """End-to-end: a real experiment, cache off, jobs 1 vs 4."""
+
+        def run(jobs: int):
+            with registry_override() as registry:
+                with cache_override(enabled=False):
+                    with use_clock(ManualClock()):
+                        with tracing(clock=ManualClock()) as tracer:
+                            report = run_experiment("table2-defaults", jobs=jobs)
+            return _normalized(tracer), registry.snapshot(), report.render(plot=False)
+
+        serial_tree, serial_metrics, serial_render = run(1)
+        parallel_tree, parallel_metrics, parallel_render = run(4)
+        assert parallel_tree == serial_tree
+        assert parallel_metrics["counters"] == serial_metrics["counters"]
+        assert parallel_render == serial_render
+        assert '"dspn.solve"' in serial_tree  # solver spans made it across

@@ -1,0 +1,97 @@
+"""Tests of the ``repro trace`` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import EXPERIMENT_IDS
+
+
+def _trace_json(capsys, *argv: str) -> dict:
+    assert main(["trace", *argv, "--manual-clock", "--json"]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestTraceJson:
+    def test_payload_has_manifest_trace_normalized_metrics(self, capsys):
+        payload = _trace_json(capsys, "table2-defaults")
+        assert set(payload) == {"manifest", "unit", "trace", "normalized", "metrics"}
+        assert payload["unit"] == "ticks"
+        assert payload["manifest"]["experiment"] == "table2-defaults"
+        assert payload["manifest"]["clock"] == "manual"
+        assert payload["manifest"]["cache_policy"]["enabled"] is False
+        (root,) = payload["normalized"]
+        assert root["name"] == "experiment"
+        assert root["attrs"] == {"experiment": "table2-defaults"}
+        assert payload["metrics"]["counters"]["statespace.states_explored"] > 0
+
+    def test_manual_clock_trace_is_deterministic(self, capsys):
+        first = _trace_json(capsys, "table2-defaults")
+        second = _trace_json(capsys, "table2-defaults")
+        assert first == second  # timings included — full byte determinism
+
+    def test_parallel_trace_normalizes_like_serial(self, capsys):
+        serial = _trace_json(capsys, "table2-defaults", "--jobs", "1")
+        parallel = _trace_json(capsys, "table2-defaults", "--jobs", "2")
+        assert parallel["normalized"] == serial["normalized"]
+        assert (
+            parallel["metrics"]["counters"] == serial["metrics"]["counters"]
+        )
+
+    def test_out_writes_file_instead_of_stdout(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["trace", "table2-defaults", "--manual-clock", "--json", "--out", str(out)]
+        ) == 0
+        assert capsys.readouterr().out == ""
+        payload = json.loads(out.read_text())
+        assert payload["manifest"]["experiment"] == "table2-defaults"
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+    def test_every_registry_experiment_traces_deterministically(
+        self, capsys, experiment_id
+    ):
+        """Acceptance sweep: all 16 experiments, jobs 1 vs 4, same tree."""
+        serial = _trace_json(capsys, experiment_id, "--jobs", "1")
+        parallel = _trace_json(capsys, experiment_id, "--jobs", "4")
+        assert parallel["normalized"] == serial["normalized"]
+        assert (
+            parallel["metrics"]["counters"] == serial["metrics"]["counters"]
+        )
+
+
+class TestTraceText:
+    def test_renders_summary_flamegraph_metrics(self, capsys):
+        assert main(["trace", "table2-defaults", "--manual-clock"]) == 0
+        out = capsys.readouterr().out
+        assert "== self-time summary ==" in out
+        assert "== flamegraph ==" in out
+        assert "== metrics ==" in out
+        assert "experiment{experiment=table2-defaults}" in out
+        assert "dspn.solve" in out
+
+    def test_depth_truncates_flamegraph(self, capsys):
+        assert main(
+            ["trace", "table2-defaults", "--manual-clock", "--depth", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        flame = out.split("== flamegraph ==")[1].split("== metrics ==")[0]
+        assert len([line for line in flame.splitlines() if line.strip()]) == 1
+
+
+class TestTraceArguments:
+    def test_list_prints_registry_ids(self, capsys):
+        assert main(["trace", "--list"]) == 0
+        assert capsys.readouterr().out.split() == list(EXPERIMENT_IDS)
+
+    def test_missing_experiment_exits_with_hint(self):
+        with pytest.raises(SystemExit, match="repro trace --list"):
+            main(["trace"])
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["trace", "no-such-experiment", "--manual-clock"]) == 2
+        assert "error:" in capsys.readouterr().err

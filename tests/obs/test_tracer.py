@@ -1,0 +1,221 @@
+"""Tests of span collection, the disabled no-op path, and grafting."""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    ManualClock,
+    SpanRecord,
+    build_tree,
+    current_tracer,
+    span,
+    trace_settings,
+    tracing,
+    tracing_active,
+)
+
+
+class TestDisabledPath:
+    """Satellite (c): tracing off must cost (almost) nothing."""
+
+    def test_span_returns_shared_singleton(self):
+        assert span("anything") is NULL_SPAN
+        assert span("else", net="x", index=3) is span("anything")
+
+    def test_null_span_is_reusable_context_manager(self):
+        with span("a") as first:
+            with span("b") as second:
+                assert first is second is NULL_SPAN
+
+    def test_set_is_chainable_noop(self):
+        assert NULL_SPAN.set(states=5, residual=1e-12) is NULL_SPAN
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(ValueError):
+            with span("x"):
+                raise ValueError("must propagate")
+
+    def test_tracing_inactive_by_default(self):
+        assert not tracing_active()
+        assert current_tracer() is None
+        assert trace_settings()["enabled"] is False
+
+    def test_disabled_span_allocates_nothing_lasting(self):
+        """Entering/exiting a disabled span leaves no allocation behind."""
+
+        def burst(n=100):
+            for _ in range(n):
+                with span("noop", index=0) as sp:
+                    sp.set(value=1)
+
+        burst()  # warm up interned ints, bytecode caches, etc.
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        burst()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        leaked = sum(
+            stat.size_diff for stat in after.compare_to(before, "filename")
+            if stat.size_diff > 0
+        )
+        # tracemalloc's own bookkeeping costs a few hundred bytes; 100
+        # surviving span objects would cost far more.
+        assert leaked < 2048
+
+
+class TestActiveTracing:
+    def test_records_nested_spans_in_start_order(self):
+        with tracing(clock=ManualClock()) as tracer:
+            with span("outer", net="demo"):
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    pass
+        names = [record.name for record in tracer.records]
+        assert names == ["outer", "inner.a", "inner.b"]
+        outer, inner_a, inner_b = tracer.records
+        assert outer.parent_id is None
+        assert inner_a.parent_id == outer.span_id
+        assert inner_b.parent_id == outer.span_id
+
+    def test_attrs_and_measures_are_kept_apart(self):
+        with tracing(clock=ManualClock()) as tracer:
+            with span("solve", net="demo") as sp:
+                sp.set(states=42, residual=1e-14)
+        (record,) = tracer.records
+        assert record.attrs == {"net": "demo"}
+        assert record.measures == {"states": 42, "residual": 1e-14}
+
+    def test_manual_clock_gives_deterministic_timestamps(self):
+        def run():
+            with tracing(clock=ManualClock()) as tracer:
+                with span("outer"):
+                    with span("inner"):
+                        pass
+            return [(r.start, r.end) for r in tracer.records]
+
+        assert run() == run() == [(0.0, 3.0), (1.0, 2.0)]
+
+    def test_exception_closes_span_with_error_status(self):
+        with pytest.raises(RuntimeError):
+            with tracing(clock=ManualClock()) as tracer:
+                with span("doomed"):
+                    raise RuntimeError("boom")
+        (record,) = tracer.records
+        assert record.status == "error"
+        assert record.end is not None
+
+    def test_tracer_uninstalled_after_block(self):
+        with tracing():
+            assert tracing_active()
+            assert trace_settings()["enabled"] is True
+        assert not tracing_active()
+
+    def test_to_jsonl_one_parseable_object_per_record(self):
+        with tracing(clock=ManualClock()) as tracer:
+            with span("a", k=1):
+                with span("b"):
+                    pass
+        lines = tracer.to_jsonl().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [p["name"] for p in parsed] == ["a", "b"]
+        assert parsed[0]["attrs"] == {"k": 1}
+        assert parsed[1]["parent_id"] == parsed[0]["span_id"]
+
+
+class TestGraft:
+    def _capture(self, name):
+        with tracing(clock=ManualClock()) as worker:
+            with span(name, index=0):
+                with span(f"{name}.child"):
+                    pass
+        return worker.records
+
+    def test_graft_reparents_roots_under_current_span(self):
+        shipped = self._capture("point")
+        with tracing(clock=ManualClock()) as parent:
+            with span("sweep"):
+                parent.graft(shipped)
+        (root,) = parent.roots()
+        assert root.name == "sweep"
+        assert [child.name for child in root.children] == ["point"]
+        assert [g.name for g in root.children[0].children] == ["point.child"]
+
+    def test_graft_offsets_ids_per_batch(self):
+        first = self._capture("p0")
+        second = self._capture("p1")
+        with tracing(clock=ManualClock()) as parent:
+            with span("sweep"):
+                parent.graft(first)
+                parent.graft(second)
+        ids = [record.span_id for record in parent.records]
+        assert len(set(ids)) == len(ids), "grafted ids must not collide"
+        (root,) = parent.roots()
+        assert [child.name for child in root.children] == ["p0", "p1"]
+
+    def test_graft_empty_is_noop(self):
+        with tracing() as tracer:
+            tracer.graft([])
+        assert tracer.records == []
+
+    def test_graft_without_open_span_adds_roots(self):
+        shipped = self._capture("orphan")
+        with tracing() as tracer:
+            tracer.graft(shipped)
+        roots = tracer.roots()
+        assert [root.name for root in roots] == ["orphan"]
+
+
+class TestTreeAssembly:
+    def test_build_tree_preserves_child_order(self):
+        records = [
+            SpanRecord(span_id=0, parent_id=None, name="r", attrs={}, start=0, end=9),
+            SpanRecord(span_id=1, parent_id=0, name="b", attrs={}, start=1, end=2),
+            SpanRecord(span_id=2, parent_id=0, name="a", attrs={}, start=3, end=4),
+        ]
+        (root,) = build_tree(records)
+        assert [child.name for child in root.children] == ["b", "a"]
+
+    def test_self_time_subtracts_children(self):
+        records = [
+            SpanRecord(span_id=0, parent_id=None, name="r", attrs={}, start=0, end=10),
+            SpanRecord(span_id=1, parent_id=0, name="c", attrs={}, start=2, end=5),
+        ]
+        (root,) = build_tree(records)
+        assert root.duration == 10
+        assert root.self_time == 7
+        assert root.children[0].self_time == 3
+
+    def test_normalized_drops_timings_measures_status(self):
+        with tracing(clock=ManualClock()) as tracer:
+            with span("solve", net="demo") as sp:
+                sp.set(cache="hit")
+        (root,) = tracer.roots()
+        assert root.normalized() == {
+            "name": "solve",
+            "attrs": {"net": "demo"},
+            "children": [],
+        }
+
+    def test_normalized_sorts_attrs(self):
+        with tracing(clock=ManualClock()) as tracer:
+            with span("s", zeta=1, alpha=2):
+                pass
+        (root,) = tracer.roots()
+        assert list(root.normalized()["attrs"]) == ["alpha", "zeta"]
+
+    def test_walk_is_depth_first(self):
+        with tracing(clock=ManualClock()) as tracer:
+            with span("r"):
+                with span("a"):
+                    with span("a1"):
+                        pass
+                with span("b"):
+                    pass
+        (root,) = tracer.roots()
+        assert [node.name for node in root.walk()] == ["r", "a", "a1", "b"]
