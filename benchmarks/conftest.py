@@ -5,11 +5,22 @@ figures.  The benchmark fixture measures the end-to-end regeneration
 time; the report (the same rows/series the paper shows) is printed once
 after measurement so ``pytest benchmarks/ --benchmark-only -s`` doubles
 as the reproduction log.
+
+Every benchmark's timing is also stamped with a
+:class:`repro.obs.RunManifest` and appended to
+``benchmarks/artifacts/<module>.json`` — a number without the git sha,
+python/numpy versions, and cache policy that produced it cannot be
+compared to anything later.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+ARTIFACTS = Path(__file__).resolve().parent / "artifacts"
 
 
 @pytest.fixture
@@ -25,3 +36,33 @@ def regenerate(benchmark):
         return report
 
     return run
+
+
+@pytest.fixture(autouse=True)
+def stamp_manifest(request):
+    """Attach a provenance manifest to every benchmark's recorded stats."""
+    yield
+    benchmark = getattr(request.node, "funcargs", {}).get("benchmark")
+    stats = getattr(benchmark, "stats", None) if benchmark is not None else None
+    if stats is None:
+        return
+    from repro.obs import collect_manifest
+
+    timings = stats.stats
+    entry = {
+        "test": request.node.name,
+        "manifest": collect_manifest(
+            experiment=request.node.module.__name__
+        ).as_dict(),
+        "stats": {
+            "mean": timings.mean,
+            "min": timings.min,
+            "max": timings.max,
+            "rounds": timings.rounds,
+        },
+    }
+    ARTIFACTS.mkdir(exist_ok=True)
+    path = ARTIFACTS / f"{request.node.module.__name__}.json"
+    entries = json.loads(path.read_text()) if path.exists() else []
+    entries.append(entry)
+    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")

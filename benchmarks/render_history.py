@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate the README benchmark table from BENCH_HISTORY.jsonl.
+
+The table shows the latest recorded baseline per benchmark — the same
+entries ``repro bench --gate`` compares against — so the README never
+drifts from what the gate actually enforces.  Usage::
+
+    python benchmarks/render_history.py           # rewrite README.md
+    python benchmarks/render_history.py --check   # exit 1 if README is stale
+
+``--check`` backs the doc-freshness test in ``tests/obs/test_regress.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+README = REPO / "README.md"
+HISTORY = REPO / "BENCH_HISTORY.jsonl"
+
+TABLE_START = "<!-- BENCH_TABLE_START -->"
+TABLE_END = "<!-- BENCH_TABLE_END -->"
+
+
+def render_table(history_path: Path = HISTORY) -> str:
+    """The latest baseline per benchmark as a markdown table."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.regress import latest_baselines, load_history
+
+    baselines = latest_baselines(load_history(history_path))
+    lines = [
+        "| benchmark | best time | score (x calibration) | recorded at |",
+        "|---|---|---|---|",
+    ]
+    for bench, entry in baselines.items():
+        sha = (entry.get("manifest") or {}).get("git_sha") or "unknown"
+        lines.append(
+            f"| `{bench}` | {entry['seconds'] * 1000:.1f} ms "
+            f"| {entry['score']:.2f} | {sha[:12]} |"
+        )
+    return "\n".join(lines)
+
+
+def spliced_readme(table: str) -> str:
+    text = README.read_text()
+    head, _, rest = text.partition(TABLE_START)
+    _, _, tail = rest.partition(TABLE_END)
+    if not head or not tail:
+        raise SystemExit(f"README.md lacks the {TABLE_START} markers")
+    return f"{head}{TABLE_START}\n{table}\n{TABLE_END}{tail}"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    check = "--check" in (argv if argv is not None else sys.argv[1:])
+    updated = spliced_readme(render_table())
+    if check:
+        if README.read_text() != updated:
+            print(
+                "README.md benchmark table is stale; run "
+                "python benchmarks/render_history.py",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    README.write_text(updated)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ Usage (also available as ``python -m repro``)::
     repro experiments fig3 fig4a               # regenerate paper artifacts
     repro experiments --list
     repro trace table2-defaults --jobs 4       # profile a run (flamegraph)
+    repro trace table2-defaults --export chrome --out trace.json  # Perfetto
+    repro bench --gate                         # benchmark regression gate
     repro verify --all                         # lint + certify every net
     repro simulate --six --horizon 100000      # Monte-Carlo cross-check
     repro monitor --six --attack               # rejuvenation-policy shootout
@@ -72,6 +74,25 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable solver-result caching entirely",
     )
+    _add_events_argument(parser)
+
+
+def _add_events_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--events", metavar="FILE",
+        help="stream lifecycle events (sweep/cache/monitor) to FILE as "
+        "live JSON Lines while the command runs",
+    )
+
+
+def _events_scope(args: argparse.Namespace):
+    """The ``--events FILE`` stream for this command (or a no-op)."""
+    from contextlib import nullcontext
+
+    from repro.obs import open_event_stream
+
+    path = getattr(args, "events", None)
+    return open_event_stream(path) if path else nullcontext()
 
 
 def _parameters_from(args: argparse.Namespace) -> PerceptionParameters:
@@ -136,9 +157,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
     _apply_cache_flags(args)
     values = [float(v) for v in args.values.split(",")]
-    result = sweep_parameter(
-        _parameters_from(args), args.parameter, values, jobs=args.jobs
-    )
+    with _events_scope(args):
+        result = sweep_parameter(
+            _parameters_from(args), args.parameter, values, jobs=args.jobs
+        )
     print(
         render_table(
             [args.parameter, "E[R]"],
@@ -169,13 +191,14 @@ def _command_experiments(args: argparse.Namespace) -> int:
         return 0
     _apply_cache_flags(args)
     ids = args.ids or list(EXPERIMENT_IDS)
-    for experiment_id in ids:
-        print(
-            run_experiment(experiment_id, jobs=args.jobs).render(
-                plot=not args.no_plot
+    with _events_scope(args):
+        for experiment_id in ids:
+            print(
+                run_experiment(experiment_id, jobs=args.jobs).render(
+                    plot=not args.no_plot
+                )
             )
-        )
-        print()
+            print()
     return 0
 
 
@@ -191,25 +214,29 @@ def _command_verify(args: argparse.Namespace) -> int:
     ids = args.ids or None
     if args.all and args.ids:
         raise SystemExit("--all and explicit experiment ids are mutually exclusive")
-    report = verify_experiments(
-        ids,
-        jobs=args.jobs,
-        tolerance=args.tolerance,
-        oracles=not args.no_oracles,
-    )
+    with _events_scope(args):
+        report = verify_experiments(
+            ids,
+            jobs=args.jobs,
+            tolerance=args.tolerance,
+            oracles=not args.no_oracles,
+        )
     print(report.render())
     return 0 if report.ok else 1
 
 
 def _command_trace(args: argparse.Namespace) -> int:
     import json
+    from pathlib import Path
 
     from repro.engine import cache_override, default_cache_directory
     from repro.experiments.registry import EXPERIMENT_IDS, run_experiment
     from repro.obs import (
         ManualClock,
         MonotonicClock,
+        chrome_trace,
         collect_manifest,
+        openmetrics,
         registry_override,
         render_flamegraph,
         self_time_table,
@@ -233,13 +260,26 @@ def _command_trace(args: argparse.Namespace) -> int:
     cache_directory = default_cache_directory() if args.cache else None
     with registry_override() as registry, cache_override(
         enabled=bool(args.cache), directory=cache_directory
-    ), use_clock(clock), tracing() as tracer:
+    ), use_clock(clock), tracing() as tracer, _events_scope(args):
         manifest = collect_manifest(experiment=args.experiment, jobs=args.jobs)
         with span("experiment", experiment=args.experiment):
             run_experiment(args.experiment, jobs=args.jobs)
 
     roots = tracer.roots()
     metrics = registry.snapshot()
+    if args.metrics:
+        Path(args.metrics).write_text(openmetrics(registry))
+    if args.export == "chrome":
+        payload = json.dumps(
+            chrome_trace(tracer, unit=unit, manifest=manifest.as_dict()),
+            indent=2,
+            sort_keys=True,
+        )
+        if args.out:
+            Path(args.out).write_text(payload + "\n")
+        else:
+            print(payload)
+        return 0
     if args.json:
         payload = json.dumps(
             {
@@ -253,8 +293,6 @@ def _command_trace(args: argparse.Namespace) -> int:
             sort_keys=True,
         )
         if args.out:
-            from pathlib import Path
-
             Path(args.out).write_text(payload + "\n")
         else:
             print(payload)
@@ -286,11 +324,61 @@ def _command_trace(args: argparse.Namespace) -> int:
             )
     output = "\n".join(lines)
     if args.out:
-        from pathlib import Path
-
         Path(args.out).write_text(output + "\n")
     else:
         print(output)
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.obs.regress import (
+        BENCH_SUITE,
+        append_history,
+        find_regressions,
+        latest_baselines,
+        load_history,
+        parse_slowdowns,
+        run_benchmarks,
+    )
+
+    if args.list:
+        for bench in BENCH_SUITE:
+            print(bench)
+        return 0
+    results = run_benchmarks(
+        args.ids or None,
+        rounds=args.rounds,
+        slowdowns=parse_slowdowns(args.slowdown),
+    )
+    baselines = latest_baselines(load_history(args.history))
+    for result in results:
+        baseline = baselines.get(result.bench)
+        versus = ""
+        if baseline is not None and float(baseline["score"]) > 0:
+            ratio = result.score / float(baseline["score"])
+            versus = f"  ({ratio:.2f}x baseline)"
+        print(
+            f"{result.bench:24s} {result.seconds * 1000:9.1f} ms  "
+            f"score {result.score:8.3f}{versus}"
+        )
+    if results:
+        print(f"calibration: {results[0].calibration_s * 1000:.1f} ms")
+    regressions = find_regressions(
+        results, baselines, tolerance=args.tolerance
+    )
+    # A gated, regressed run is never recorded: appending it would make
+    # the regression its own baseline and wave the next one through.
+    if not args.no_record and not (args.gate and regressions):
+        append_history(args.history, results)
+    if args.gate:
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION {regression.describe()}", file=sys.stderr)
+            return 1
+        print(
+            f"gate ok: {len(results)} benchmarks within "
+            f"{1.0 + args.tolerance:.2f}x of baseline"
+        )
     return 0
 
 
@@ -357,17 +445,18 @@ def _command_monitor(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown policy {unknown[0]!r}; valid: {', '.join(POLICY_NAMES)}"
         )
-    runs = compare_policies(
-        _parameters_from(args),
-        policies=policies,
-        duration=args.horizon,
-        warmup=args.warmup,
-        request_period=args.request_period,
-        seed=args.seed,
-        attack=args.attack,
-        threshold_bound=args.threshold_bound,
-        detection_threshold=args.detection_threshold,
-    )
+    with _events_scope(args):
+        runs = compare_policies(
+            _parameters_from(args),
+            policies=policies,
+            duration=args.horizon,
+            warmup=args.warmup,
+            request_period=args.request_period,
+            seed=args.seed,
+            attack=args.attack,
+            threshold_bound=args.threshold_bound,
+            detection_threshold=args.detection_threshold,
+        )
     print(
         render_table(
             ["scenario", "policy", "E[R]", "rejuvenations", "false-trigger rate"],
@@ -501,10 +590,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the injectable manual clock: timings count clock reads "
         "instead of seconds, making the whole trace byte-reproducible",
     )
-    trace.add_argument(
+    trace_format = trace.add_mutually_exclusive_group()
+    trace_format.add_argument(
         "--json", action="store_true",
         help="emit the trace, metrics, and manifest as JSON",
     )
+    trace_format.add_argument(
+        "--export", choices=("chrome",),
+        help="emit the trace in an interchange format: 'chrome' is "
+        "trace-event JSON loadable in Perfetto or chrome://tracing, "
+        "with sweep workers as separate processes",
+    )
+    trace.add_argument(
+        "--metrics", metavar="FILE",
+        help="additionally dump the run's metrics registry to FILE as "
+        "OpenMetrics exposition text",
+    )
+    _add_events_argument(trace)
     trace.add_argument(
         "--out", metavar="FILE", help="write the output to FILE instead of stdout"
     )
@@ -539,6 +641,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(verify)
     verify.set_defaults(handler=_command_verify)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the benchmark suite, append to BENCH_HISTORY.jsonl, and "
+        "optionally gate on regressions against the latest baseline",
+    )
+    bench.add_argument(
+        "ids", nargs="*", help="benchmark ids (default: all; see --list)"
+    )
+    bench.add_argument("--list", action="store_true", help="list ids and exit")
+    bench.add_argument(
+        "--history", metavar="FILE", default="BENCH_HISTORY.jsonl",
+        help="benchmark trajectory file (default: BENCH_HISTORY.jsonl)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=3, metavar="N",
+        help="timing repetitions per benchmark; the best is recorded",
+    )
+    bench.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 if any benchmark regressed beyond --tolerance "
+        "(regressed runs are not recorded)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.5, metavar="T",
+        help="allowed relative slowdown of the normalized score before "
+        "the gate fails (default 0.5 = 1.5x)",
+    )
+    bench.add_argument(
+        "--slowdown", action="append", metavar="ID=FACTOR",
+        help="multiply the measured time of benchmark ID by FACTOR "
+        "(synthetic injection for testing the gate; repeatable)",
+    )
+    bench.add_argument(
+        "--no-record", action="store_true",
+        help="measure and compare without appending to the history",
+    )
+    bench.set_defaults(handler=_command_bench)
 
     simulate = subparsers.add_parser(
         "simulate", help="Monte-Carlo cross-check of the analytic result"
@@ -594,6 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--detection-threshold", type=float, default=0.5,
         help="posterior bound above which a module counts as flagged",
     )
+    _add_events_argument(monitor)
     monitor.set_defaults(handler=_command_monitor)
 
     provision = subparsers.add_parser(

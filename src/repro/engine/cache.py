@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.obs import counter
+from repro.obs.events import emit as emit_event
 
 DEFAULT_MAXSIZE = 256
 
@@ -79,6 +80,7 @@ class SolverCache:
             self._entries.move_to_end(key)
             self.hits += 1
             counter("engine.cache.hits").inc()
+            emit_event("cache.hit", tier="memory")
             return self._entries[key]
         value = self._load_from_disk(key)
         if value is not None:
@@ -87,9 +89,11 @@ class SolverCache:
             self.disk_hits += 1
             counter("engine.cache.hits").inc()
             counter("engine.cache.disk_hits").inc()
+            emit_event("cache.hit", tier="disk")
             return value
         self.misses += 1
         counter("engine.cache.misses").inc()
+        emit_event("cache.miss")
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -168,6 +172,7 @@ class SolverCache:
         """
         self.rejected += 1
         counter("engine.cache.rejected").inc()
+        emit_event("cache.reject", reason=reason)
         _logger.warning(
             "discarding corrupt solver-cache entry %s (%s); recomputing",
             path,

@@ -22,6 +22,12 @@ their span records and a metrics snapshot back with the results; the
 parent grafts the per-point subtrees under its ``engine.sweep`` span in
 point order and merges the metrics, so ``jobs=4`` reassembles to the
 same normalized trace tree (and the same counter totals) as ``jobs=1``.
+The same holds for the :mod:`repro.obs.events` stream: the plan emits
+``sweep.plan`` up front and ``sweep.point.start`` / ``sweep.point.done``
+around every point — inline when serial, captured per point in workers
+and replayed by the parent in point order (after a ``sweep.worker.merge``
+marker per chunk), so the normalized lifecycle sequence is identical for
+every ``jobs`` value.
 
 The point function must be picklable (a module-level function), as must
 every argument and result; the experiment runners keep their worker
@@ -33,6 +39,7 @@ from __future__ import annotations
 import os
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -46,6 +53,8 @@ from repro.obs import (
     trace_settings,
     tracing,
 )
+from repro.obs.events import current_stream, event_stream, events_active
+from repro.obs.events import emit as emit_event
 from repro.obs.metrics import active_registry
 from repro.obs.tracer import SpanRecord
 
@@ -80,33 +89,57 @@ def _run_chunk(
     chunk: list[tuple[int, tuple]],
     settings: dict[str, Any],
     obs_settings: dict[str, Any],
-) -> tuple[list[Any], list[list[SpanRecord]], dict[str, Any]]:
+) -> tuple[
+    list[Any],
+    list[list[SpanRecord]],
+    list[list[dict[str, Any]]],
+    dict[str, Any],
+]:
     """Worker entry point: replay the parent's policies, run the points.
 
-    Returns the point results plus — for trace reassembly — one span
-    record list per point (empty when the parent was not tracing) and a
-    snapshot of the metrics this chunk produced.
+    Returns the point results plus — for observability reassembly — one
+    span record list and one event list per point (empty when the parent
+    had the corresponding channel off) and a snapshot of the metrics
+    this chunk produced.
     """
     configure_cache(**settings)
     values: list[Any] = []
     records: list[list[SpanRecord]] = []
+    point_events: list[list[dict[str, Any]]] = []
+    trace_on = bool(obs_settings.get("enabled"))
+    events_on = bool(obs_settings.get("events"))
     with registry_override() as registry:
-        if obs_settings.get("enabled"):
+        if trace_on or events_on:
             for index, args in chunk:
-                # A fresh tracer (and, for manual clocks, a fresh zeroed
-                # clock) per point: the captured subtree depends only on
-                # the point itself, never on chunk boundaries.
-                with tracing(
-                    clock=clock_from_settings(obs_settings["clock"])
-                ) as tracer:
+                # A fresh tracer/stream (and, for manual clocks, a fresh
+                # zeroed clock) per point: what gets captured depends
+                # only on the point itself, never on chunk boundaries.
+                with ExitStack() as stack:
+                    clock = clock_from_settings(obs_settings["clock"])
+                    tracer = (
+                        stack.enter_context(tracing(clock=clock))
+                        if trace_on
+                        else None
+                    )
+                    stream = (
+                        stack.enter_context(event_stream(clock=clock))
+                        if events_on
+                        else None
+                    )
+                    emit_event("sweep.point.start", index=index)
                     with span("engine.sweep.point", index=index):
                         values.append(fn(*args))
-                records.append(tracer.records)
+                    emit_event("sweep.point.done", index=index)
+                records.append(tracer.records if tracer is not None else [])
+                point_events.append(
+                    stream.events if stream is not None else []
+                )
         else:
             values.extend(fn(*args) for _, args in chunk)
             records.extend([] for _ in chunk)
+            point_events.extend([] for _ in chunk)
         snapshot = registry.snapshot()
-    return values, records, snapshot
+    return values, records, point_events, snapshot
 
 
 @dataclass
@@ -162,22 +195,35 @@ class SweepPlan:
         jobs = resolve_jobs(jobs)
         label = self.label or getattr(self.fn, "__name__", "sweep")
         if jobs <= 1 or len(self.points) <= 1:
+            emit_event(
+                "sweep.plan", label=label, points=len(self.points), jobs=1
+            )
             with span("engine.sweep", label=label, points=len(self.points)) as sp:
                 sp.set(jobs=1)
                 results = []
                 for index, args in enumerate(self.points):
+                    emit_event("sweep.point.start", index=index)
                     with span("engine.sweep.point", index=index):
                         results.append(self.fn(*args))
+                    emit_event("sweep.point.done", index=index)
                 return results
 
         chunks = chunk_points(len(self.points), jobs, chunk_size)
         settings = cache_settings()
-        obs_settings = trace_settings()
+        obs_settings = {**trace_settings(), "events": events_active()}
         results: list[Any] = [None] * len(self.points)
         workers = min(jobs, len(chunks))
+        emit_event(
+            "sweep.plan",
+            label=label,
+            points=len(self.points),
+            jobs=jobs,
+            chunks=len(chunks),
+        )
         with span("engine.sweep", label=label, points=len(self.points)) as sp:
             sp.set(jobs=jobs, chunks=len(chunks))
             tracer = current_tracer()
+            stream = current_stream()
             registry = active_registry()
             with ProcessPoolExecutor(max_workers=workers) as executor:
                 futures = [
@@ -191,16 +237,31 @@ class SweepPlan:
                     for chunk in chunks
                 ]
                 # chunks are contiguous and ascending, so walking them in
-                # submission order grafts point subtrees (and merges
-                # metrics) in point order — independent of which worker
-                # finished first.
-                for chunk, future in zip(chunks, futures):
-                    values, records, snapshot = future.result()
+                # submission order grafts point subtrees, replays point
+                # events and merges metrics in point order — independent
+                # of which worker finished first.
+                for chunk_number, (chunk, future) in enumerate(
+                    zip(chunks, futures)
+                ):
+                    values, records, point_events, snapshot = future.result()
+                    process = chunk_number + 1
                     for index, value in zip(chunk, values):
                         results[index] = value
                     if tracer is not None:
-                        for point_records in records:
-                            tracer.graft(point_records)
+                        for index, point_records in zip(chunk, records):
+                            tracer.graft(
+                                point_records, process=process, thread=index
+                            )
+                    if stream is not None:
+                        stream.emit(
+                            "sweep.worker.merge",
+                            process=process,
+                            start=chunk.start,
+                            stop=chunk.stop,
+                            points=len(chunk),
+                        )
+                        for events in point_events:
+                            stream.replay(events, process=process)
                     registry.merge(snapshot)
         return results
 

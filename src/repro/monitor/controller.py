@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from repro.errors import SimulationError
 from repro.monitor.estimator import HealthEstimator
+from repro.obs import counter as obs_counter
+from repro.obs import histogram as obs_histogram
 from repro.monitor.metrics import MonitorMetrics, MonitorSummary
 from repro.monitor.policies import (
     PolicyView,
@@ -120,6 +122,7 @@ class MonitorController:
         self.window.observe(signal)
         self._sync_availability(now, [output is not None for output in outputs])
         threshold = self.metrics.detection_threshold
+        updates = 0
         for module_id, output in enumerate(outputs):
             if output is None:
                 continue
@@ -127,10 +130,19 @@ class MonitorController:
             after = self.estimator.update(
                 module_id, signal.deviated[module_id], now
             )
+            updates += 1
             if before < threshold <= after:
                 self.metrics.record_flag(now, module_id)
             elif after < threshold <= before:
                 self.metrics.record_unflag(module_id)
+        # one registry touch per round, not per module: the aggregate
+        # keeps the hot path cheap and still sums exactly
+        if updates:
+            obs_counter("monitor.estimator.updates").inc(updates)
+        participants = sum(signal.participated)
+        obs_histogram("monitor.disagreement").observe(
+            sum(signal.deviated) / participants if participants else 0.0
+        )
         self.metrics.record_round(outcome)
         if not self.drives_clock:
             return []

@@ -20,6 +20,12 @@ Three families of measurements come out:
 * **reliability** — a rolling empirical output reliability over the
   last ``reliability_window`` rounds plus the cumulative rate, directly
   comparable to the analytic E[R_sys].
+
+Every measurement is mirrored onto the global :mod:`repro.obs` metrics
+registry (``monitor.*`` counters) and, where there is a discrete moment
+to report, onto the event stream (``monitor.flag`` / ``monitor.unflag``
+/ ``monitor.rejuvenation``) — so one OpenMetrics dump or ``--events``
+file covers the solver pipeline and the monitoring loop together.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs import counter as obs_counter
+from repro.obs.events import emit as emit_event
 from repro.simulation.voter import VoteOutcome
 from repro.utils.validation import check_positive_int, check_probability
 
@@ -139,6 +147,7 @@ class MonitorMetrics:
         """
         if event == "compromise":
             self.compromises += 1
+            obs_counter("monitor.compromises").inc()
             if module_id in self._flagged:
                 # the filter was already (rightly or wrongly) suspicious;
                 # the compromise is detected the moment it happens
@@ -148,13 +157,24 @@ class MonitorMetrics:
                 self._compromised_since[module_id] = now
         elif event in ("fail", "rejuvenation-start"):
             if event == "rejuvenation-start":
+                was_compromised = (
+                    module_id in self._compromised_since
+                    or self._was_detected_compromised(module_id)
+                )
                 self.triggers.append(
                     TriggerRecord(
                         time=now,
                         module_id=module_id,
-                        was_compromised=module_id in self._compromised_since
-                        or self._was_detected_compromised(module_id),
+                        was_compromised=was_compromised,
                     )
+                )
+                obs_counter("monitor.rejuvenations").inc()
+                if not was_compromised:
+                    obs_counter("monitor.rejuvenations.false").inc()
+                emit_event(
+                    "monitor.rejuvenation",
+                    module=module_id,
+                    time=now,
                 )
             if self._compromised_since.pop(module_id, None) is not None:
                 self.censored += 1
@@ -178,15 +198,20 @@ class MonitorMetrics:
         if module_id in self._flagged:
             return
         self._flagged.add(module_id)
+        obs_counter("monitor.flags").inc()
+        emit_event("monitor.flag", module=module_id, time=now)
         since = self._compromised_since.pop(module_id, None)
         if since is not None:
             self.detection_latencies.append(now - since)
             self._detected.add(module_id)
         else:
             self.false_alarms += 1
+            obs_counter("monitor.false_alarms").inc()
 
     def record_unflag(self, module_id: int) -> None:
         """The posterior dropped back below the threshold."""
+        if module_id in self._flagged:
+            emit_event("monitor.unflag", module=module_id)
         self._flagged.discard(module_id)
 
     # ------------------------------------------------------------------
@@ -194,8 +219,11 @@ class MonitorMetrics:
     # ------------------------------------------------------------------
     def record_round(self, outcome: VoteOutcome) -> None:
         self.rounds += 1
+        obs_counter("monitor.rounds").inc()
         is_error = outcome is VoteOutcome.ERROR
         self.errors += is_error
+        if is_error:
+            obs_counter("monitor.errors").inc()
         if len(self._recent) == self._recent.maxlen:
             self._recent_errors -= self._recent[0]
         self._recent.append(is_error)

@@ -14,7 +14,15 @@ measured with.  It provides
 * an **injectable monotonic clock** (:mod:`repro.obs.clock`) so traces
   and benchmark timings are reproducible under test;
 * a :class:`RunManifest` pinning the code, environment, and policy that
-  produced any trace or benchmark artifact.
+  produced any trace or benchmark artifact;
+* a live **event stream** (:mod:`repro.obs.events`) emitting sweep /
+  cache / monitor lifecycle events as JSON Lines while a run executes;
+* **exporters** (:mod:`repro.obs.export`) to Chrome trace-event JSON
+  (Perfetto-loadable, worker lanes as separate pids) and OpenMetrics
+  exposition text;
+* a **benchmark trajectory** (:mod:`repro.obs.regress`): a manifest-
+  stamped runner appending to ``BENCH_HISTORY.jsonl`` and a regression
+  gate comparing machine-normalized scores against the latest baseline.
 
 Tracing is off by default and its disabled path is a single context-var
 read returning a shared no-op span — the CI overhead budget holds the
@@ -32,6 +40,16 @@ from repro.obs.clock import (
     set_clock,
     use_clock,
 )
+from repro.obs.events import (
+    EventStream,
+    current_stream,
+    emit,
+    event_stream,
+    events_active,
+    normalize_events,
+    open_event_stream,
+)
+from repro.obs.export import chrome_trace, metric_name, openmetrics
 from repro.obs.flamegraph import render_flamegraph, self_time_table
 from repro.obs.manifest import RunManifest, collect_manifest
 from repro.obs.metrics import (
@@ -56,6 +74,7 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "EventStream",
     "ManualClock",
     "MetricsRegistry",
     "MonotonicClock",
@@ -67,14 +86,23 @@ __all__ = [
     "active_clock",
     "active_registry",
     "build_tree",
+    "chrome_trace",
     "clock_from_settings",
     "clock_settings",
     "collect_manifest",
     "counter",
+    "current_stream",
     "current_tracer",
+    "emit",
+    "event_stream",
+    "events_active",
     "gauge",
     "histogram",
+    "metric_name",
+    "normalize_events",
     "now",
+    "open_event_stream",
+    "openmetrics",
     "registry_override",
     "render_flamegraph",
     "self_time_table",

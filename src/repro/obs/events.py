@@ -1,0 +1,175 @@
+"""Structured JSONL event stream for sweep, cache, and monitor lifecycle.
+
+Where spans answer *where did the time go* after a run, events answer
+*what is happening right now*: a context-local :class:`EventStream`
+receives one dict per lifecycle moment and — when given a sink —
+writes it as a JSON line immediately (flushed per event), so a watcher
+can ``tail -f`` the file while a long sweep executes.  The CLI wires
+this to ``--events out.jsonl`` on every sweep-running subcommand.
+
+Emitted events, in pipeline order:
+
+* ``sweep.plan`` — a :class:`~repro.engine.sweep.SweepPlan` starts
+  (``label``, ``points``, ``jobs``, and ``chunks`` when parallel);
+* ``sweep.point.start`` / ``sweep.point.done`` — one sweep point's
+  lifecycle (``index``);
+* ``sweep.worker.merge`` — the parent folded one worker chunk's
+  results back in (``process``, ``start``, ``stop``, ``points``);
+* ``cache.hit`` / ``cache.miss`` / ``cache.reject`` — solver-cache
+  traffic (``tier``, ``reason``);
+* ``monitor.flag`` / ``monitor.unflag`` / ``monitor.rejuvenation`` —
+  the runtime monitor's posterior crossings and issued rejuvenations
+  (``module``, ``time``).
+
+Determinism contract (the event analogue of attrs-vs-measures): the
+**lifecycle subsequence** — ``sweep.plan`` / ``sweep.point.start`` /
+``sweep.point.done`` with volatile fields dropped — is identical for
+every ``jobs`` value, because workers capture their points' events
+locally and the parent replays them in point order.
+:func:`normalize_events` extracts exactly that subsequence; under a
+:class:`~repro.obs.clock.ManualClock` even the raw stream is
+byte-reproducible run-to-run for a fixed ``jobs``.  Cache and monitor
+events stay in the stream but outside the contract: like span
+measures, they may legitimately differ between serial and parallel
+runs (per-process cache state).
+
+Like the tracer, the disabled path is free: with no stream installed,
+:func:`emit` is a single ``ContextVar`` read.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import IO, Any, Iterable
+
+from repro.obs import clock as _clockmod
+
+#: Events whose (jobs-independent) sequence is the determinism contract.
+LIFECYCLE_EVENTS = ("sweep.plan", "sweep.point.start", "sweep.point.done")
+
+#: Fields that may differ between execution modes: timestamps, worker
+#: lanes, and the parallelism degree itself.
+VOLATILE_FIELDS = ("ts", "jobs", "chunks", "process", "duration")
+
+
+class EventStream:
+    """Collects (and optionally writes through) the events of one run."""
+
+    def __init__(
+        self,
+        sink: IO[str] | None = None,
+        clock: "_clockmod.Clock | None" = None,
+    ) -> None:
+        self.sink = sink
+        self.clock = clock
+        self.events: list[dict[str, Any]] = []
+
+    def _now(self) -> float:
+        clock = self.clock
+        return clock.now() if clock is not None else _clockmod.now()
+
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Record one event, stamped with the stream's clock."""
+        event = {"event": kind, "ts": self._now(), **fields}
+        self._append(event)
+        return event
+
+    def replay(self, events: Iterable[dict[str, Any]], **extra: Any) -> None:
+        """Append externally captured events (a worker's), verbatim.
+
+        Replayed events keep their original timestamps — they come from
+        the worker's clock — and gain any ``extra`` fields (the sweep
+        stamps the worker's chunk lane as ``process``).
+        """
+        for event in events:
+            self._append({**event, **extra})
+
+    def _append(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink.write(json.dumps(event, sort_keys=True) + "\n")
+            self.sink.flush()
+
+    def to_jsonl(self) -> str:
+        """One JSON object per event, in emission order."""
+        return "\n".join(
+            json.dumps(event, sort_keys=True) for event in self.events
+        )
+
+
+# ----------------------------------------------------------------------
+# context-local activation
+# ----------------------------------------------------------------------
+_stream: ContextVar[EventStream | None] = ContextVar(
+    "repro_obs_events", default=None
+)
+
+
+def emit(kind: str, **fields: Any) -> None:
+    """Emit onto the context's stream (no-op when none is installed)."""
+    stream = _stream.get()
+    if stream is None:
+        return
+    stream.emit(kind, **fields)
+
+
+def events_active() -> bool:
+    """Whether an event stream is installed in the current context."""
+    return _stream.get() is not None
+
+
+def current_stream() -> EventStream | None:
+    """The context's event stream, or ``None`` when events are off."""
+    return _stream.get()
+
+
+@contextmanager
+def event_stream(
+    sink: IO[str] | None = None,
+    clock: "_clockmod.Clock | None" = None,
+):
+    """Install a fresh :class:`EventStream` for the extent of the block."""
+    stream = EventStream(sink=sink, clock=clock)
+    token = _stream.set(stream)
+    try:
+        yield stream
+    finally:
+        _stream.reset(token)
+
+
+@contextmanager
+def open_event_stream(path: Any):
+    """Stream events to ``path`` as live JSON Lines (the CLI's entry)."""
+    with open(path, "w", encoding="utf-8") as sink:
+        with event_stream(sink=sink) as stream:
+            yield stream
+
+
+def normalize_events(
+    events: "Iterable[dict[str, Any] | str] | str",
+) -> list[dict[str, Any]]:
+    """The deterministic shape of a stream: lifecycle events only.
+
+    Accepts event dicts, JSONL lines, or one JSONL blob.  Keeps the
+    :data:`LIFECYCLE_EVENTS` subsequence and drops the
+    :data:`VOLATILE_FIELDS` from each — what remains must be identical
+    across ``jobs`` values (enforced by ``tests/obs/test_events.py``).
+    """
+    if isinstance(events, str):
+        events = [line for line in events.splitlines() if line.strip()]
+    normalized = []
+    for event in events:
+        if isinstance(event, str):
+            event = json.loads(event)
+        if event.get("event") not in LIFECYCLE_EVENTS:
+            continue
+        normalized.append(
+            {
+                key: value
+                for key, value in event.items()
+                if key not in VOLATILE_FIELDS
+            }
+        )
+    return normalized

@@ -1,0 +1,177 @@
+"""Exporters: span trees to Chrome trace-event JSON, metrics to OpenMetrics.
+
+Everything ``repro.obs`` collects stays in-process until asked for;
+this module turns it into the two interchange formats the rest of the
+observability ecosystem speaks:
+
+* :func:`chrome_trace` renders :class:`~repro.obs.tracer.SpanRecord`
+  lists as the Chrome trace-event JSON object format — loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Each
+  record becomes one complete (``"ph": "X"``) event; the record's
+  execution lane maps onto ``pid``/``tid``, so reassembled sweep-worker
+  subtrees render as separate worker processes next to the main one.
+* :func:`openmetrics` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+  as OpenMetrics exposition text (the Prometheus wire format):
+  counters as ``<name>_total``, gauges verbatim, histograms as
+  summaries with count / sum / quantile-bound samples.
+
+Both are pure functions of their inputs — under a manual clock the
+Chrome trace is byte-reproducible, and the OpenMetrics text always is
+(modulo the metric values themselves).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanRecord, Tracer
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+
+#: Microseconds per time unit: trace-event ``ts``/``dur`` are in us.
+_UNIT_SCALE = {"s": 1e6, "ticks": 1.0}
+
+
+def process_label(process: int) -> str:
+    """Display name of an execution lane (0 = the parent process)."""
+    return "main" if process == 0 else f"sweep-worker-{process}"
+
+
+def chrome_trace(
+    records: "Tracer | Iterable[SpanRecord]",
+    *,
+    unit: str = "s",
+    manifest: "dict[str, Any] | None" = None,
+) -> dict[str, Any]:
+    """Render span records as a Chrome trace-event JSON object.
+
+    ``unit`` is the clock unit of the records (``"s"`` for wall-clock
+    traces, ``"ticks"`` for manual-clock ones; one tick maps to one
+    microsecond).  ``manifest`` (a :meth:`RunManifest.as_dict`) is
+    embedded under ``otherData`` so the trace carries its provenance.
+    """
+    if isinstance(records, Tracer):
+        records = records.records
+    records = list(records)
+    scale = _UNIT_SCALE.get(unit)
+    if scale is None:
+        raise ValueError(
+            f"unknown trace unit {unit!r}; expected one of "
+            f"{', '.join(sorted(_UNIT_SCALE))}"
+        )
+    events: list[dict[str, Any]] = []
+    for process in sorted({record.process for record in records}):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": process,
+                "tid": 0,
+                "args": {"name": process_label(process)},
+            }
+        )
+    for record in records:
+        end = record.end if record.end is not None else record.start
+        events.append(
+            {
+                "ph": "X",
+                "name": record.name,
+                "cat": "repro",
+                "ts": record.start * scale,
+                "dur": (end - record.start) * scale,
+                "pid": record.process,
+                "tid": record.thread,
+                "args": {
+                    **record.attrs,
+                    **record.measures,
+                    "status": record.status,
+                },
+            }
+        )
+    payload: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if manifest is not None:
+        payload["otherData"] = {"manifest": manifest}
+    return payload
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics exposition text
+# ----------------------------------------------------------------------
+
+#: Quantile bounds exported per histogram (plus count and sum).
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+_METRIC_PREFIX = "repro_"
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """The OpenMetrics-legal name of a registry metric.
+
+    Registry names are dotted (``engine.cache.hits``); OpenMetrics
+    names admit ``[a-zA-Z0-9_:]`` only, so dots (and anything else
+    illegal) become underscores under a ``repro_`` namespace prefix:
+    ``repro_engine_cache_hits``.
+    """
+    return _METRIC_PREFIX + _INVALID_CHARS.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if value != value or value in (math.inf, -math.inf):
+        raise ValueError(f"cannot export non-finite metric value {value}")
+    return repr(float(value))
+
+
+def openmetrics(registry: MetricsRegistry) -> str:
+    """The registry as OpenMetrics exposition text (``# EOF``-terminated).
+
+    One metric family per registry metric, sorted within each kind:
+    counters expose a single ``<name>_total`` sample, gauges a single
+    ``<name>`` sample, and histograms an OpenMetrics *summary* —
+    ``<name>{quantile="q"}`` upper bounds (from
+    :meth:`~repro.obs.metrics.Histogram.quantile`), ``<name>_count``
+    and ``<name>_sum``.  Raises if two registry names collide after
+    sanitization, rather than silently merging families.
+    """
+    lines: list[str] = []
+    seen: dict[str, str] = {}
+
+    def family(name: str) -> str:
+        sanitized = metric_name(name)
+        claimed = seen.setdefault(sanitized, name)
+        if claimed != name:
+            raise ValueError(
+                f"metric names {claimed!r} and {name!r} both export as "
+                f"{sanitized!r}"
+            )
+        return sanitized
+
+    for name, counter in sorted(registry.counters.items()):
+        sanitized = family(name)
+        lines.append(f"# TYPE {sanitized} counter")
+        lines.append(f"{sanitized}_total {_format_value(counter.value)}")
+    for name, gauge in sorted(registry.gauges.items()):
+        sanitized = family(name)
+        lines.append(f"# TYPE {sanitized} gauge")
+        lines.append(f"{sanitized} {_format_value(gauge.value)}")
+    for name, histogram in sorted(registry.histograms.items()):
+        sanitized = family(name)
+        lines.append(f"# TYPE {sanitized} summary")
+        if histogram.count:
+            for quantile in SUMMARY_QUANTILES:
+                lines.append(
+                    f'{sanitized}{{quantile="{quantile}"}} '
+                    f"{_format_value(histogram.quantile(quantile))}"
+                )
+        lines.append(f"{sanitized}_count {histogram.count}")
+        lines.append(f"{sanitized}_sum {_format_value(histogram.total)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -49,19 +49,43 @@ class Gauge:
         self.value = float(value)
 
 
+#: Log2 bucket bounds: values below ``2**_BUCKET_FLOOR`` (and all
+#: non-positive values) land in one underflow bucket, values above
+#: ``2**_BUCKET_CEILING`` clamp into the top bucket.
+_BUCKET_FLOOR = -40
+_BUCKET_CEILING = 128
+_UNDERFLOW_BUCKET = _BUCKET_FLOOR - 1
+
+
+def _bucket_of(value: float) -> int:
+    if value <= 0.0 or value < 2.0**_BUCKET_FLOOR:
+        return _UNDERFLOW_BUCKET
+    exponent = math.ceil(math.log2(value))
+    return min(max(exponent, _BUCKET_FLOOR), _BUCKET_CEILING)
+
+
+def _bucket_upper(index: int) -> float:
+    return 0.0 if index == _UNDERFLOW_BUCKET else 2.0**index
+
+
 @dataclass
 class Histogram:
-    """Streaming summary of an observed distribution (no buckets).
+    """Streaming summary of an observed distribution.
 
-    Tracks count / total / min / max, which is what the self-time
-    summaries and residual reports need; full bucketed histograms would
-    cost more than the quantities they would describe.
+    Tracks count / total / min / max plus a sparse log2-bucketed count
+    vector, which is enough for merge-stable quantile *bounds*: each
+    observation lands in the bucket ``(2**(i-1), 2**i]``, so
+    :meth:`quantile` answers within a factor of two (tightened by the
+    exact extrema) at O(1) memory per decade of dynamic range.  Bucket
+    counts add under :meth:`MetricsRegistry.merge`, so quantiles are
+    identical between serial and merged parallel runs.
     """
 
     count: int = 0
     total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    buckets: dict[int, int] = field(default_factory=dict)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -71,18 +95,47 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        index = _bucket_of(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def summary(self) -> dict[str, float]:
+    def quantile(self, q: float) -> float:
+        """An upper bound on the ``q``-quantile of the observations.
+
+        The bound is the upper edge of the bucket holding the
+        ``ceil(q * count)``-th smallest observation, clamped into the
+        exact ``[min, max]`` envelope — so ``quantile(0.0)`` and
+        ``quantile(1.0)`` are exact, and interior quantiles are tight
+        to within the log2 bucket width.  Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                return min(max(_bucket_upper(index), self.min), self.max)
+        return self.max
+
+    def summary(self) -> dict[str, Any]:
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
+            "buckets": {
+                str(index): self.buckets[index]
+                for index in sorted(self.buckets)
+            },
         }
 
 
@@ -146,6 +199,11 @@ class MetricsRegistry:
             histogram.total += float(summary.get("total", 0.0))
             histogram.min = min(histogram.min, float(summary["min"]))
             histogram.max = max(histogram.max, float(summary["max"]))
+            for index, bucket_count in summary.get("buckets", {}).items():
+                index = int(index)
+                histogram.buckets[index] = (
+                    histogram.buckets.get(index, 0) + int(bucket_count)
+                )
 
     def to_jsonl(self) -> str:
         """One JSON object per metric: ``{"kind", "name", ...}`` lines."""

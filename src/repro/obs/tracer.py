@@ -37,7 +37,15 @@ from repro.obs import clock as _clockmod
 
 @dataclass
 class SpanRecord:
-    """One finished (or still-open) span, as flat picklable data."""
+    """One finished (or still-open) span, as flat picklable data.
+
+    ``process`` and ``thread`` are execution *lanes*, not OS ids: the
+    parent tracer records in lane ``(0, 0)`` and :meth:`Tracer.graft`
+    stamps reassembled worker subtrees with their deterministic chunk
+    and point indices.  Like measures, lanes are excluded from
+    normalized trees (they depend on ``jobs``); the Chrome trace
+    exporter maps them onto pid/tid tracks.
+    """
 
     span_id: int
     parent_id: int | None
@@ -47,6 +55,8 @@ class SpanRecord:
     end: float | None = None
     measures: dict[str, Any] = field(default_factory=dict)
     status: str = "ok"
+    process: int = 0
+    thread: int = 0
 
     @property
     def duration(self) -> float:
@@ -62,6 +72,8 @@ class SpanRecord:
             "end": self.end,
             "measures": dict(self.measures),
             "status": self.status,
+            "process": self.process,
+            "thread": self.thread,
         }
 
 
@@ -141,14 +153,22 @@ class Tracer:
         record.status = status
         self._stack.pop()
 
-    def graft(self, records: list[SpanRecord]) -> None:
+    def graft(
+        self,
+        records: list[SpanRecord],
+        *,
+        process: int = 0,
+        thread: int = 0,
+    ) -> None:
         """Attach externally captured records under the current span.
 
         Ids are shifted past this tracer's counter and root records
         (``parent_id is None``) are re-parented onto the span currently
         open here.  Called by the sweep executor once per point, in
         point order, so the resulting tree is independent of worker
-        scheduling.
+        scheduling.  ``process``/``thread`` stamp the grafted records'
+        execution lane (the sweep passes its deterministic chunk and
+        point indices) for pid/tid-aware exporters.
         """
         if not records:
             return
@@ -169,6 +189,8 @@ class Tracer:
                     end=record.end,
                     measures=dict(record.measures),
                     status=record.status,
+                    process=process,
+                    thread=thread,
                 )
             )
         self._next_id = offset + max(record.span_id for record in records) + 1

@@ -1,0 +1,183 @@
+"""Tests for the structured event stream and its determinism contract."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import SweepPlan, cache_override
+from repro.obs import (
+    ManualClock,
+    current_stream,
+    emit,
+    event_stream,
+    events_active,
+    normalize_events,
+    use_clock,
+)
+from repro.obs.events import LIFECYCLE_EVENTS, VOLATILE_FIELDS, EventStream
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestEventStream:
+    def test_emit_stamps_kind_and_clock(self):
+        stream = EventStream(clock=ManualClock())
+        stream.emit("sweep.plan", points=3)
+        stream.emit("sweep.point.start", index=0)
+        assert [e["event"] for e in stream.events] == [
+            "sweep.plan",
+            "sweep.point.start",
+        ]
+        assert stream.events[0]["points"] == 3
+        assert stream.events[0]["ts"] < stream.events[1]["ts"]
+
+    def test_sink_receives_each_event_immediately(self):
+        sink = io.StringIO()
+        stream = EventStream(sink=sink, clock=ManualClock())
+        stream.emit("sweep.plan", points=1)
+        # written (and parseable) before the stream is closed: live tailing
+        line = sink.getvalue().splitlines()[0]
+        assert json.loads(line)["event"] == "sweep.plan"
+
+    def test_replay_preserves_timestamps_and_stamps_extra(self):
+        stream = EventStream(clock=ManualClock())
+        stream.replay(
+            [{"event": "sweep.point.start", "ts": 123.0, "index": 5}],
+            process=2,
+        )
+        assert stream.events == [
+            {"event": "sweep.point.start", "ts": 123.0, "index": 5, "process": 2}
+        ]
+
+    def test_to_jsonl_round_trips(self):
+        stream = EventStream(clock=ManualClock())
+        stream.emit("cache.miss")
+        parsed = [json.loads(line) for line in stream.to_jsonl().splitlines()]
+        assert parsed == stream.events
+
+
+class TestContextLocalActivation:
+    def test_emit_is_noop_without_stream(self):
+        assert not events_active()
+        emit("sweep.plan", points=1)  # must not raise
+
+    def test_event_stream_installs_and_restores(self):
+        with event_stream() as stream:
+            assert events_active()
+            assert current_stream() is stream
+            emit("cache.hit", tier="memory")
+        assert not events_active()
+        assert stream.events[0]["event"] == "cache.hit"
+
+
+class TestNormalization:
+    def test_accepts_dicts_lines_and_blob(self):
+        events = [
+            {"event": "sweep.plan", "ts": 1.0, "jobs": 4, "points": 2},
+            {"event": "cache.miss", "ts": 2.0},
+            {"event": "sweep.point.start", "ts": 3.0, "index": 0, "process": 1},
+        ]
+        expected = [
+            {"event": "sweep.plan", "points": 2},
+            {"event": "sweep.point.start", "index": 0},
+        ]
+        blob = "\n".join(json.dumps(e) for e in events)
+        assert normalize_events(events) == expected
+        assert normalize_events(blob.splitlines()) == expected
+        assert normalize_events(blob) == expected
+
+    def test_contract_constants(self):
+        assert "sweep.worker.merge" not in LIFECYCLE_EVENTS
+        assert "ts" in VOLATILE_FIELDS and "process" in VOLATILE_FIELDS
+
+
+class TestSweepDeterminism:
+    def _events_for(self, jobs):
+        plan = SweepPlan.over(_double, range(8), label="grid")
+        with cache_override(enabled=False), use_clock(ManualClock()):
+            with event_stream() as stream:
+                results = plan.run(jobs=jobs, chunk_size=2)
+        assert results == [2 * x for x in range(8)]
+        return stream.events
+
+    def test_serial_lifecycle_order(self):
+        events = self._events_for(1)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep.plan"
+        assert kinds.count("sweep.point.start") == 8
+        assert kinds.count("sweep.point.done") == 8
+
+    def test_jobs4_normalizes_identically_to_jobs1(self):
+        assert normalize_events(self._events_for(4)) == normalize_events(
+            self._events_for(1)
+        )
+
+    def test_parallel_stream_has_worker_merges_with_lanes(self):
+        events = self._events_for(4)
+        merges = [e for e in events if e["event"] == "sweep.worker.merge"]
+        assert [m["process"] for m in merges] == [1, 2, 3, 4]
+        assert sum(m["points"] for m in merges) == 8
+        replayed = [e for e in events if e["event"] == "sweep.point.start"]
+        assert all(e["process"] >= 1 for e in replayed)
+
+    def test_manual_clock_stream_is_byte_reproducible(self):
+        first = json.dumps(self._events_for(4), sort_keys=True)
+        second = json.dumps(self._events_for(4), sort_keys=True)
+        assert first == second
+
+
+class TestEventsCli:
+    @pytest.mark.parametrize("jobs", ["1", "2"])
+    def test_sweep_writes_live_jsonl(self, tmp_path, capsys, jobs):
+        out = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--six",
+                "--parameter",
+                "p_prime",
+                "--values",
+                "0.2,0.5,0.8",
+                "--jobs",
+                jobs,
+                "--no-cache",
+                "--events",
+                str(out),
+            ]
+        )
+        assert code == 0
+        events = [json.loads(line) for line in out.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert "sweep.plan" in kinds
+        assert kinds.count("sweep.point.done") == 3
+
+    def test_cli_jobs_values_normalize_identically(self, tmp_path, capsys):
+        streams = {}
+        for jobs in ("1", "3"):
+            out = tmp_path / f"events-{jobs}.jsonl"
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "--six",
+                        "--parameter",
+                        "p_prime",
+                        "--values",
+                        "0.2,0.5,0.8",
+                        "--jobs",
+                        jobs,
+                        "--no-cache",
+                        "--events",
+                        str(out),
+                    ]
+                )
+                == 0
+            )
+            streams[jobs] = normalize_events(out.read_text())
+        assert streams["1"] == streams["3"]

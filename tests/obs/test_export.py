@@ -1,0 +1,241 @@
+"""Tests for the Chrome trace-event and OpenMetrics exporters."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    ManualClock,
+    MetricsRegistry,
+    chrome_trace,
+    metric_name,
+    openmetrics,
+    tracing,
+)
+from repro.obs.export import SUMMARY_QUANTILES, process_label
+
+# ----------------------------------------------------------------------
+# validators (strict on purpose: the acceptance criteria are the format)
+# ----------------------------------------------------------------------
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_FLOAT = r"[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?"
+_TYPE_LINE = re.compile(rf"^# TYPE ({_NAME}) (counter|gauge|summary)$")
+_SAMPLE_LINE = re.compile(
+    rf"^({_NAME})(?:\{{quantile=\"{_FLOAT}\"\}})? ({_FLOAT})$"
+)
+
+
+def assert_valid_openmetrics(text: str) -> dict[str, str]:
+    """Line-format validator; returns ``{family: type}``."""
+    lines = text.splitlines()
+    assert text.endswith("\n"), "exposition must end with a newline"
+    assert lines[-1] == "# EOF", "exposition must terminate with # EOF"
+    families: dict[str, str] = {}
+    for line in lines[:-1]:
+        type_match = _TYPE_LINE.match(line)
+        if type_match:
+            name, kind = type_match.groups()
+            assert name not in families, f"duplicate family {name}"
+            families[name] = kind
+            continue
+        sample_match = _SAMPLE_LINE.match(line)
+        assert sample_match, f"malformed line: {line!r}"
+        sample = sample_match.group(1)
+        owner = next(
+            (
+                family
+                for family in families
+                if sample == family or sample.startswith(family + "_")
+            ),
+            None,
+        )
+        assert owner, f"sample {sample!r} precedes its # TYPE line"
+    return families
+
+
+def assert_valid_chrome_trace(payload: dict) -> list[dict]:
+    """Schema check for the trace-event JSON object format."""
+    assert set(payload) >= {"traceEvents", "displayTimeUnit"}
+    events = payload["traceEvents"]
+    assert isinstance(events, list) and events
+    for event in events:
+        assert event["ph"] in ("X", "M"), event
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "M":
+            assert event["name"] == "process_name"
+            assert isinstance(event["args"]["name"], str)
+        else:
+            assert isinstance(event["name"], str)
+            assert event["cat"] == "repro"
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert event["dur"] >= 0
+            assert isinstance(event["args"], dict)
+            assert event["args"]["status"] in ("ok", "error")
+    json.dumps(payload)  # round-trippable throughout
+    return events
+
+
+# ----------------------------------------------------------------------
+# chrome_trace
+# ----------------------------------------------------------------------
+class TestChromeTrace:
+    def _traced(self):
+        with tracing(clock=ManualClock()) as tracer:
+            from repro.obs import span
+
+            with span("outer", label="x") as sp:
+                sp.set(states=7)
+                with span("inner"):
+                    pass
+        return tracer
+
+    def test_schema_and_content(self):
+        payload = chrome_trace(self._traced(), unit="ticks")
+        events = assert_valid_chrome_trace(payload)
+        spans = [event for event in events if event["ph"] == "X"]
+        assert [event["name"] for event in spans] == ["outer", "inner"]
+        outer = spans[0]
+        assert outer["args"]["label"] == "x"  # attrs exported
+        assert outer["args"]["states"] == 7  # measures exported
+        assert outer["dur"] > 0
+
+    def test_manifest_rides_in_other_data(self):
+        payload = chrome_trace(
+            self._traced(), unit="ticks", manifest={"git_sha": "abc"}
+        )
+        assert payload["otherData"]["manifest"] == {"git_sha": "abc"}
+
+    def test_seconds_scale_to_microseconds(self):
+        tracer = self._traced()
+        ticks = chrome_trace(tracer, unit="ticks")["traceEvents"]
+        seconds = chrome_trace(tracer, unit="s")["traceEvents"]
+        tick_span = next(e for e in ticks if e["ph"] == "X")
+        second_span = next(e for e in seconds if e["ph"] == "X")
+        assert second_span["dur"] == pytest.approx(tick_span["dur"] * 1e6)
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace unit"):
+            chrome_trace([], unit="fortnights")
+
+    def test_process_metadata_one_per_lane(self):
+        tracer = self._traced()
+        for record in tracer.records:
+            record.process = 2
+        payload = chrome_trace(tracer, unit="ticks")
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert [m["pid"] for m in metadata] == [2]
+        assert metadata[0]["args"]["name"] == process_label(2)
+        assert process_label(0) == "main"
+        assert process_label(3) == "sweep-worker-3"
+
+
+# ----------------------------------------------------------------------
+# openmetrics
+# ----------------------------------------------------------------------
+class TestOpenMetrics:
+    def test_valid_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.cache.hits").inc(3)
+        registry.gauge("sweep.jobs").set(4)
+        for value in (0.5, 2.0, 8.0):
+            registry.histogram("markov.residual").observe(value)
+        text = openmetrics(registry)
+        families = assert_valid_openmetrics(text)
+        assert families == {
+            "repro_engine_cache_hits": "counter",
+            "repro_sweep_jobs": "gauge",
+            "repro_markov_residual": "summary",
+        }
+        assert "repro_engine_cache_hits_total 3.0" in text
+        assert "repro_markov_residual_count 3" in text
+        assert "repro_markov_residual_sum 10.5" in text
+        for quantile in SUMMARY_QUANTILES:
+            assert f'repro_markov_residual{{quantile="{quantile}"}}' in text
+
+    def test_empty_registry_is_just_eof(self):
+        assert openmetrics(MetricsRegistry()) == "# EOF\n"
+        assert_valid_openmetrics(openmetrics(MetricsRegistry()))
+
+    def test_empty_histogram_has_no_quantile_samples(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        text = openmetrics(registry)
+        assert_valid_openmetrics(text)
+        assert "quantile" not in text
+        assert "repro_h_count 0" in text
+
+    def test_name_sanitization(self):
+        assert metric_name("engine.cache.hits") == "repro_engine_cache_hits"
+        assert metric_name("weird-name x") == "repro_weird_name_x"
+
+    def test_sanitization_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.counter("a-b").inc()
+        with pytest.raises(ValueError, match="both export as"):
+            openmetrics(registry)
+
+    def test_non_finite_value_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(float("nan"))
+        with pytest.raises(ValueError, match="non-finite"):
+            openmetrics(registry)
+
+
+# ----------------------------------------------------------------------
+# CLI acceptance: repro trace --export chrome / --metrics
+# ----------------------------------------------------------------------
+class TestTraceExportCli:
+    def test_chrome_export_has_distinct_worker_pids(self, tmp_path):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "table2-defaults",
+                "--jobs",
+                "4",
+                "--manual-clock",
+                "--export",
+                "chrome",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        events = assert_valid_chrome_trace(payload)
+        pids = {event["pid"] for event in events if event["ph"] == "X"}
+        assert 0 in pids, "the main process must appear"
+        assert len(pids) > 1, "worker spans must land on distinct pids"
+        assert (
+            payload["otherData"]["manifest"]["experiment"] == "table2-defaults"
+        )
+
+    def test_metrics_dump_is_valid_openmetrics(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "trace",
+                "table2-defaults",
+                "--manual-clock",
+                "--json",
+                "--out",
+                str(tmp_path / "trace.json"),
+                "--metrics",
+                str(prom),
+            ]
+        )
+        assert code == 0
+        families = assert_valid_openmetrics(prom.read_text())
+        assert "repro_statespace_states_explored" in families
+
+    def test_export_and_json_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "table2-defaults", "--json", "--export", "chrome"])

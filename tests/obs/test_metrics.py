@@ -47,6 +47,7 @@ class TestHistogram:
             "min": 2.0,
             "max": 8.0,
             "mean": 5.0,
+            "buckets": {"1": 1, "3": 2},  # (1,2] holds 2.0; (4,8] holds 5,8
         }
 
     def test_empty_summary_is_all_zero(self):
@@ -56,7 +57,55 @@ class TestHistogram:
             "min": 0.0,
             "max": 0.0,
             "mean": 0.0,
+            "buckets": {},
         }
+
+    def test_quantile_extremes_are_exact(self):
+        h = MetricsRegistry().histogram("h")
+        for value in (0.003, 1.7, 42.0, 900.0):
+            h.observe(value)
+        assert h.quantile(0.0) == 0.003
+        assert h.quantile(1.0) == 900.0
+
+    def test_quantile_bounds_within_a_factor_of_two(self):
+        h = MetricsRegistry().histogram("h")
+        values = sorted(float(v) for v in range(1, 101))
+        for value in values:
+            h.observe(value)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = values[int(q * 100) - 1]
+            bound = h.quantile(q)
+            assert exact <= bound <= 2 * exact
+
+    def test_quantile_empty_and_domain(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            h.quantile(1.5)
+
+    def test_nonpositive_values_land_in_underflow_bucket(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(-3.0)
+        h.observe(0.0)
+        h.observe(4.0)
+        assert h.quantile(0.0) == -3.0  # clamped into the exact envelope
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantiles_survive_merge(self):
+        """Serial and merged-parallel histograms answer identically."""
+        serial = MetricsRegistry()
+        parent = MetricsRegistry()
+        chunks = ((0.5, 3.0, 12.0), (0.25, 80.0), (7.0,))
+        for chunk in chunks:
+            worker = MetricsRegistry()
+            for value in chunk:
+                serial.histogram("h").observe(value)
+                worker.histogram("h").observe(value)
+            parent.merge(worker.snapshot())
+        for q in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0):
+            assert parent.histogram("h").quantile(q) == serial.histogram(
+                "h"
+            ).quantile(q)
 
 
 class TestRegistry:
@@ -95,6 +144,7 @@ class TestRegistry:
             "min": 2.0,
             "max": 6.0,
             "mean": 4.0,
+            "buckets": {"1": 1, "3": 1},
         }
 
     def test_merge_skips_empty_histograms(self):

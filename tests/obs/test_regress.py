@@ -1,0 +1,239 @@
+"""Tests for the benchmark trajectory runner and regression gate."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ParameterError
+from repro.obs.regress import (
+    BENCH_SUITE,
+    BenchResult,
+    append_history,
+    calibration_run,
+    find_regressions,
+    latest_baselines,
+    load_history,
+    parse_slowdowns,
+    run_benchmarks,
+)
+
+#: A fast fake suite so runner tests take milliseconds, not seconds.
+FAKE_SUITE = {
+    "noop": lambda: None,
+    "spin": lambda: sum(range(2000)),
+}
+
+
+class TestRunner:
+    def test_results_are_stamped_and_normalized(self):
+        results = run_benchmarks(["noop"], rounds=1, suite=FAKE_SUITE)
+        (result,) = results
+        assert result.bench == "noop"
+        assert result.seconds >= 0.0
+        assert result.calibration_s > 0.0
+        assert result.score == result.seconds / result.calibration_s
+        assert result.manifest.numpy_version  # provenance attached
+        json.dumps(result.as_dict())  # history-line ready
+
+    def test_default_ids_run_whole_suite_in_order(self):
+        results = run_benchmarks(rounds=1, suite=FAKE_SUITE)
+        assert [r.bench for r in results] == list(FAKE_SUITE)
+
+    def test_unknown_id_lists_valid_ones(self):
+        with pytest.raises(ParameterError, match="noop, spin"):
+            run_benchmarks(["nope"], suite=FAKE_SUITE)
+
+    def test_slowdown_multiplies_recorded_time(self):
+        slow = {"spin": lambda: time.sleep(0.005)}
+        plain = run_benchmarks(["spin"], rounds=1, suite=slow)[0]
+        slowed = run_benchmarks(
+            ["spin"], rounds=1, suite=slow, slowdowns={"spin": 100.0}
+        )[0]
+        assert slowed.seconds > 10 * plain.seconds
+
+    def test_slowdown_for_unselected_id_rejected(self):
+        with pytest.raises(ParameterError, match="unknown benchmark"):
+            run_benchmarks(
+                ["noop"], suite=FAKE_SUITE, slowdowns={"spin": 2.0}
+            )
+
+    def test_rounds_must_be_positive(self):
+        with pytest.raises(ParameterError, match="rounds"):
+            run_benchmarks(["noop"], rounds=0, suite=FAKE_SUITE)
+
+    def test_real_suite_ids_are_importable_callables(self):
+        for bench, workload in BENCH_SUITE.items():
+            assert callable(workload), bench
+
+    def test_calibration_is_positive_and_repeatable(self):
+        assert calibration_run() > 0.0
+
+
+class TestSlowdownParsing:
+    def test_parses_pairs(self):
+        assert parse_slowdowns(["a=2.0", "b=1.5"]) == {"a": 2.0, "b": 1.5}
+
+    def test_none_is_empty(self):
+        assert parse_slowdowns(None) == {}
+
+    @pytest.mark.parametrize("spec", ["a", "=2.0", "a=", "a=zero", "a=-1"])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ParameterError, match="invalid slowdown"):
+            parse_slowdowns([spec])
+
+
+class TestHistory:
+    def test_append_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        results = run_benchmarks(rounds=1, suite=FAKE_SUITE)
+        append_history(path, results)
+        append_history(path, results[:1])
+        entries = load_history(path)
+        assert [e["bench"] for e in entries] == ["noop", "spin", "noop"]
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_corrupt_line_is_reported_with_position(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"bench": "a", "score": 1.0}\nnot json\n')
+        with pytest.raises(ParameterError, match="history.jsonl:2"):
+            load_history(path)
+
+    def test_latest_baseline_wins(self):
+        history = [
+            {"bench": "a", "score": 1.0},
+            {"bench": "b", "score": 2.0},
+            {"bench": "a", "score": 3.0},
+        ]
+        assert latest_baselines(history) == {
+            "a": {"bench": "a", "score": 3.0},
+            "b": {"bench": "b", "score": 2.0},
+        }
+
+
+def _result(bench: str, score: float) -> BenchResult:
+    from repro.obs.manifest import collect_manifest
+
+    return BenchResult(
+        bench=bench,
+        seconds=score,
+        score=score,
+        calibration_s=1.0,
+        rounds=1,
+        manifest=collect_manifest(experiment="bench"),
+    )
+
+
+class TestGate:
+    def test_within_tolerance_passes(self):
+        regressions = find_regressions(
+            [_result("a", 1.4)], {"a": {"score": 1.0}}, tolerance=0.5
+        )
+        assert regressions == []
+
+    def test_beyond_tolerance_fails_with_ratio(self):
+        (regression,) = find_regressions(
+            [_result("a", 2.0)], {"a": {"score": 1.0}}, tolerance=0.5
+        )
+        assert regression.ratio == pytest.approx(2.0)
+        assert "2.00x" in regression.describe()
+
+    def test_no_baseline_passes_trivially(self):
+        assert find_regressions([_result("new", 9.0)], {}) == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ParameterError, match="tolerance"):
+            find_regressions([], {}, tolerance=-0.1)
+
+
+class TestBenchCli:
+    def test_list_prints_suite(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        assert capsys.readouterr().out.splitlines() == list(BENCH_SUITE)
+
+    def test_record_then_gate_then_injected_regression(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.obs.regress as regress
+
+        monkeypatch.setattr(regress, "BENCH_SUITE", FAKE_SUITE)
+        history = tmp_path / "history.jsonl"
+        argv = ["bench", "spin", "--rounds", "1", "--history", str(history)]
+
+        # first run records the baseline
+        assert main(argv) == 0
+        assert len(load_history(history)) == 1
+
+        # unchanged performance passes the gate and records again
+        assert main([*argv, "--gate", "--tolerance", "4.0"]) == 0
+        assert "gate ok" in capsys.readouterr().out
+        assert len(load_history(history)) == 2
+
+        # an injected 100x slowdown trips the gate and is NOT recorded
+        code = main(
+            [*argv, "--gate", "--tolerance", "4.0", "--slowdown", "spin=100"]
+        )
+        assert code == 1
+        assert "REGRESSION spin" in capsys.readouterr().err
+        assert len(load_history(history)) == 2
+
+    def test_no_record_leaves_history_untouched(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.obs.regress as regress
+
+        monkeypatch.setattr(regress, "BENCH_SUITE", FAKE_SUITE)
+        history = tmp_path / "history.jsonl"
+        assert (
+            main(
+                [
+                    "bench",
+                    "noop",
+                    "--rounds",
+                    "1",
+                    "--history",
+                    str(history),
+                    "--no-record",
+                ]
+            )
+            == 0
+        )
+        assert not history.exists()
+
+    def test_readme_benchmark_table_is_fresh(self):
+        """Doc-freshness: the README table matches BENCH_HISTORY.jsonl."""
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "render_history.py"
+        )
+        spec = importlib.util.spec_from_file_location("render_history", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main(["--check"]) == 0
+
+    def test_committed_history_gates_clean(self, capsys):
+        """The repository's own baseline accepts a current fake run.
+
+        This is the committed-baseline acceptance criterion scaled to
+        test time: the real CI job runs the real suite against
+        BENCH_HISTORY.jsonl; here we verify the file parses and gates.
+        """
+        from pathlib import Path
+
+        history = Path(__file__).resolve().parents[2] / "BENCH_HISTORY.jsonl"
+        entries = load_history(history)
+        assert entries, "BENCH_HISTORY.jsonl must ship a baseline"
+        baselines = latest_baselines(entries)
+        assert set(baselines) == set(BENCH_SUITE)
+        for entry in entries:
+            assert entry["score"] > 0
+            assert "manifest" in entry
