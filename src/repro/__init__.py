@@ -50,7 +50,34 @@ from repro.perception import (
     evaluate,
 )
 
-__version__ = "1.0.0"
+def _resolve_version() -> str:
+    """The package version, single-sourced from ``pyproject.toml``.
+
+    Installed distributions answer through ``importlib.metadata``; a
+    source checkout on ``PYTHONPATH`` (no dist-info) falls back to
+    parsing the adjacent ``pyproject.toml`` so the version never has to
+    be maintained in two places.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        pass
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+    except OSError:
+        match = None
+    return match.group(1) if match else "0+unknown"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "EvaluationResult",

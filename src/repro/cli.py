@@ -3,6 +3,7 @@
 Usage (also available as ``python -m repro``)::
 
     repro analyze --six                        # E[R] + state breakdown
+    repro serve --port 8080 --workers 4        # reliability-as-a-service
     repro analyze --versions 9 --f 2 --rejuvenation
     repro sweep --six --parameter p_prime --values 0.1,0.3,0.5,0.8
     repro experiments fig3 fig4a               # regenerate paper artifacts
@@ -509,6 +510,38 @@ def _command_provision(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ReliabilityService, ServeConfig
+
+    _apply_cache_flags(args)
+    service = ReliabilityService(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            executor=args.executor,
+            queue_limit=args.queue_limit,
+            max_jobs=args.max_jobs,
+            rate=args.rate,
+            burst=args.burst,
+            events=args.events,
+        )
+    )
+
+    async def run() -> None:
+        host, port = await service.start()
+        print(f"repro serve listening on http://{host}:{port}", flush=True)
+        await service.serve_until_cancelled()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro serve: shut down", flush=True)
+    return 0
+
+
 def _command_dot(args: argparse.Namespace) -> int:
     from repro.perception.architecture import PerceptionSystem
 
@@ -533,9 +566,14 @@ def _command_pnml(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="N-version perception-system reliability models (DSN 2023)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -750,6 +788,54 @@ def build_parser() -> argparse.ArgumentParser:
     provision.add_argument("--max-f", type=int, default=2)
     provision.add_argument("--top", type=int, default=8, help="options to display")
     provision.set_defaults(handler=_command_provision)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async reliability service (solve/verify/sweep over "
+        "HTTP+JSONL with coalescing and back-pressure)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="solver worker processes (default: all CPUs)",
+    )
+    serve.add_argument(
+        "--executor", choices=("process", "thread"), default="process",
+        help="worker pool kind; 'thread' keeps solves in-process "
+        "(benchmarks, constrained sandboxes)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="in-flight solver computations before requests get 503 "
+        "back-pressure (default 64)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=16, metavar="N",
+        help="live async sweep jobs before /v1/sweep answers 503",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=0.0, metavar="R",
+        help="per-client request rate limit in req/s (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=None, metavar="B",
+        help="token-bucket burst capacity (default 2x --rate)",
+    )
+    cache_flags = serve.add_mutually_exclusive_group()
+    cache_flags.add_argument(
+        "--cache", action="store_true",
+        help="persist solver results on disk (~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    cache_flags.add_argument(
+        "--no-cache", action="store_true",
+        help="disable solver-result caching in the workers",
+    )
+    _add_events_argument(serve)
+    serve.set_defaults(handler=_command_serve)
 
     dot = subparsers.add_parser("dot", help="emit Graphviz DOT of the DSPN")
     _add_parameter_arguments(dot)

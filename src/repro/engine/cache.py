@@ -69,6 +69,7 @@ class SolverCache:
         self.disk_hits = 0
         self.rejected = 0  # disk entries dropped: corrupt digest or payload
         self.evictions = 0  # in-memory entries displaced by the LRU bound
+        self.collisions_prevented = 0  # concurrent publishes of one key
 
     # -- in-memory tier -------------------------------------------------
     def __len__(self) -> int:
@@ -134,6 +135,13 @@ class SolverCache:
         try:
             with os.fdopen(descriptor, "wb") as handle:
                 handle.write(digest + b"\n" + payload)
+            if path.exists():
+                # Another worker published this key between our miss and
+                # now.  os.replace still swaps whole files, so no reader
+                # can observe a torn entry — count the collision the
+                # temp-file dance just absorbed.
+                self.collisions_prevented += 1
+                counter("engine.cache.collisions_prevented").inc()
             os.replace(temporary, path)
         except BaseException:
             os.unlink(temporary)
@@ -189,6 +197,7 @@ class SolverCache:
             "disk_hits": self.disk_hits,
             "rejected": self.rejected,
             "evictions": self.evictions,
+            "collisions_prevented": self.collisions_prevented,
         }
 
 

@@ -123,6 +123,40 @@ def _bench_phase_diagram() -> None:
     run_experiment("phase-diagram")
 
 
+def _bench_serve() -> None:
+    """Serving throughput: 2000 cache-hit evaluations, closed loop.
+
+    Boots an in-process :class:`~repro.serve.app.ReliabilityService`
+    (thread executor: the cache-hit path never reaches a worker, and a
+    process pool would time pool spin-up instead of request handling),
+    drives it with 32 persistent connections, and fails loudly on any
+    errored request — a benchmark that dropped requests would record a
+    flattering lie.
+    """
+    import asyncio
+
+    from repro.serve import ReliabilityService, ServeConfig
+    from repro.serve.loadgen import run_load
+
+    async def drive() -> None:
+        service = ReliabilityService(
+            ServeConfig(port=0, workers=2, executor="thread", queue_limit=256)
+        )
+        host, port = await service.start()
+        try:
+            result = await run_load(
+                host, port, requests=2000, concurrency=32
+            )
+            if result.errors:
+                raise RuntimeError(
+                    f"serve bench dropped {result.errors} requests"
+                )
+        finally:
+            await service.stop()
+
+    asyncio.run(drive())
+
+
 #: The named benchmark suite ``repro bench`` runs subsets of.
 BENCH_SUITE: dict[str, Callable[[], None]] = {
     "solve-ctmc-16x10": _bench_solve_ctmc,
@@ -131,6 +165,7 @@ BENCH_SUITE: dict[str, Callable[[], None]] = {
     "simulate-6v": _bench_simulate,
     "table2-defaults-x5": _bench_table2,
     "phase-diagram": _bench_phase_diagram,
+    "serve-cachehit-2k": _bench_serve,
 }
 
 

@@ -1,0 +1,622 @@
+"""The reliability service: solve/verify/sweep over HTTP+JSONL.
+
+:class:`ReliabilityService` exposes the evaluation pipeline as a small
+asyncio job server:
+
+* ``POST /v1/solve`` / ``POST /v1/verify`` — synchronous evaluations of
+  one request spec (see :func:`repro.serve.worker.resolve_spec`);
+* ``POST /v1/sweep`` — an async job sweeping one parameter over a value
+  grid; answers ``202`` with a job id for ``GET /v1/jobs/{id}`` polling
+  and ``GET /v1/jobs/{id}/events`` JSONL streaming (live tail-follow,
+  ``?follow=0`` for a snapshot);
+* ``GET /metrics`` — the service registry as OpenMetrics exposition
+  text (:func:`repro.obs.export.openmetrics`);
+* ``GET /healthz`` — liveness plus queue/job occupancy.
+
+Three mechanisms keep it standing under heavy traffic:
+
+* **request coalescing** — work is keyed by the engine's canonical net
+  fingerprint; N identical in-flight requests share one solve and all
+  receive the digest-verified result (``cache`` field: one ``miss``,
+  N-1 ``coalesced``, later arrivals ``hit``);
+* **back-pressure** — solver work beyond ``queue_limit`` in-flight
+  computations (and sweep jobs beyond ``max_jobs`` live jobs) answers
+  ``503`` + ``Retry-After`` instead of queueing unboundedly, and
+  per-client token buckets answer ``429`` when a client exceeds its
+  request rate;
+* **non-blocking dispatch** — solver work runs on a
+  ``ProcessPoolExecutor`` (workers replay the parent's cache policy,
+  exactly like :mod:`repro.engine.sweep` workers), so the event loop
+  only ever parses requests, consults caches, and awaits futures.
+
+Every response carries the service's :class:`~repro.obs.manifest.RunManifest`
+and a SHA-256 digest over the canonical result JSON — the serving
+analogue of the engine cache's verified entries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import __version__
+from repro.engine.cache import cache_settings
+from repro.engine.sweep import resolve_jobs
+from repro.errors import ReproError
+from repro.obs import clock as _clockmod
+from repro.obs.events import EventStream
+from repro.obs.export import openmetrics
+from repro.obs.manifest import collect_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.coalesce import Coalescer
+from repro.serve.http import (
+    ProtocolError,
+    Request,
+    Response,
+    read_request,
+    write_response,
+)
+from repro.serve.jobs import Job, JobStore
+from repro.serve.ratelimit import RateLimiter
+from repro.serve.worker import (
+    WORKERS,
+    SpecError,
+    fingerprint_spec,
+    init_worker,
+    result_digest,
+)
+
+#: Parameters a sweep job may vary (the serve mirror of
+#: ``repro.analysis.sweeps.SWEEPABLE``, in request-spec vocabulary).
+SWEEPABLE_KEYS = (
+    "p",
+    "p_prime",
+    "alpha",
+    "mttc",
+    "mttf",
+    "mttr",
+    "interval",
+    "rejuvenation_time",
+)
+
+_OPENMETRICS_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+class BackPressure(Exception):
+    """The service is at capacity; carries the suggested retry delay."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; start() reports the bound port
+    workers: int | None = None  # None/0 = all CPUs
+    executor: str = "process"  # "process" | "thread"
+    queue_limit: int = 64  # in-flight solver computations before 503
+    max_jobs: int = 16  # live async jobs before 503
+    rate: float = 0.0  # per-client requests/s (0 = unlimited)
+    burst: float | None = None  # bucket capacity (default 2 * rate)
+    result_cache_size: int = 4096  # completed results kept per process
+    events: str | None = None  # JSONL event-stream file (like --events)
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("process", "thread"):
+            raise ValueError(
+                f"executor must be 'process' or 'thread', got {self.executor!r}"
+            )
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+
+
+@dataclass
+class _EventTail:
+    """Sentinel response: stream a job's events until it finishes."""
+
+    job: Job
+    follow: bool = True
+
+
+class ReliabilityService:
+    """One server instance; create, ``start()``, ``stop()``."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        workers_table: "dict[str, Callable[[dict], dict]] | None" = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        #: Worker functions by kind; tests inject doubles here (which
+        #: requires ``executor='thread'`` — doubles don't pickle).
+        self.workers_table = dict(workers_table or WORKERS)
+        self.registry = MetricsRegistry()
+        self.jobs = JobStore(max_live=self.config.max_jobs)
+        self.coalescer = Coalescer()
+        self.limiter = RateLimiter(self.config.rate, self.config.burst)
+        self.manifest: dict[str, Any] = {}
+        self.port: int | None = None
+        self._results: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._identities: dict[str, tuple[str, str]] = {}
+        self._pending = 0
+        self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._events: EventStream | None = None
+        self._events_sink = None
+        self._job_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind, spin up the worker pool, and return ``(host, port)``."""
+        workers = resolve_jobs(self.config.workers)
+        if self.config.executor == "process":
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=init_worker,
+                initargs=(cache_settings(),),
+            )
+        else:
+            self._executor = ThreadPoolExecutor(max_workers=workers)
+        self.manifest = collect_manifest(
+            experiment="serve", jobs=workers
+        ).as_dict()
+        if self.config.events:
+            self._events_sink = open(self.config.events, "w", encoding="utf-8")
+            self._events = EventStream(sink=self._events_sink)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        self._emit("serve.start", host=self.config.host, port=self.port)
+        return self.config.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel jobs, and tear the pool down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._job_tasks):
+            task.cancel()
+        if self._job_tasks:
+            await asyncio.gather(*self._job_tasks, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        if self._events_sink is not None:
+            self._events_sink.close()
+            self._events_sink = None
+        self._events = None
+
+    async def run_forever(self) -> None:
+        """``start()`` then serve until cancelled (the CLI entry)."""
+        await self.start()
+        await self.serve_until_cancelled()
+
+    async def serve_until_cancelled(self) -> None:
+        """Serve an already-started instance; always tears down."""
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self._events is not None:
+            self._events.emit(kind, **fields)
+
+    # ------------------------------------------------------------------
+    # connection loop
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) else ""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, peer=peer)
+                except ProtocolError as error:
+                    response = Response.error(error.status, str(error))
+                    response.close = True
+                    await write_response(writer, response)
+                    return
+                if request is None:
+                    return
+                started = _clockmod.now()
+                response = await self._dispatch(request)
+                if isinstance(response, _EventTail):
+                    await self._stream_events(writer, response)
+                    return
+                self.registry.histogram("serve.request.seconds").observe(
+                    max(0.0, _clockmod.now() - started)
+                )
+                self.registry.counter(
+                    f"serve.responses.{response.status}"
+                ).inc()
+                response.close = response.close or not request.keep_alive
+                await write_response(writer, response)
+                if response.close:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            return
+        except asyncio.CancelledError:
+            return  # teardown: a cancelled handler is a finished handler
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, tail: _EventTail
+    ) -> None:
+        """Write a job's events as EOF-framed JSONL, following live."""
+        import json
+
+        response = Response(content_type="application/jsonl")
+        writer.write(response.head_bytes(content_length=None))
+        await writer.drain()
+        cursor = 0
+        while True:
+            events = tail.job.events[cursor:]
+            if not events and tail.follow and not tail.job.finished:
+                events = await tail.job.wait_events(cursor)
+            for event in events:
+                writer.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode()
+                )
+            cursor += len(events)
+            await writer.drain()
+            if not tail.follow or (
+                tail.job.finished and cursor >= len(tail.job.events)
+            ):
+                return
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: Request) -> "Response | _EventTail":
+        self.registry.counter("serve.requests").inc()
+        path = request.path
+        try:
+            if path == "/healthz":
+                return self._require_get(request) or self._healthz()
+            if path == "/metrics":
+                return self._require_get(request) or self._metrics()
+            if path == "/v1/solve":
+                return await self._evaluation_endpoint(request, "solve")
+            if path == "/v1/verify":
+                return await self._evaluation_endpoint(request, "verify")
+            if path == "/v1/sweep":
+                return self._sweep_endpoint(request)
+            if path.startswith("/v1/jobs/"):
+                return self._jobs_endpoint(request)
+            return Response.error(404, f"no route for {path}")
+        except ProtocolError as error:
+            return Response.error(error.status, str(error))
+        except Exception as error:  # defensive: a handler bug must not
+            # kill the connection loop silently
+            self.registry.counter("serve.errors.internal").inc()
+            return Response.error(500, f"{type(error).__name__}: {error}")
+
+    @staticmethod
+    def _require_get(request: Request) -> Response | None:
+        if request.method != "GET":
+            return Response.error(405, f"{request.path} is GET-only")
+        return None
+
+    def _healthz(self) -> Response:
+        return Response.json(
+            {
+                "status": "ok",
+                "version": __version__,
+                "inflight": self.coalescer.leader_count(),
+                "pending": self._pending,
+                "queue_limit": self.config.queue_limit,
+                "jobs": self.jobs.describe(),
+                "results_cached": len(self._results),
+            }
+        )
+
+    def _metrics(self) -> Response:
+        return Response(
+            body=openmetrics(self.registry).encode(),
+            content_type=_OPENMETRICS_TYPE,
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation endpoints
+    # ------------------------------------------------------------------
+    async def _evaluation_endpoint(
+        self, request: Request, kind: str
+    ) -> Response:
+        if request.method != "POST":
+            return Response.error(405, f"{request.path} is POST-only")
+        denial = self._rate_limit(request)
+        if denial is not None:
+            return denial
+        spec = request.json()
+        try:
+            payload = await self._evaluate(kind, spec)
+        except SpecError as error:
+            return Response.error(400, str(error))
+        except BackPressure as error:
+            self.registry.counter("serve.backpressure").inc()
+            self._emit("serve.backpressure", op=kind)
+            return Response.error(
+                503,
+                str(error),
+                headers={"Retry-After": f"{error.retry_after:.3f}"},
+            )
+        except ReproError as error:
+            return Response.error(422, f"{type(error).__name__}: {error}")
+        return Response.json(payload)
+
+    def _rate_limit(self, request: Request) -> Response | None:
+        retry_after = self.limiter.check(request.client_key())
+        if retry_after <= 0.0:
+            return None
+        self.registry.counter("serve.ratelimited").inc()
+        self._emit("serve.ratelimited", client=request.client_key())
+        return Response.error(
+            429,
+            "client rate limit exceeded",
+            headers={"Retry-After": f"{retry_after:.3f}"},
+        )
+
+    def _identity(self, kind: str, spec: dict[str, Any]) -> tuple[str, str]:
+        """``(fingerprint, coalescing key)`` of one request.
+
+        The fingerprint (and the solver-cache key it extends) is
+        memoized by the canonical spec JSON, so steady traffic pays a
+        dictionary lookup, not a net build, per request.
+        """
+        import json
+
+        canonical = f"{kind}|" + json.dumps(
+            spec, sort_keys=True, separators=(",", ":")
+        )
+        identity = self._identities.get(canonical)
+        if identity is None:
+            fingerprint, cache_key = fingerprint_spec(spec)
+            identity = self._identities[canonical] = (
+                fingerprint,
+                f"{kind}:{cache_key}",
+            )
+            if len(self._identities) > 4 * self.config.result_cache_size:
+                self._identities.clear()  # pathological spec churn
+        return identity
+
+    async def _evaluate(
+        self, kind: str, spec: dict[str, Any], *, job: Job | None = None
+    ) -> dict[str, Any]:
+        """The shared solve path: result cache -> coalescer -> executor."""
+        self.registry.counter(f"serve.{kind}.requests").inc()
+        fingerprint, key = self._identity(kind, spec)
+
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+            self.registry.counter("serve.cache.hits").inc()
+            self._emit("serve.cache.hit", op=kind, fingerprint=fingerprint)
+            return self._respond(kind, "hit", fingerprint, cached)
+
+        if (
+            not self.coalescer.is_inflight(key)
+            and self._pending >= self.config.queue_limit
+        ):
+            raise BackPressure(
+                f"{self._pending} computations in flight "
+                f"(queue_limit {self.config.queue_limit})",
+                retry_after=1.0,
+            )
+
+        async def compute() -> dict[str, Any]:
+            worker = self.workers_table[kind]
+            self._pending += 1
+            self.registry.counter("serve.solve.executed").inc()
+            self._emit("serve.solve.start", op=kind, fingerprint=fingerprint)
+            started = _clockmod.now()
+            try:
+                result = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, worker, spec
+                )
+            finally:
+                self._pending -= 1
+            elapsed = max(0.0, _clockmod.now() - started)
+            self.registry.histogram("serve.solve.seconds").observe(elapsed)
+            self._emit(
+                "serve.solve.done",
+                op=kind,
+                fingerprint=fingerprint,
+                seconds=elapsed,
+            )
+            self._remember(key, result)
+            return result
+
+        result, coalesced = await self.coalescer.run(key, compute)
+        source = "coalesced" if coalesced else "miss"
+        self.registry.counter(f"serve.{source}").inc()
+        self._emit(f"serve.{source}", op=kind, fingerprint=fingerprint)
+        return self._respond(kind, source, fingerprint, result)
+
+    def _remember(self, key: str, result: dict[str, Any]) -> None:
+        self._results[key] = result
+        self._results.move_to_end(key)
+        while len(self._results) > self.config.result_cache_size:
+            self._results.popitem(last=False)
+
+    def _respond(
+        self,
+        kind: str,
+        source: str,
+        fingerprint: str,
+        result: dict[str, Any],
+    ) -> dict[str, Any]:
+        return {
+            "kind": kind,
+            "cache": source,
+            "fingerprint": fingerprint,
+            "result": result,
+            "digest": result_digest(result),
+            "manifest": self.manifest,
+        }
+
+    # ------------------------------------------------------------------
+    # async sweep jobs
+    # ------------------------------------------------------------------
+    def _sweep_endpoint(self, request: Request) -> Response:
+        if request.method != "POST":
+            return Response.error(405, "/v1/sweep is POST-only")
+        denial = self._rate_limit(request)
+        if denial is not None:
+            return denial
+        spec = request.json()
+        if not isinstance(spec, dict):
+            return Response.error(400, "sweep spec must be a JSON object")
+        parameter = spec.get("parameter")
+        values = spec.get("values")
+        if parameter not in SWEEPABLE_KEYS:
+            return Response.error(
+                400,
+                f"sweep 'parameter' must be one of {', '.join(SWEEPABLE_KEYS)}",
+            )
+        if not isinstance(values, list) or not values:
+            return Response.error(400, "sweep 'values' must be a non-empty list")
+        try:
+            values = [float(value) for value in values]
+        except (TypeError, ValueError):
+            return Response.error(400, "sweep 'values' must be numbers")
+        base = {
+            key: value
+            for key, value in spec.items()
+            if key not in ("parameter", "values")
+        }
+        # Fail malformed base specs at admission, not inside the job.
+        try:
+            self._identity("solve", {**base, parameter: values[0]})
+        except SpecError as error:
+            return Response.error(400, str(error))
+
+        job = self.jobs.create("sweep", spec)
+        if job is None:
+            self.registry.counter("serve.backpressure").inc()
+            return Response.error(
+                503,
+                f"{self.jobs.live_count()} live jobs (max_jobs "
+                f"{self.jobs.max_live})",
+                headers={"Retry-After": "1.000"},
+            )
+        self.registry.counter("serve.jobs.created").inc()
+        task = asyncio.get_running_loop().create_task(
+            self._run_sweep_job(job, base, parameter, values)
+        )
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+        return Response.json(
+            {
+                "job": job.id,
+                "status": job.status,
+                "poll": f"/v1/jobs/{job.id}",
+                "events": f"/v1/jobs/{job.id}/events",
+            },
+            status=202,
+        )
+
+    async def _run_sweep_job(
+        self,
+        job: Job,
+        base: dict[str, Any],
+        parameter: str,
+        values: list[float],
+    ) -> None:
+        job.start()
+        job.emit(
+            "sweep.plan",
+            label=f"serve:{parameter}",
+            points=len(values),
+            jobs=resolve_jobs(self.config.workers),
+        )
+        semaphore = asyncio.Semaphore(resolve_jobs(self.config.workers))
+        reliabilities: list[float | None] = [None] * len(values)
+
+        async def point(index: int, value: float) -> None:
+            async with semaphore:
+                job.emit("sweep.point.start", index=index)
+                payload = await self._evaluate(
+                    "solve", {**base, parameter: value}, job=job
+                )
+                reliability = payload["result"]["expected_reliability"]
+                reliabilities[index] = reliability
+                job.emit(
+                    "sweep.point.done",
+                    index=index,
+                    value=value,
+                    expected_reliability=reliability,
+                    cache=payload["cache"],
+                )
+
+        try:
+            await asyncio.gather(
+                *(point(i, value) for i, value in enumerate(values))
+            )
+        except asyncio.CancelledError:
+            job.fail("cancelled at shutdown")
+            raise
+        except Exception as error:
+            self.registry.counter("serve.jobs.failed").inc()
+            job.fail(f"{type(error).__name__}: {error}")
+            return
+        best = max(range(len(values)), key=lambda i: reliabilities[i])
+        self.registry.counter("serve.jobs.done").inc()
+        job.finish(
+            {
+                "parameter": parameter,
+                "values": values,
+                "reliabilities": reliabilities,
+                "argmax": {
+                    "value": values[best],
+                    "expected_reliability": reliabilities[best],
+                },
+                "manifest": self.manifest,
+            }
+        )
+
+    def _jobs_endpoint(self, request: Request) -> "Response | _EventTail":
+        if request.method != "GET":
+            return Response.error(405, "job endpoints are GET-only")
+        rest = request.path[len("/v1/jobs/") :]
+        job_id, _, tail = rest.partition("/")
+        job = self.jobs.get(job_id)
+        if job is None:
+            return Response.error(404, f"no such job {job_id!r}")
+        if not tail:
+            return Response.json(job.describe())
+        if tail == "events":
+            follow = request.query.get("follow", "1") != "0"
+            if not follow:
+                import json
+
+                body = "".join(
+                    json.dumps(event, sort_keys=True) + "\n"
+                    for event in job.events
+                )
+                return Response(
+                    body=body.encode(), content_type="application/jsonl"
+                )
+            return _EventTail(job=job)
+        return Response.error(404, f"no route for {request.path}")

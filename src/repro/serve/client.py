@@ -1,0 +1,180 @@
+"""Minimal asyncio HTTP client matching :mod:`repro.serve.http`.
+
+Used by the test suite and the load harness — both need persistent
+(keep-alive) connections to measure the service rather than TCP
+handshakes, and an EOF-framed line reader for the JSONL event streams.
+Not a general HTTP client: it speaks exactly the subset the service
+emits (Content-Length or ``Connection: close`` framing, no chunked
+encoding, no redirects, no TLS).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, AsyncIterator
+
+
+@dataclass
+class ClientResponse:
+    """One parsed response."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body) if self.body else None
+
+
+class Connection:
+    """One persistent client connection to the service."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "Connection":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.reader = self.writer = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        payload: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> ClientResponse:
+        """Send one request and read its (Content-Length framed) response.
+
+        Reconnects transparently if the server closed the idle
+        connection; re-raises if the reconnect attempt also fails.
+        """
+        body = (
+            json.dumps(payload).encode() if payload is not None else b""
+        )
+        if self.writer is None:
+            await self.connect()
+        try:
+            return await self._roundtrip(method, path, body, headers or {})
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            await self.close()
+            await self.connect()
+            return await self._roundtrip(method, path, body, headers or {})
+
+    async def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str],
+    ) -> ClientResponse:
+        assert self.reader is not None and self.writer is not None
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+        ]
+        if body:
+            lines.append("Content-Type: application/json")
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        self.writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await self.writer.drain()
+
+        status, response_headers = await _read_head(self.reader)
+        length = response_headers.get("content-length")
+        if length is not None:
+            payload = await self.reader.readexactly(int(length))
+        else:
+            payload = await self.reader.read()
+        if response_headers.get("connection", "").lower() == "close":
+            await self.close()
+        return ClientResponse(
+            status=status, headers=response_headers, body=payload
+        )
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str]]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    *,
+    payload: Any = None,
+    headers: dict[str, str] | None = None,
+) -> ClientResponse:
+    """One-shot convenience: connect, request, close."""
+    async with Connection(host, port) as connection:
+        return await connection.request(
+            method, path, payload=payload, headers=headers
+        )
+
+
+async def stream_lines(
+    host: str, port: int, path: str
+) -> AsyncIterator[str]:
+    """Follow an EOF-framed JSONL response line by line.
+
+    The event-stream endpoints answer with ``Connection: close`` and
+    write one JSON line per event until the job finishes; this yields
+    each line as it lands.
+    """
+    async with Connection(host, port) as connection:
+        assert connection.reader is not None and connection.writer is not None
+        connection.writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Length: 0\r\n\r\n"
+            ).encode()
+        )
+        await connection.writer.drain()
+        status, headers = await _read_head(connection.reader)
+        if status != 200:
+            length = int(headers.get("content-length", 0))
+            body = await connection.reader.readexactly(length)
+            raise RuntimeError(
+                f"event stream {path} answered {status}: {body.decode()!r}"
+            )
+        while True:
+            line = await connection.reader.readline()
+            if not line:
+                return
+            text = line.decode().strip()
+            if text:
+                yield text

@@ -1,0 +1,199 @@
+"""Minimal HTTP/1.1 on top of ``asyncio`` streams.
+
+The serving layer deliberately speaks plain stdlib HTTP: the repository
+bakes in numpy/scipy only, and the service's needs are narrow — parse a
+request line, headers and a bounded body; write a framed response; keep
+the connection alive between requests; and stream an unbounded JSONL
+body by falling back to ``Connection: close`` framing (RFC 9112 §6.3:
+a response without ``Content-Length`` is delimited by EOF).
+
+Nothing here knows about routes or jobs; :mod:`repro.serve.app` builds
+the service on top and :mod:`repro.serve.client` is the matching
+stream-based client used by the tests and the load harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+#: Bound on the request head (request line + headers) in bytes.
+MAX_HEAD_BYTES = 16_384
+
+#: Bound on a request body in bytes; solve/sweep specs are small JSON.
+MAX_BODY_BYTES = 1_048_576
+
+#: Reason phrases for the statuses the service emits.
+STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized request; maps to a 4xx response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  # keys lower-cased
+    body: bytes = b""
+    peer: str = ""
+
+    def json(self) -> Any:
+        """The body decoded as JSON (empty body decodes to ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(400, f"request body is not JSON: {error}")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def client_key(self) -> str:
+        """The rate-limit identity: explicit header, else the peer host."""
+        return self.headers.get("x-client-id") or self.peer or "anonymous"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, peer: str = ""
+) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(413, "request head exceeds limit")
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError(413, "request head exceeds limit")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _ = parts
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ProtocolError(400, f"bad Content-Length: {raw_length!r}")
+        if length < 0:
+            raise ProtocolError(400, f"bad Content-Length: {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(413, "request body exceeds limit")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError(400, "truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(400, "chunked request bodies are not supported")
+
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+        peer=peer,
+    )
+
+
+@dataclass
+class Response:
+    """One response to frame onto the wire."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+    close: bool = False
+
+    @classmethod
+    def json(
+        cls,
+        payload: Any,
+        *,
+        status: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        return cls(status=status, body=body, headers=dict(headers or {}))
+
+    @classmethod
+    def error(
+        cls,
+        status: int,
+        message: str,
+        *,
+        headers: dict[str, str] | None = None,
+        **extra: Any,
+    ) -> "Response":
+        return cls.json(
+            {"error": message, "status": status, **extra},
+            status=status,
+            headers=headers,
+        )
+
+    def head_bytes(self, *, content_length: int | None) -> bytes:
+        reason = STATUS_REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        lines.append(f"Content-Type: {self.content_type}")
+        if content_length is None:
+            # EOF-delimited body: only legal when the connection closes.
+            lines.append("Connection: close")
+        else:
+            lines.append(f"Content-Length: {content_length}")
+            lines.append(f"Connection: {'close' if self.close else 'keep-alive'}")
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
+    """Frame ``response`` with Content-Length and flush it."""
+    writer.write(response.head_bytes(content_length=len(response.body)))
+    writer.write(response.body)
+    await writer.drain()

@@ -1,0 +1,174 @@
+"""Async job registry backing ``/v1/sweep`` and ``/v1/jobs/{id}``.
+
+A :class:`Job` is one long-running evaluation: it moves through
+``pending -> running -> done | failed``, accumulates a JSONL event
+stream (the same event dialect as :mod:`repro.obs.events` — one dict
+per lifecycle moment, stamped with the observability clock), and holds
+its result once finished.  :class:`JobStore` hands out sequential ids,
+bounds how many jobs may be live at once (admission back-pressure) and
+how many finished jobs are remembered (oldest evicted first).
+
+Events support *live* streaming: :meth:`Job.wait_events` returns new
+events past a cursor, blocking until more arrive or the job finishes,
+which the HTTP layer turns into a tail-follow JSONL response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import clock as _clockmod
+
+#: Finished jobs remembered for polling before eviction.
+DEFAULT_KEEP_FINISHED = 256
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: States in which a job still occupies a live-job slot.
+LIVE_STATES = (PENDING, RUNNING)
+
+
+@dataclass
+class Job:
+    """One asynchronous evaluation and its event history."""
+
+    id: str
+    kind: str
+    spec: dict[str, Any] = field(default_factory=dict)
+    status: str = PENDING
+    result: Any = None
+    error: str | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._changed = asyncio.Condition()
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (DONE, FAILED)
+
+    def emit(self, event_kind: str, **fields: Any) -> dict[str, Any]:
+        """Append one event (obs-clock stamped) and wake streamers."""
+        event = {
+            "event": event_kind,
+            "ts": _clockmod.now(),
+            "job": self.id,
+            **fields,
+        }
+        self.events.append(event)
+        self._notify()
+        return event
+
+    def start(self) -> None:
+        self.status = RUNNING
+        self.emit("job.start", kind=self.kind)
+
+    def finish(self, result: Any) -> None:
+        self.result = result
+        self.status = DONE
+        self.emit("job.done", kind=self.kind)
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.status = FAILED
+        self.emit("job.failed", kind=self.kind, error=error)
+
+    def _notify(self) -> None:
+        async def wake() -> None:
+            async with self._changed:
+                self._changed.notify_all()
+
+        # emit() is called from event-loop coroutines; scheduling the
+        # wake as a task keeps it usable from plain (non-async) code.
+        try:
+            asyncio.get_running_loop().create_task(wake())
+        except RuntimeError:  # no loop: nothing can be waiting
+            pass
+
+    async def wait_events(
+        self, cursor: int, *, timeout: float = 10.0
+    ) -> list[dict[str, Any]]:
+        """Events past ``cursor``; blocks until some exist or finished.
+
+        Returns an empty list only when the job is finished (the
+        streamer's stop condition) or the ``timeout`` elapsed with no
+        news (the streamer then re-checks and keeps following).
+        """
+        if cursor < len(self.events) or self.finished:
+            return self.events[cursor:]
+        async with self._changed:
+            try:
+                await asyncio.wait_for(self._changed.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        return self.events[cursor:]
+
+    def describe(self) -> dict[str, Any]:
+        """The polling view served by ``GET /v1/jobs/{id}``."""
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "events": len(self.events),
+        }
+        if self.status == DONE:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobStore:
+    """Sequential-id job table with live-count and retention bounds."""
+
+    def __init__(
+        self,
+        *,
+        max_live: int = 16,
+        keep_finished: int = DEFAULT_KEEP_FINISHED,
+    ) -> None:
+        if max_live < 1:
+            raise ValueError(f"max_live must be >= 1, got {max_live}")
+        self.max_live = max_live
+        self.keep_finished = keep_finished
+        self._jobs: dict[str, Job] = {}
+        self._serial = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def live_count(self) -> int:
+        return sum(1 for job in self._jobs.values() if job.status in LIVE_STATES)
+
+    def create(self, kind: str, spec: dict[str, Any]) -> Job | None:
+        """A fresh pending job, or ``None`` when at the live bound."""
+        if self.live_count() >= self.max_live:
+            return None
+        self._serial += 1
+        job = Job(id=f"job-{self._serial:06d}", kind=kind, spec=spec)
+        self._jobs[job.id] = job
+        self._evict_finished()
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def _evict_finished(self) -> None:
+        finished = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.finished
+        ]
+        for job_id in finished[: max(0, len(finished) - self.keep_finished)]:
+            del self._jobs[job_id]
+
+    def describe(self) -> dict[str, int]:
+        by_status: dict[str, int] = {}
+        for job in self._jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {"total": len(self._jobs), **by_status}

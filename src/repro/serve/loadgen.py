@@ -1,0 +1,249 @@
+"""Load generation against a running reliability service.
+
+The harness behind ``benchmarks/loadgen.py``, the ``serve-cachehit-2k``
+benchmark, and the CI serve smoke.  Two drive modes:
+
+* **closed loop** — ``concurrency`` workers over persistent keep-alive
+  connections, each firing its next request the moment the previous
+  response lands: measures the service's sustainable throughput;
+* **open loop** — arrivals scheduled at a fixed ``rate`` regardless of
+  completions (bounded by a connection pool): measures latency under a
+  controlled offered load, the way real traffic arrives.
+
+Latencies land in a :class:`repro.obs.metrics.Histogram`, so the
+reported p50/p90/p99 are the same factor-of-two-bounded quantiles the
+OpenMetrics exporter publishes.  Every response's ``digest`` is
+re-derived from the canonical result JSON and checked — a load test
+that silently accepted corrupt answers would prove nothing.
+
+:func:`coalesce_proof` is the standing acceptance check for request
+coalescing: ``k`` identical requests against a cold fingerprint must
+produce exactly one executed solve (one ``cache: miss``) with every
+other caller served by coalescing or the result cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import clock as _clockmod
+from repro.obs.metrics import Histogram
+from repro.serve.client import Connection
+from repro.serve.worker import result_digest
+
+#: The default throughput workload: the paper's 4-version system — a
+#: small CTMC, so the single cold solve is cheap and everything after
+#: it exercises the serving path, not the solver.
+DEFAULT_SPEC: dict[str, Any] = {"preset": "four"}
+
+
+@dataclass
+class LoadResult:
+    """One load run's measurements."""
+
+    requests: int
+    errors: int
+    seconds: float
+    by_cache: dict[str, int] = field(default_factory=dict)
+    by_status: dict[int, int] = field(default_factory=dict)
+    latency: Histogram = field(default_factory=Histogram)
+    digest_failures: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed evaluations per second."""
+        completed = self.requests - self.errors
+        return completed / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "throughput": self.throughput,
+            "by_cache": dict(sorted(self.by_cache.items())),
+            "by_status": {
+                str(status): count
+                for status, count in sorted(self.by_status.items())
+            },
+            "digest_failures": self.digest_failures,
+            "latency": {
+                **self.latency.summary(),
+                "p50": self.latency.quantile(0.5),
+                "p90": self.latency.quantile(0.9),
+                "p99": self.latency.quantile(0.99),
+            },
+        }
+
+
+async def _fire(
+    connection: Connection,
+    path: str,
+    spec: dict[str, Any],
+    result: LoadResult,
+    *,
+    verify_digest: bool,
+) -> None:
+    started = _clockmod.now()
+    try:
+        response = await connection.request("POST", path, payload=spec)
+    except (ConnectionError, OSError, asyncio.IncompleteReadError):
+        result.errors += 1
+        return
+    result.latency.observe(max(0.0, _clockmod.now() - started))
+    result.by_status[response.status] = (
+        result.by_status.get(response.status, 0) + 1
+    )
+    if response.status != 200:
+        result.errors += 1
+        return
+    payload = response.json()
+    source = payload.get("cache", "?")
+    result.by_cache[source] = result.by_cache.get(source, 0) + 1
+    if verify_digest and result_digest(payload["result"]) != payload["digest"]:
+        result.digest_failures += 1
+        result.errors += 1
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    requests: int,
+    concurrency: int = 32,
+    mode: str = "closed",
+    rate: float | None = None,
+    spec: dict[str, Any] | None = None,
+    path: str = "/v1/solve",
+    verify_digest: bool = True,
+    warmup: int = 1,
+) -> LoadResult:
+    """Drive the service and return the measurements.
+
+    ``warmup`` requests (sequential, untimed) populate the service's
+    result cache first, so closed-loop numbers measure the sustained
+    cache-hit path rather than the one cold solve.  Set ``warmup=0``
+    to include cold behaviour (the coalesce proof does).
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and not rate:
+        raise ValueError("open-loop mode needs a positive 'rate'")
+    spec = dict(spec or DEFAULT_SPEC)
+    result = LoadResult(requests=requests, errors=0, seconds=0.0)
+
+    connections = [Connection(host, port) for _ in range(concurrency)]
+    for connection in connections:
+        await connection.connect()
+    try:
+        async with Connection(host, port) as warm_connection:
+            warm = LoadResult(requests=warmup, errors=0, seconds=0.0)
+            for _ in range(warmup):
+                await _fire(
+                    warm_connection,
+                    path,
+                    spec,
+                    warm,
+                    verify_digest=verify_digest,
+                )
+
+        started = _clockmod.now()
+        if mode == "closed":
+            remaining = iter(range(requests))
+
+            async def worker(connection: Connection) -> None:
+                for _ in remaining:
+                    await _fire(
+                        connection,
+                        path,
+                        spec,
+                        result,
+                        verify_digest=verify_digest,
+                    )
+
+            await asyncio.gather(
+                *(worker(connection) for connection in connections)
+            )
+        else:
+            pool: asyncio.Queue[Connection] = asyncio.Queue()
+            for connection in connections:
+                pool.put_nowait(connection)
+
+            async def arrival() -> None:
+                connection = await pool.get()
+                try:
+                    await _fire(
+                        connection,
+                        path,
+                        spec,
+                        result,
+                        verify_digest=verify_digest,
+                    )
+                finally:
+                    pool.put_nowait(connection)
+
+            interval = 1.0 / float(rate)
+            tasks = []
+            next_at = _clockmod.now()
+            for _ in range(requests):
+                delay = next_at - _clockmod.now()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(asyncio.ensure_future(arrival()))
+                next_at += interval
+            await asyncio.gather(*tasks)
+        result.seconds = max(1e-9, _clockmod.now() - started)
+    finally:
+        for connection in connections:
+            await connection.close()
+    return result
+
+
+async def coalesce_proof(
+    host: str,
+    port: int,
+    *,
+    k: int = 50,
+    spec: dict[str, Any] | None = None,
+    path: str = "/v1/solve",
+) -> dict[str, Any]:
+    """Fire ``k`` identical requests at once against a cold fingerprint.
+
+    Returns the client-side tally.  Coalescing holds when exactly one
+    request reports ``cache: miss`` (the one executed solve) and the
+    other ``k - 1`` report ``coalesced`` (joined in flight) or ``hit``
+    (landed after completion); the caller should also confirm the
+    server-side ``repro_serve_solve_executed_total`` counter moved by
+    exactly one.
+    """
+    if spec is None:
+        # Distinct from DEFAULT_SPEC so the fingerprint is cold even
+        # after a throughput run against the same server.
+        spec = {"preset": "six", "mttc": 1523.25}
+    result = LoadResult(requests=k, errors=0, seconds=0.0)
+    connections = [Connection(host, port) for _ in range(k)]
+    for connection in connections:
+        await connection.connect()
+    try:
+        started = _clockmod.now()
+        await asyncio.gather(
+            *(
+                _fire(connection, path, spec, result, verify_digest=True)
+                for connection in connections
+            )
+        )
+        result.seconds = max(1e-9, _clockmod.now() - started)
+    finally:
+        for connection in connections:
+            await connection.close()
+    tally = result.as_dict()
+    tally["ok"] = (
+        result.errors == 0
+        and result.by_cache.get("miss", 0) == 1
+        and result.by_cache.get("coalesced", 0)
+        + result.by_cache.get("hit", 0)
+        == k - 1
+    )
+    return tally

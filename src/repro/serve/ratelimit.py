@@ -1,0 +1,85 @@
+"""Per-client token buckets for admission control.
+
+Each client (the ``X-Client-Id`` header, falling back to the peer host)
+owns a :class:`TokenBucket`: ``rate`` tokens arrive per second up to a
+``burst`` ceiling, one request spends one token, and an empty bucket
+answers with the seconds until the next token — surfaced to clients as
+``429`` + ``Retry-After``.  Time comes from :func:`repro.obs.clock.now`,
+so tests drive the buckets with a :class:`~repro.obs.clock.ManualClock`
+and never sleep.
+
+The per-client table is bounded: when more than ``max_clients`` keys
+are live, the least-recently-seen bucket is dropped (re-admitting that
+client with a full bucket — a deliberately forgiving failure mode).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.obs import clock as _clockmod
+
+#: Per-client buckets kept before least-recently-seen eviction.
+DEFAULT_MAX_CLIENTS = 4096
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate``/s refill, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float, *, now: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def try_acquire(self, *, now: float) -> float:
+        """0.0 on success, else seconds until one token is available."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Bounded table of per-client token buckets.
+
+    ``rate <= 0`` disables limiting entirely — every ``check`` admits.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        *,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, 2 * rate)
+        self.max_clients = max_clients
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, client: str) -> float:
+        """0.0 to admit ``client`` now, else a positive retry-after."""
+        if not self.enabled:
+            return 0.0
+        now = _clockmod.now()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, now=now
+            )
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        self._buckets.move_to_end(client)
+        return bucket.try_acquire(now=now)

@@ -48,6 +48,7 @@ class TestInMemoryTier:
             "disk_hits": 0,
             "rejected": 0,
             "evictions": 0,
+            "collisions_prevented": 0,
         }
 
     def test_rejects_nonpositive_maxsize(self):

@@ -1,0 +1,133 @@
+"""Multi-process hammer on the disk cache: one fingerprint, N writers.
+
+The atomic publish path (temp file + ``os.replace``) must guarantee
+that concurrent writers of the same key never leave a torn entry on
+disk: every reader afterwards sees a complete, digest-valid pickle.
+Exactly-once *execution* is the serving coalescer's contract; the disk
+tier's contract is exactly-once *visibility* — last complete publish
+wins, nothing corrupt is ever observable, and prevented overwrites are
+counted.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.engine.cache import SolverCache
+
+#: A payload shaped like a real steady-state solution entry.
+PAYLOAD = {"pi": [0.25, 0.75], "reward": 0.9917, "states": 1868}
+
+
+def _entry_files(directory: Path) -> list[Path]:
+    return sorted(Path(directory).glob("*/*.pkl"))
+
+
+# ----------------------------------------------------------------------
+# worker functions (module-level: spawn re-imports this module)
+# ----------------------------------------------------------------------
+def _barrier_put(args) -> dict:
+    """Publish PAYLOAD under one shared key, synchronized to collide."""
+    directory, key, barrier = args
+    cache = SolverCache(directory=Path(directory))
+    barrier.wait(timeout=30)
+    cache.put(key, PAYLOAD)
+    read_back = SolverCache(directory=Path(directory)).get(key)
+    return {
+        "value": read_back,
+        "collisions": cache.collisions_prevented,
+        "rejected": cache.rejected,
+    }
+
+
+def _solve_via_cache(directory) -> dict:
+    """The real path: expected_reliability through a shared disk cache."""
+    from repro.engine import cache_override
+    from repro.engine.tasks import expected_reliability
+    from repro.perception.parameters import PerceptionParameters
+
+    with cache_override(enabled=True, directory=Path(directory)) as cache:
+        value = expected_reliability(
+            PerceptionParameters.four_version_defaults()
+        )
+        stats = cache.stats()
+    return {"value": value, "stats": stats}
+
+
+class TestConcurrentPublish:
+    def test_n_writers_one_key_no_torn_entries(self, tmp_path):
+        """8 processes publish the same key through one barrier window."""
+        context = multiprocessing.get_context("spawn")
+        barrier = context.Manager().Barrier(8)
+        with ProcessPoolExecutor(max_workers=8, mp_context=context) as pool:
+            outcomes = list(
+                pool.map(
+                    _barrier_put,
+                    [(str(tmp_path), "deadbeef" * 8, barrier)] * 8,
+                )
+            )
+        assert all(outcome["value"] == PAYLOAD for outcome in outcomes)
+        assert all(outcome["rejected"] == 0 for outcome in outcomes)
+        (entry,) = _entry_files(tmp_path)  # exactly one entry on disk
+        # the surviving file is a complete, loadable publish
+        fresh = SolverCache(directory=tmp_path)
+        assert fresh.get("deadbeef" * 8) == PAYLOAD
+        assert fresh.rejected == 0
+        assert entry.stat().st_size > 0
+
+    def test_hammer_real_solver_path(self, tmp_path):
+        """N workers race the full solve→cache pipeline on one model."""
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=6, mp_context=context) as pool:
+            outcomes = list(
+                pool.map(_solve_via_cache, [str(tmp_path)] * 6)
+            )
+        values = {outcome["value"] for outcome in outcomes}
+        assert len(values) == 1  # bit-identical across processes
+        assert all(
+            outcome["stats"]["rejected"] == 0 for outcome in outcomes
+        )
+        assert _entry_files(tmp_path), "the solve cached to disk"
+
+        # a second wave is served from disk: no recompute, no rejections
+        with ProcessPoolExecutor(max_workers=3, mp_context=context) as pool:
+            second = list(pool.map(_solve_via_cache, [str(tmp_path)] * 3))
+        assert all(outcome["value"] in values for outcome in second)
+        assert all(outcome["stats"]["disk_hits"] >= 1 for outcome in second)
+        assert all(outcome["stats"]["rejected"] == 0 for outcome in second)
+
+
+class TestCollisionCounter:
+    def test_overwrite_of_existing_entry_counts_collision(self, tmp_path):
+        first = SolverCache(directory=tmp_path)
+        second = SolverCache(directory=tmp_path)
+        first.put("cafebabe" * 8, PAYLOAD)
+        assert first.collisions_prevented == 0
+        second.put("cafebabe" * 8, PAYLOAD)
+        assert second.collisions_prevented == 1
+        assert second.stats()["collisions_prevented"] == 1
+        # the entry stays valid after the collided publish
+        assert SolverCache(directory=tmp_path).get("cafebabe" * 8) == PAYLOAD
+
+    def test_memory_only_cache_never_counts_collisions(self):
+        cache = SolverCache()
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.collisions_prevented == 0
+
+    def test_torn_write_is_invisible(self, tmp_path):
+        """A half-written temp file never shadows the published entry."""
+        cache = SolverCache(directory=tmp_path)
+        cache.put("feedface" * 8, PAYLOAD)
+        (entry,) = _entry_files(tmp_path)
+        # simulate a crashed writer's leftover temp alongside the entry
+        leftover = entry.parent / (entry.name + ".tmp-crashed")
+        leftover.write_bytes(pickle.dumps(PAYLOAD)[: 10])
+        fresh = SolverCache(directory=tmp_path)
+        assert fresh.get("feedface" * 8) == PAYLOAD
+        assert fresh.rejected == 0

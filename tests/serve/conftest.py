@@ -1,0 +1,25 @@
+"""Shared helpers: an in-process service wired for fast tests.
+
+``running_service`` starts a :class:`~repro.serve.app.ReliabilityService`
+on an ephemeral port with the thread executor (worker doubles don't
+pickle, and a process pool would dominate test wall-clock) and always
+tears it down.  Tests drive it through :mod:`repro.serve.client`.
+"""
+
+from __future__ import annotations
+
+from contextlib import asynccontextmanager
+
+from repro.serve import ReliabilityService, ServeConfig
+
+
+@asynccontextmanager
+async def running_service(config: ServeConfig | None = None, **kwargs):
+    """An async context manager yielding ``(service, host, port)``."""
+    config = config or ServeConfig(executor="thread", workers=4)
+    service = ReliabilityService(config, **kwargs)
+    host, port = await service.start()
+    try:
+        yield service, host, port
+    finally:
+        await service.stop()

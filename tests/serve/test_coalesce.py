@@ -1,0 +1,142 @@
+"""Exactly-once semantics of the request coalescer."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestCoalescer:
+    def test_single_caller_is_leader(self):
+        async def go():
+            coalescer = Coalescer()
+
+            async def work():
+                return 42
+
+            value, coalesced = await coalescer.run("k", work)
+            assert (value, coalesced) == (42, False)
+            assert coalescer.leader_count() == 0
+
+        run(go())
+
+    def test_concurrent_identical_keys_run_factory_once(self):
+        async def go():
+            coalescer = Coalescer()
+            calls = 0
+            gate = asyncio.Event()
+
+            async def work():
+                nonlocal calls
+                calls += 1
+                await gate.wait()
+                return "result"
+
+            tasks = [
+                asyncio.create_task(coalescer.run("k", work))
+                for _ in range(50)
+            ]
+            await asyncio.sleep(0)  # all callers reach the coalescer
+            assert coalescer.leader_count() == 1
+            gate.set()
+            outcomes = await asyncio.gather(*tasks)
+            assert calls == 1
+            values = [value for value, _ in outcomes]
+            assert values == ["result"] * 50
+            flags = sorted(coalesced for _, coalesced in outcomes)
+            assert flags.count(False) == 1  # exactly one leader
+            assert flags.count(True) == 49
+
+        run(go())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def go():
+            coalescer = Coalescer()
+            gate = asyncio.Event()
+            calls = []
+
+            async def work_for(key):
+                calls.append(key)
+                await gate.wait()
+                return key
+
+            tasks = [
+                asyncio.create_task(coalescer.run(key, lambda k=key: work_for(k)))
+                for key in ("a", "b")
+            ]
+            await asyncio.sleep(0)
+            assert coalescer.leader_count() == 2
+            gate.set()
+            outcomes = await asyncio.gather(*tasks)
+            assert sorted(calls) == ["a", "b"]
+            assert all(not coalesced for _, coalesced in outcomes)
+
+        run(go())
+
+    def test_failure_propagates_to_all_waiters_and_clears_key(self):
+        async def go():
+            coalescer = Coalescer()
+            gate = asyncio.Event()
+
+            async def explode():
+                await gate.wait()
+                raise RuntimeError("boom")
+
+            tasks = [
+                asyncio.create_task(coalescer.run("k", explode))
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0)
+            gate.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(r, RuntimeError) for r in results)
+            assert not coalescer.is_inflight("k")
+
+        run(go())
+
+    def test_key_is_reusable_after_completion(self):
+        async def go():
+            coalescer = Coalescer()
+            calls = 0
+
+            async def work():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            first, _ = await coalescer.run("k", work)
+            second, _ = await coalescer.run("k", work)
+            # sequential (non-overlapping) calls each run: coalescing is
+            # for in-flight sharing, caching is a different layer
+            assert (first, second) == (1, 2)
+
+        run(go())
+
+    def test_cancelled_follower_does_not_cancel_leader(self):
+        async def go():
+            coalescer = Coalescer()
+            gate = asyncio.Event()
+
+            async def work():
+                await gate.wait()
+                return "survived"
+
+            leader = asyncio.create_task(coalescer.run("k", work))
+            await asyncio.sleep(0)
+            follower = asyncio.create_task(coalescer.run("k", work))
+            await asyncio.sleep(0)
+            follower.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await follower
+            gate.set()
+            value, coalesced = await leader
+            assert (value, coalesced) == ("survived", False)
+
+        run(go())

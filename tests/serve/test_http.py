@@ -1,0 +1,142 @@
+"""Unit tests of the stdlib HTTP framing layer."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    read_request,
+)
+
+
+def parse(raw: bytes, *, peer: str = "") -> Request | None:
+    """Run ``read_request`` over an in-memory stream."""
+
+    async def go() -> Request | None:
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, peer=peer)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_and_body(self):
+        request = parse(
+            b"POST /v1/solve?x=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Length: 16\r\n"
+            b"\r\n"
+            b'{"preset":"six"}',
+            peer="10.0.0.7",
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/solve"
+        assert request.query == {"x": "1"}
+        assert request.headers["host"] == "localhost"
+        assert request.json() == {"preset": "six"}
+        assert request.peer == "10.0.0.7"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET /healthz HTTP/1.1\r\n")  # no blank line
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_malformed_header_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_head_is_413(self):
+        filler = b"X-Pad: " + b"a" * 20_000 + b"\r\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+        assert excinfo.value.status == 413
+
+    def test_oversized_body_is_413(self):
+        head = (
+            f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+        ).encode()
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(head)
+        assert excinfo.value.status == 413
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+        assert excinfo.value.status == 400
+
+    def test_chunked_bodies_are_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_non_json_body_raises_on_decode(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{"
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestRequestProperties:
+    def test_keep_alive_defaults_on(self):
+        request = parse(b"GET / HTTP/1.1\r\n\r\n")
+        assert request.keep_alive
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_client_key_prefers_header_then_peer(self):
+        tagged = parse(
+            b"GET / HTTP/1.1\r\nX-Client-Id: tenant-a\r\n\r\n", peer="1.2.3.4"
+        )
+        assert tagged.client_key() == "tenant-a"
+        bare = parse(b"GET / HTTP/1.1\r\n\r\n", peer="1.2.3.4")
+        assert bare.client_key() == "1.2.3.4"
+        anonymous = parse(b"GET / HTTP/1.1\r\n\r\n")
+        assert anonymous.client_key() == "anonymous"
+
+
+class TestResponseFraming:
+    def test_content_length_framing(self):
+        response = Response.json({"ok": True})
+        head = response.head_bytes(content_length=len(response.body))
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert f"Content-Length: {len(response.body)}".encode() in head
+        assert b"Connection: keep-alive" in head
+
+    def test_eof_framing_forces_close(self):
+        head = Response(content_type="application/jsonl").head_bytes(
+            content_length=None
+        )
+        assert b"Content-Length" not in head
+        assert b"Connection: close" in head
+
+    def test_error_body_carries_status_and_extras(self):
+        response = Response.error(503, "full", headers={"Retry-After": "1.0"})
+        assert response.status == 503
+        assert b'"error": "full"' in response.body
+        assert response.headers["Retry-After"] == "1.0"

@@ -1,0 +1,82 @@
+"""Token-bucket admission control, driven by the manual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.clock import ManualClock, use_clock
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+        assert bucket.try_acquire(now=0.0) == 0.0
+        assert bucket.try_acquire(now=0.0) == 0.0
+        retry = bucket.try_acquire(now=0.0)
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_readmits(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=0.0)
+        assert bucket.try_acquire(now=0.0) == 0.0
+        assert bucket.try_acquire(now=0.0) > 0.0
+        # 0.5 s at 2 tokens/s refills the single-token bucket.
+        assert bucket.try_acquire(now=0.5) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0, now=0.0)
+        for _ in range(3):
+            assert bucket.try_acquire(now=100.0) == 0.0
+        assert bucket.try_acquire(now=100.0) > 0.0
+
+    def test_retry_after_scales_with_deficit(self):
+        bucket = TokenBucket(rate=0.5, burst=1.0, now=0.0)
+        bucket.try_acquire(now=0.0)
+        assert bucket.try_acquire(now=0.0) == pytest.approx(2.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=1.0, now=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.0, now=0.0)
+
+
+class TestRateLimiter:
+    def test_zero_rate_disables(self):
+        limiter = RateLimiter(0.0)
+        assert not limiter.enabled
+        for _ in range(1000):
+            assert limiter.check("anyone") == 0.0
+
+    def test_per_client_buckets_are_independent(self):
+        with use_clock(ManualClock(step=1e-9)):
+            limiter = RateLimiter(1.0, 1.0)
+            assert limiter.check("a") == 0.0
+            assert limiter.check("a") > 0.0
+            assert limiter.check("b") == 0.0  # b has a fresh bucket
+
+    def test_default_burst_is_twice_rate(self):
+        limiter = RateLimiter(8.0)
+        assert limiter.burst == 16.0
+
+    def test_burst_floor_of_one(self):
+        limiter = RateLimiter(0.1)
+        assert limiter.burst == 1.0
+
+    def test_eviction_forgets_least_recent_client(self):
+        with use_clock(ManualClock(step=1e-9)):
+            limiter = RateLimiter(1.0, 1.0, max_clients=2)
+            assert limiter.check("a") == 0.0
+            assert limiter.check("b") == 0.0
+            assert limiter.check("c") == 0.0  # evicts a
+            # a is re-admitted with a full (forgiving) bucket.
+            assert limiter.check("a") == 0.0
+
+    def test_manual_clock_refill(self):
+        clock = ManualClock(step=1e-9)
+        with use_clock(clock):
+            limiter = RateLimiter(1.0, 1.0)
+            assert limiter.check("a") == 0.0
+            assert limiter.check("a") == pytest.approx(1.0, abs=1e-6)
+            clock.tick(1.0)
+            assert limiter.check("a") == 0.0
