@@ -28,17 +28,28 @@ from repro.dspn.simulate import (
     simulate,
     transient_profile,
 )
-from repro.dspn.steady_state import SteadyStateResult, solve_steady_state
+from repro.dspn.sparse_builder import sparse_generator
+from repro.dspn.steady_state import (
+    METHODS,
+    SteadyStateResult,
+    route_exponential,
+    routing_policy,
+    solve_steady_state,
+)
 from repro.dspn.transient import transient_rewards
 
 __all__ = [
+    "METHODS",
     "SimulationEstimate",
     "SteadyStateResult",
     "TransientProfile",
     "replication_averages",
     "reward_vector",
+    "route_exponential",
+    "routing_policy",
     "simulate",
     "solve_steady_state",
+    "sparse_generator",
     "transient_profile",
     "transient_rewards",
 ]

@@ -1,0 +1,64 @@
+"""Build a CSR generator from a tangible reachability graph.
+
+The sparse twin of :mod:`repro.dspn.ctmc_builder`: identical edge
+semantics — vanishing-resolved exponential edges contribute
+``rate * probability`` per target, invisible self-loops are dropped,
+the diagonal compensates row sums — but the matrix is assembled in COO
+triplets and finalized as CSR without ever allocating the dense n×n
+array, so fleet-scale nets (tens of thousands of markings) stay within
+memory proportional to the edge count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import UnsupportedModelError
+from repro.obs import span
+from repro.statespace.graph import TangibleGraph
+
+
+def sparse_generator(graph: TangibleGraph) -> sp.csr_array:
+    """CSR generator of a net with no deterministic behaviour.
+
+    Duplicate (source, target) triplets are summed by the COO→CSR
+    conversion, mirroring the dense builder's ``+=`` accumulation, so
+    ``sparse_generator(g).toarray()`` matches ``build_ctmc(g).generator``
+    to floating-point rounding (the differential suite pins this).
+
+    Raises
+    ------
+    UnsupportedModelError
+        If any tangible marking enables a deterministic transition (use
+        the MRGP builder instead).
+    """
+    if graph.has_deterministic():
+        raise UnsupportedModelError(
+            "the net enables deterministic transitions; build an MRGP instead"
+        )
+    with span("dspn.sparse_builder", states=graph.n_states):
+        n = graph.n_states
+        rows: list[int] = []
+        cols: list[int] = []
+        rates: list[float] = []
+        diagonal = np.zeros(n)
+        for source in range(n):
+            for edge in graph.exponential_edges[source]:
+                for target, probability in edge.targets:
+                    if target == source:
+                        continue  # invisible self-loops do not affect the CTMC
+                    flow = edge.rate * probability
+                    rows.append(source)
+                    cols.append(target)
+                    rates.append(flow)
+                    diagonal[source] -= flow
+        nonzero_diagonal = np.flatnonzero(diagonal)
+        rows.extend(nonzero_diagonal.tolist())
+        cols.extend(nonzero_diagonal.tolist())
+        rates.extend(diagonal[nonzero_diagonal].tolist())
+        matrix = sp.coo_array(
+            (np.asarray(rates), (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))),
+            shape=(n, n),
+        )
+        return sp.csr_array(matrix)

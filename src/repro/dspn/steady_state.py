@@ -4,15 +4,17 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.dspn.ctmc_builder import build_ctmc
 from repro.dspn.mrgp_builder import build_mrgp_kernels
 from repro.dspn.rewards import RewardFunction, reward_vector
+from repro.dspn.sparse_builder import sparse_generator
 from repro.errors import ParameterError, UnsupportedModelError, VerificationError
 from repro.markov.mrgp import solve_mrgp
+from repro.markov.sparse import SparseSolveInfo, stationary_distribution_sparse
 from repro.obs import counter, span
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
@@ -22,7 +24,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.verify.certify import Certificate
 
 #: Analytic routes accepted by :func:`solve_steady_state`.
-METHODS = ("auto", "ctmc", "mrgp")
+METHODS = ("auto", "ctmc", "mrgp", "sparse")
+
+#: ``method="auto"`` switches exponential-only nets from the dense CTMC
+#: solve (O(n³) — ~35s at 4000 states) to the sparse Krylov route at
+#: this state count.  Well below the threshold the dense solve is
+#: faster (no reordering/ILU setup); well above it is intractable.
+SPARSE_STATE_THRESHOLD = 1500
+
+#: Generators denser than this stay on the dense route regardless of
+#: size: ILU fill-in on near-dense patterns costs more than the direct
+#: factorization it is meant to avoid.
+SPARSE_DENSITY_CEILING = 0.05
 
 
 @dataclass
@@ -36,13 +49,18 @@ class SteadyStateResult:
     pi:
         Long-run time-average probability of each marking.
     method:
-        ``"ctmc"`` or ``"mrgp"`` — which analytic route was taken.
+        ``"ctmc"``, ``"mrgp"`` or ``"sparse"`` — which analytic route
+        was taken.
     graph:
         The underlying tangible reachability graph (for diagnostics).
     certificate:
         Numerical certificate attached when the solve was requested with
         ``verify=...`` (``None`` otherwise).  Travels with the result
         through the engine cache.
+    solver_info:
+        Iterative-solver provenance (Krylov method, iterations, achieved
+        residual) when the sparse route produced ``pi``; ``None`` for
+        the direct dense routes.
     """
 
     markings: list[Marking]
@@ -50,6 +68,7 @@ class SteadyStateResult:
     method: str
     graph: TangibleGraph
     certificate: "Certificate | None" = None
+    solver_info: SparseSolveInfo | None = None
 
     def expected_reward(self, reward: RewardFunction) -> float:
         """Eq. 1: the ``pi``-weighted sum of ``reward`` over markings."""
@@ -66,6 +85,47 @@ class SteadyStateResult:
         pairs = list(zip(self.markings, (float(p) for p in self.pi)))
         pairs.sort(key=lambda pair: -pair[1])
         return pairs
+
+
+def routing_policy() -> dict[str, Any]:
+    """The auto-routing thresholds, for manifests and diagnostics."""
+    return {
+        "sparse_state_threshold": SPARSE_STATE_THRESHOLD,
+        "sparse_density_ceiling": SPARSE_DENSITY_CEILING,
+    }
+
+
+def route_exponential(graph: TangibleGraph) -> dict[str, Any]:
+    """The ``method="auto"`` routing decision for an exponential-only net.
+
+    Routes to the sparse Krylov path when the state space is large
+    *and* the generator is sparse; dense otherwise.  Returned as a
+    plain dict — the same record lands as span attributes (the decision
+    is a deterministic function of the graph, hence trace-stable) and
+    in the :class:`~repro.obs.manifest.RunManifest` of runs that solved
+    under ``auto``.
+    """
+    states = graph.n_states
+    density = graph.generator_density()
+    sparse = states >= SPARSE_STATE_THRESHOLD and density <= SPARSE_DENSITY_CEILING
+    return {
+        "route": "sparse" if sparse else "ctmc",
+        "states": states,
+        "density": round(density, 9),
+        "state_threshold": SPARSE_STATE_THRESHOLD,
+        "density_ceiling": SPARSE_DENSITY_CEILING,
+    }
+
+
+#: Routing decisions taken under ``method="auto"`` in this process, by
+#: net name — surfaced in :func:`repro.obs.manifest.collect_manifest` so
+#: a benchmark artifact records which route produced its numbers.
+_ROUTING_DECISIONS: dict[str, str] = {}
+
+
+def routing_decisions() -> dict[str, str]:
+    """Net name → resolved route for every auto-solve so far (a copy)."""
+    return dict(sorted(_ROUTING_DECISIONS.items()))
 
 
 def _verification_tolerance(verify: "bool | float | None") -> float | None:
@@ -95,18 +155,27 @@ def solve_steady_state(
 ) -> SteadyStateResult:
     """Solve ``net`` for its stationary marking distribution.
 
-    ``method="auto"`` dispatches on the model class: exponential-only
-    nets are solved as CTMCs; nets enabling deterministic transitions
-    are solved as MRGPs.  ``"ctmc"`` insists on the CTMC route (raising
-    on deterministic nets); ``"mrgp"`` forces the MRGP route even for
-    exponential-only nets, where its renewal equations reduce to the
-    embedded-chain solution — the two routes must then agree, which the
-    differential harness in ``tests/engine/`` exploits.
+    ``method="auto"`` dispatches on the model class and size: nets
+    enabling deterministic transitions are solved as MRGPs; exponential-
+    only nets are solved as CTMCs — densely below
+    :data:`SPARSE_STATE_THRESHOLD` states, via the sparse Krylov route
+    (:mod:`repro.markov.sparse`) above it (see :func:`route_exponential`;
+    the decision is recorded on the ``dspn.route`` span and in run
+    manifests).  ``"ctmc"`` insists on the dense CTMC route (raising on
+    deterministic nets); ``"sparse"`` insists on the sparse route at any
+    size (also CTMC-class only); ``"mrgp"`` forces the MRGP route even
+    for exponential-only nets, where its renewal equations reduce to the
+    embedded-chain solution — the routes must then agree, which the
+    differential harnesses in ``tests/engine/`` and ``tests/markov/``
+    exploit.
 
     Solutions are memoized in the engine's solver cache (keyed by the
-    canonical net fingerprint plus ``max_states`` and ``method``) unless
-    caching is disabled globally or via ``use_cache=False``.  Cached
-    results are shared objects: treat them as immutable.
+    canonical net fingerprint plus ``max_states`` and the *requested*
+    ``method``) unless caching is disabled globally or via
+    ``use_cache=False``.  An ``auto`` entry may therefore carry either
+    resolved route; route equivalence is guaranteed by certification,
+    not by key separation (see docs/SOLVERS.md).  Cached results are
+    shared objects: treat them as immutable.
 
     ``verify`` requests a post-hoc numerical certificate of the returned
     distribution (see :mod:`repro.verify.certify`): ``True`` certifies
@@ -121,12 +190,16 @@ def solve_steady_state(
 
     Raises
     ------
+    ParameterError
+        If ``method`` is not one of :data:`METHODS` (rejected eagerly,
+        before any state-space work).
     StateSpaceError
         If the reachable marking space exceeds ``max_states``.
     UnsupportedModelError
         If some tangible marking enables more than one deterministic
         transition (fall back to :func:`repro.dspn.simulate.simulate`),
-        or if ``method="ctmc"`` is requested for a deterministic net.
+        or if ``method="ctmc"`` or ``method="sparse"`` is requested for
+        a deterministic net.
     SolverError
         If the resulting process has no unique stationary distribution.
     VerificationError
@@ -135,7 +208,7 @@ def solve_steady_state(
     """
     if method not in METHODS:
         raise ParameterError(
-            f"unknown method {method!r}; choose from {', '.join(METHODS)}"
+            f"unknown method {method!r}; valid methods: {', '.join(sorted(METHODS))}"
         )
     tolerance = _verification_tolerance(verify)
 
@@ -231,16 +304,38 @@ def _solve_uncached(
     """The actual reachability + solve pipeline, without memoization."""
     graph = tangible_reachability(net, max_states=max_states)
     deterministic = graph.has_deterministic()
-    if method == "ctmc" and deterministic:
+    if method in ("ctmc", "sparse") and deterministic:
         raise UnsupportedModelError(
-            f"net {net.name!r} enables deterministic transitions; the CTMC "
-            "route cannot solve it — use method='auto' or 'mrgp'"
+            f"net {net.name!r} enables deterministic transitions; the "
+            f"{'CTMC' if method == 'ctmc' else 'sparse'} route cannot solve "
+            "it — use method='auto' or 'mrgp'"
         )
     if deterministic or method == "mrgp":
         kernel, sojourn = build_mrgp_kernels(graph)
         solution = solve_mrgp(kernel, sojourn)
         return SteadyStateResult(
             markings=graph.markings, pi=solution.pi, method="mrgp", graph=graph
+        )
+
+    route = method
+    if method == "auto":
+        decision = route_exponential(graph)
+        route = decision["route"]
+        _ROUTING_DECISIONS[net.name] = route
+        with span("dspn.route", **decision):
+            pass
+
+    if route == "sparse":
+        generator = sparse_generator(graph)
+        pi, info = stationary_distribution_sparse(
+            generator, what=f"net {net.name!r}"
+        )
+        return SteadyStateResult(
+            markings=graph.markings,
+            pi=pi,
+            method="sparse",
+            graph=graph,
+            solver_info=info,
         )
     ctmc = build_ctmc(graph)
     return SteadyStateResult(

@@ -12,6 +12,10 @@ graphs and delegates the numerics here.
 * :func:`~repro.markov.mrgp.solve_mrgp` — steady-state solution of a
   Markov-regenerative process given its global kernel and local
   sojourn-time matrix (the Markov renewal theorem).
+* :mod:`~repro.markov.sparse` — CSR-based Krylov stationary solves and
+  sparse uniformization for state spaces past the dense O(n³) ceiling,
+  with iterative-solve provenance (:class:`SparseSolveInfo`) feeding
+  the numerical certificates.
 """
 
 from repro.markov.ctmc import CTMC
@@ -28,12 +32,26 @@ from repro.markov.sensitivity import (
     reward_derivative,
     stationary_derivative,
 )
-from repro.markov.uniformization import expm_and_integral, transient_distribution
+from repro.markov.sparse import (
+    SPARSE_SOLVERS,
+    SparseSolveInfo,
+    check_sparse_generator,
+    stationary_distribution_sparse,
+    transient_distribution_sparse,
+)
+from repro.markov.uniformization import (
+    expm_and_integral,
+    transient_distribution,
+    uniformized_series,
+)
 
 __all__ = [
     "CTMC",
     "DTMC",
     "MRGPResult",
+    "SPARSE_SOLVERS",
+    "SparseSolveInfo",
+    "check_sparse_generator",
     "expm_and_integral",
     "hitting_probability_by",
     "mean_hitting_times",
@@ -43,5 +61,8 @@ __all__ = [
     "reward_derivative",
     "solve_mrgp",
     "stationary_derivative",
+    "stationary_distribution_sparse",
     "transient_distribution",
+    "transient_distribution_sparse",
+    "uniformized_series",
 ]

@@ -1,14 +1,80 @@
-"""Transient analysis helpers: uniformization and matrix-exponential integrals."""
+"""Transient analysis helpers: uniformization and matrix-exponential integrals.
+
+The Poisson-weighted series at the heart of Jensen's method is shared
+between the dense path (:func:`transient_distribution`) and the sparse
+path (:func:`repro.markov.sparse.transient_distribution_sparse`):
+:func:`uniformized_series` is parameterized over the one operation the
+two differ in — applying the uniformized step matrix to a vector — so
+both routes truncate, bound and normalize identically and the
+dense-vs-sparse differential tests pin a single algorithm, not two.
+"""
 
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 
 import numpy as np
 from scipy.linalg import expm
 
 from repro.errors import SolverError
 from repro.markov.linear import check_generator
+
+
+def uniformized_series(
+    apply_step: Callable[[np.ndarray], np.ndarray],
+    initial: np.ndarray,
+    *,
+    poisson_mean: float,
+    tolerance: float = 1e-12,
+    max_terms: int = 1_000_000,
+) -> np.ndarray:
+    """Sum the Poisson-weighted uniformization series.
+
+    Computes ``sum_k Poisson(k; poisson_mean) · v_k`` with ``v_0 =
+    initial`` and ``v_{k+1} = apply_step(v_k)``, truncated once either
+    the accumulated Poisson mass exceeds ``1 - tolerance`` or the
+    remaining tail (bounded geometrically past the mean) falls below
+    ``tolerance``.  The result is renormalized by the accumulated mass
+    so probability vectors stay normalized despite truncation.
+
+    ``apply_step`` is one application of the uniformized step matrix
+    ``P = I + Q/L`` — a dense ``v @ P`` or a sparse CSR product; the
+    series itself neither knows nor cares.
+    """
+    if poisson_mean < 0:
+        raise SolverError(f"poisson mean must be >= 0, got {poisson_mean}")
+    # log-space Poisson weights to survive large L*t
+    log_weight = -poisson_mean  # log P(k=0)
+    accumulated = 0.0
+    term_vector = np.asarray(initial, dtype=float).copy()
+    result = np.zeros_like(term_vector)
+    k = 0
+    # Poisson tail bound: once past the mean, stop when the remaining
+    # mass (bounded by current weight / (1 - mean/k)) is below tolerance.
+    while True:
+        weight = math.exp(log_weight) if log_weight > -745 else 0.0
+        result += weight * term_vector
+        accumulated += weight
+        if accumulated >= 1.0 - tolerance:
+            break
+        if k > poisson_mean and weight > 0.0:
+            ratio = poisson_mean / (k + 1)
+            if ratio < 1.0 and weight * ratio / (1.0 - ratio) < tolerance:
+                break
+        k += 1
+        if k > max_terms:
+            raise SolverError(
+                f"uniformization did not converge within {max_terms} terms "
+                f"(L*t = {poisson_mean:.3e})"
+            )
+        log_weight += math.log(poisson_mean) - math.log(k)
+        term_vector = apply_step(term_vector)
+    # compensate the (tiny) truncated Poisson mass so probability vectors
+    # remain normalized
+    if accumulated > 0.0:
+        result /= accumulated
+    return result
 
 
 def transient_distribution(
@@ -39,38 +105,13 @@ def transient_distribution(
     rate = max(-generator.diagonal().min(), 1e-300)
     probability_matrix = np.eye(generator.shape[0]) + generator / rate
 
-    poisson_mean = rate * time
-    # log-space Poisson weights to survive large L*t
-    log_weight = -poisson_mean  # log P(k=0)
-    accumulated = 0.0
-    term_vector = initial.copy()
-    result = np.zeros_like(initial)
-    k = 0
-    # Poisson tail bound: once past the mean, stop when the remaining
-    # mass (bounded by current weight / (1 - mean/k)) is below tolerance.
-    while True:
-        weight = math.exp(log_weight) if log_weight > -745 else 0.0
-        result += weight * term_vector
-        accumulated += weight
-        if accumulated >= 1.0 - tolerance:
-            break
-        if k > poisson_mean and weight > 0.0:
-            ratio = poisson_mean / (k + 1)
-            if ratio < 1.0 and weight * ratio / (1.0 - ratio) < tolerance:
-                break
-        k += 1
-        if k > max_terms:
-            raise SolverError(
-                f"uniformization did not converge within {max_terms} terms "
-                f"(L*t = {poisson_mean:.3e})"
-            )
-        log_weight += math.log(poisson_mean) - math.log(k)
-        term_vector = term_vector @ probability_matrix
-    # compensate the (tiny) truncated Poisson mass so probability vectors
-    # remain normalized
-    if accumulated > 0.0:
-        result /= accumulated
-    return result
+    return uniformized_series(
+        lambda vector: vector @ probability_matrix,
+        initial,
+        poisson_mean=rate * time,
+        tolerance=tolerance,
+        max_terms=max_terms,
+    )
 
 
 def expm_and_integral(generator: np.ndarray, time: float) -> tuple[np.ndarray, np.ndarray]:

@@ -36,6 +36,7 @@ class RunManifest:
     platform: str = ""
     cache_policy: dict[str, Any] = field(default_factory=dict)
     clock: str = "monotonic"
+    solver_routing: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -49,6 +50,7 @@ class RunManifest:
             "platform": self.platform,
             "cache_policy": dict(self.cache_policy),
             "clock": self.clock,
+            "solver_routing": dict(self.solver_routing),
         }
 
 
@@ -80,8 +82,16 @@ def collect_manifest(
     """Build a manifest for the current process and the given workload."""
     import numpy
 
+    from repro.dspn.steady_state import routing_decisions, routing_policy
     from repro.engine.cache import cache_settings
     from repro.obs.clock import clock_settings
+
+    # The auto-routing policy plus every route it resolved in this
+    # process: deterministic for a given workload sequence, so manifests
+    # stay byte-reproducible while recording which solver produced the
+    # numbers (docs/SOLVERS.md).
+    solver_routing = dict(routing_policy())
+    solver_routing["decisions"] = routing_decisions()
 
     return RunManifest(
         experiment=experiment,
@@ -94,4 +104,5 @@ def collect_manifest(
         platform=platform.platform(),
         cache_policy=cache_settings(),
         clock=clock_settings()["kind"],
+        solver_routing=solver_routing,
     )

@@ -157,6 +157,36 @@ def _bench_serve() -> None:
     asyncio.run(drive())
 
 
+def _bench_sparse_steady() -> None:
+    """Sparse stationary solve of the N=20 fleet product net (~6k states).
+
+    The headline large-N workload: the dense route needs minutes of
+    O(n³) SVD work at this size, the Krylov route well under a second —
+    and the solve is certified, so the benchmark cannot silently record
+    a wrong answer fast.
+    """
+    from repro.dspn import solve_steady_state
+    from repro.perception.fleet import FleetParameters, build_fleet_net
+
+    net = build_fleet_net(FleetParameters.nv20_defaults())
+    solve_steady_state(net, method="sparse", verify=True)
+
+
+def _bench_sparse_transient() -> None:
+    """Sparse uniformization on the N=15 fleet net over a 5-point grid."""
+    from repro.dspn import transient_rewards
+    from repro.perception.fleet import FleetParameters, build_fleet_net
+    from repro.perception.statemap import module_counts
+
+    net = build_fleet_net(FleetParameters.nv15_defaults())
+    transient_rewards(
+        net,
+        lambda marking: float(module_counts(marking).healthy),
+        times=(60.0, 300.0, 900.0, 1800.0, 3600.0),
+        method="sparse",
+    )
+
+
 #: The named benchmark suite ``repro bench`` runs subsets of.
 BENCH_SUITE: dict[str, Callable[[], None]] = {
     "solve-ctmc-16x10": _bench_solve_ctmc,
@@ -166,6 +196,8 @@ BENCH_SUITE: dict[str, Callable[[], None]] = {
     "table2-defaults-x5": _bench_table2,
     "phase-diagram": _bench_phase_diagram,
     "serve-cachehit-2k": _bench_serve,
+    "sparse-steady-nv20": _bench_sparse_steady,
+    "sparse-transient-nv15": _bench_sparse_transient,
 }
 
 

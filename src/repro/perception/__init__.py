@@ -8,6 +8,9 @@ This package ties together the substrates:
   the DSPN of Fig. 2(a);
 * :func:`~repro.perception.rejuvenation.build_rejuvenation_net` — the
   DSPNs of Fig. 2(b)+(c), including the Table I guards and weights;
+* :func:`~repro.perception.fleet.build_fleet_net` — the fleet-scale
+  perception × rejuvenation-clock × maintenance product net (large-N
+  workloads for the sparse solver route);
 * :func:`~repro.perception.evaluation.evaluate` — the Eq. 1 pipeline
   (steady-state probabilities x reliability rewards);
 * :class:`~repro.perception.architecture.PerceptionSystem` — a façade
@@ -32,6 +35,7 @@ from repro.perception.metrics import (
     mean_time_to_quorum_loss,
     quorum_loss_probability,
 )
+from repro.perception.fleet import FleetParameters, build_fleet_net
 from repro.perception.no_rejuvenation import build_no_rejuvenation_net
 from repro.perception.parameters import PerceptionParameters
 from repro.perception.rejuvenation import build_rejuvenation_net
@@ -39,9 +43,11 @@ from repro.perception.statemap import ModuleCounts, module_counts
 
 __all__ = [
     "EvaluationResult",
+    "FleetParameters",
     "ModuleCounts",
     "PerceptionParameters",
     "PerceptionSystem",
+    "build_fleet_net",
     "build_no_rejuvenation_net",
     "build_rejuvenation_net",
     "evaluate",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+from repro.perception.fleet import PLACE_MAINTENANCE
 from repro.perception.no_rejuvenation import (
     PLACE_COMPROMISED,
     PLACE_FAILED,
@@ -16,8 +17,9 @@ from repro.petri.marking import Marking
 class ModuleCounts(NamedTuple):
     """The (i, j, k) triple of §IV-D.
 
-    ``unavailable`` counts both non-operational and rejuvenating modules
-    — neither produces a perception output.
+    ``unavailable`` counts non-operational, rejuvenating, and
+    under-maintenance modules — none of them produces a perception
+    output.
     """
 
     healthy: int
@@ -37,12 +39,14 @@ class ModuleCounts(NamedTuple):
 def module_counts(marking: Marking) -> ModuleCounts:
     """Extract (i, j, k) from a perception-net marking.
 
-    Works for both the no-rejuvenation net (no ``Pmr`` place) and the
-    rejuvenation net.
+    Works for the no-rejuvenation net (no ``Pmr`` place), the
+    rejuvenation net, and the fleet product net (whose ``Pmm``
+    maintenance place also holds unavailable modules).
     """
     rejuvenating = marking.get(PLACE_REJUVENATING, 0)
+    maintained = marking.get(PLACE_MAINTENANCE, 0)
     return ModuleCounts(
         healthy=marking[PLACE_HEALTHY],
         compromised=marking[PLACE_COMPROMISED],
-        unavailable=marking[PLACE_FAILED] + rejuvenating,
+        unavailable=marking[PLACE_FAILED] + rejuvenating + maintained,
     )

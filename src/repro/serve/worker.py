@@ -48,7 +48,7 @@ _SHAPE_KEYS = {"preset", "versions", "f", "r", "rejuvenation"}
 _SOLVE_KEYS = {"max_states", "method"}
 
 DEFAULT_MAX_STATES = 200_000
-METHODS = ("auto", "ctmc", "mrgp")
+METHODS = ("auto", "ctmc", "mrgp", "sparse")
 
 
 class SpecError(ReproError):
@@ -109,7 +109,7 @@ def resolve_spec(
     method = spec.get("method", "auto")
     if method not in METHODS:
         raise SpecError(
-            f"unknown method {method!r}; choose from {', '.join(METHODS)}"
+            f"unknown method {method!r}; valid methods: {', '.join(sorted(METHODS))}"
         )
     return parameters, max_states, method
 

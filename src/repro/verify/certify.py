@@ -12,7 +12,13 @@ solver's internal algebra:
 * ``mrgp-embedded-fixed-point`` / ``mrgp-renewal`` — the embedded
   chain's stationary vector φ is recomputed from the rebuilt global
   kernel ``K``; the certificate checks ‖φK − φ‖∞ and that the renewal
-  reconstruction φU / (φU·1) reproduces π (MRGP route).
+  reconstruction φU / (φU·1) reproduces π (MRGP route);
+* ``sparse-balance`` / ``sparse-solver-record`` — the sparse route's
+  ‖πQ‖∞ recomputed against a freshly built CSR generator (never
+  densified), plus an audit of the iterative solve's provenance record
+  (:class:`~repro.markov.sparse.SparseSolveInfo`): the record must be
+  present and its achieved residual within the tolerance it reported —
+  an iterative solution with no audit trail does not certify.
 
 Certificates travel with their result: ``solve_steady_state(verify=…)``
 attaches them to :class:`~repro.dspn.steady_state.SteadyStateResult`, so
@@ -37,7 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump when the check set or semantics change; older persisted
 #: certificates are then *stale* and the cache refuses to serve them.
-CERTIFICATE_VERSION = 1
+#: Version 2 added the sparse-route checks.
+CERTIFICATE_VERSION = 2
 
 #: Default residual tolerance (the acceptance bar for the shipped nets).
 DEFAULT_TOLERANCE = 1e-9
@@ -164,6 +171,8 @@ def certify_steady_state(
         checks.append(_ctmc_balance_check(result, pi, tolerance))
     elif result.method == "mrgp":
         checks.extend(_mrgp_checks(result, pi, tolerance))
+    elif result.method == "sparse":
+        checks.extend(_sparse_checks(result, pi, tolerance))
     else:
         checks.append(
             CertificateCheck(
@@ -231,6 +240,58 @@ def _mrgp_checks(
             detail="max |pi - phi U / (phi U 1)|",
         ),
     ]
+
+
+def _sparse_checks(
+    result: "SteadyStateResult", pi: np.ndarray, tolerance: float
+) -> list[CertificateCheck]:
+    """Balance residual via a rebuilt CSR generator, plus the solve audit.
+
+    The balance check mirrors ``ctmc-balance`` but never densifies —
+    certification must stay cheap at the state counts the sparse route
+    exists for.  The record check makes iterative provenance mandatory:
+    a sparse π with no :class:`~repro.markov.sparse.SparseSolveInfo`
+    (or one whose achieved residual exceeds the bar it claims) fails.
+    """
+    from repro.dspn.sparse_builder import sparse_generator
+
+    generator = sparse_generator(result.graph)
+    residual = float(np.max(np.abs(pi @ generator))) if pi.size else 0.0
+    checks = [
+        CertificateCheck(
+            name="sparse-balance",
+            passed=residual <= tolerance,
+            value=residual,
+            tolerance=tolerance,
+            detail="max |pi Q| (CSR rebuild)",
+        )
+    ]
+    info = getattr(result, "solver_info", None)
+    if info is None:
+        checks.append(
+            CertificateCheck(
+                name="sparse-solver-record",
+                passed=False,
+                value=float("inf"),
+                tolerance=tolerance,
+                detail="iterative solution carries no solver record",
+            )
+        )
+    else:
+        checks.append(
+            CertificateCheck(
+                name="sparse-solver-record",
+                passed=bool(info.residual <= info.tolerance),
+                value=float(info.residual),
+                tolerance=float(info.tolerance),
+                detail=(
+                    f"{info.solver}, {info.iterations} iterations, "
+                    f"{info.refinements} refinements, "
+                    f"precond={info.preconditioner}, reorder={info.reordering}"
+                ),
+            )
+        )
+    return checks
 
 
 def certify_expected_reward(

@@ -1,8 +1,17 @@
 """Tests for the steady-state dispatch and result object."""
 
 import numpy as np
+import pytest
 
 from repro.dspn import solve_steady_state
+from repro.dspn.steady_state import (
+    METHODS,
+    SPARSE_STATE_THRESHOLD,
+    route_exponential,
+    routing_policy,
+)
+from repro.errors import ParameterError, UnsupportedModelError
+from repro.statespace import tangible_reachability
 
 
 class TestDispatch:
@@ -14,6 +23,54 @@ class TestDispatch:
         result = solve_steady_state(clocked_net)
         assert result.method == "mrgp"
 
+    def test_sparse_method_solves_exponential_nets(self, two_state_net):
+        result = solve_steady_state(two_state_net, method="sparse", use_cache=False)
+        assert result.method == "sparse"
+        assert result.solver_info is not None
+        assert np.isclose(result.pi.sum(), 1.0)
+
+    def test_sparse_method_rejects_deterministic_nets(self, clocked_net):
+        with pytest.raises(UnsupportedModelError, match="sparse route"):
+            solve_steady_state(clocked_net, method="sparse", use_cache=False)
+
+    def test_dense_routes_carry_no_solver_record(self, two_state_net):
+        result = solve_steady_state(two_state_net, use_cache=False)
+        assert result.solver_info is None
+
+
+class TestMethodValidation:
+    def test_unknown_method_rejected_eagerly_with_sorted_list(self, two_state_net):
+        with pytest.raises(
+            ParameterError,
+            match=r"unknown method 'simplex'; valid methods: auto, ctmc, mrgp, sparse",
+        ):
+            solve_steady_state(two_state_net, method="simplex")
+
+    def test_rejection_happens_before_any_state_space_work(self):
+        # an un-buildable object would explode inside reachability; the
+        # eager check must fire first
+        with pytest.raises(ParameterError, match="unknown method"):
+            solve_steady_state(object(), method="nope")
+
+    def test_methods_tuple_is_sorted_in_the_error(self, two_state_net):
+        assert sorted(METHODS) == ["auto", "ctmc", "mrgp", "sparse"]
+
+
+class TestAutoRouting:
+    def test_small_graphs_route_dense(self, two_state_net):
+        graph = tangible_reachability(two_state_net)
+        decision = route_exponential(graph)
+        assert decision["route"] == "ctmc"
+        assert decision["states"] == graph.n_states
+        assert decision["state_threshold"] == SPARSE_STATE_THRESHOLD
+
+    def test_policy_snapshot_names_both_thresholds(self):
+        policy = routing_policy()
+        assert policy["sparse_state_threshold"] == SPARSE_STATE_THRESHOLD
+        assert 0.0 < policy["sparse_density_ceiling"] < 1.0
+
+
+class TestInvariant:
     def test_pi_sums_to_one(self, two_state_net, clocked_net):
         for net in (two_state_net, clocked_net):
             result = solve_steady_state(net)

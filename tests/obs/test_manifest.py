@@ -60,7 +60,10 @@ class TestCollectManifest:
             "platform",
             "cache_policy",
             "clock",
+            "solver_routing",
         }
+        assert data["solver_routing"]["sparse_state_threshold"] > 0
+        assert "decisions" in data["solver_routing"]
 
 
 class TestRunManifest:

@@ -1,0 +1,102 @@
+"""Tests for the fleet-scale product net (perception × clock × crews)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.perception.fleet import (
+    PLACE_CLOCK_SLOTS,
+    PLACE_CREWS,
+    PLACE_MAINTENANCE,
+    FleetParameters,
+    build_fleet_net,
+)
+from repro.perception.parameters import PerceptionParameters
+from repro.perception.statemap import module_counts
+from repro.statespace import tangible_reachability
+
+
+def small_fleet(**overrides):
+    values = dict(
+        perception=PerceptionParameters(n_modules=6, f=1, r=1, rejuvenation=True),
+        crews=2,
+        clock_slots=2,
+    )
+    values.update(overrides)
+    return FleetParameters(**values)
+
+
+class TestFleetParameters:
+    def test_defaults_are_sized_as_documented(self):
+        nv15 = FleetParameters.nv15_defaults()
+        assert nv15.perception.n_modules == 15
+        assert (nv15.crews, nv15.clock_slots) == (2, 2)
+        nv20 = FleetParameters.nv20_defaults()
+        assert nv20.perception.n_modules == 20
+        assert (nv20.crews, nv20.clock_slots) == (6, 6)
+
+    def test_more_crews_than_modules_is_rejected(self):
+        with pytest.raises(ParameterError, match="exceeds the fleet size"):
+            small_fleet(crews=7)
+
+    @pytest.mark.parametrize("field", ["crews", "clock_slots"])
+    def test_pool_sizes_must_be_positive(self, field):
+        with pytest.raises(ParameterError):
+            small_fleet(**{field: 0})
+
+    @pytest.mark.parametrize(
+        "field", ["mean_maintenance_time", "mean_dispatch_time"]
+    )
+    def test_times_must_be_positive(self, field):
+        with pytest.raises(ParameterError):
+            small_fleet(**{field: -1.0})
+
+    def test_defaults_accept_overrides(self):
+        parameters = FleetParameters.nv15_defaults(crews=4, clock_slots=3)
+        assert (parameters.crews, parameters.clock_slots) == (4, 3)
+
+
+class TestFleetNetShape:
+    def test_net_is_exponential_only(self):
+        net = build_fleet_net(small_fleet())
+        assert net.deterministic_transitions() == []
+        assert net.immediate_transitions() == []
+        assert len(net.exponential_transitions()) == 6
+
+    def test_net_name_encodes_the_sizing(self):
+        assert build_fleet_net(small_fleet()).name == "fleet-6v-2crew-2slot"
+
+    def test_initial_marking_arms_all_pools(self):
+        net = build_fleet_net(small_fleet(crews=3, clock_slots=2))
+        marking = net.initial_marking()
+        assert marking[PLACE_CREWS] == 3
+        assert marking[PLACE_CLOCK_SLOTS] == 2
+        assert marking[PLACE_MAINTENANCE] == 0
+
+    def test_every_marking_is_tangible(self):
+        graph = tangible_reachability(build_fleet_net(small_fleet()))
+        assert not graph.has_deterministic()
+
+    def test_nv15_state_count(self):
+        graph = tangible_reachability(
+            build_fleet_net(FleetParameters.nv15_defaults())
+        )
+        assert graph.n_states == 951
+
+
+class TestFleetConservation:
+    def test_modules_and_crews_are_conserved_in_every_marking(self):
+        parameters = small_fleet(crews=2, clock_slots=2)
+        graph = tangible_reachability(build_fleet_net(parameters))
+        n = parameters.perception.n_modules
+        for marking in graph.markings:
+            counts = module_counts(marking)
+            assert counts.healthy + counts.compromised + counts.unavailable == n
+            # a busy crew is exactly a module in maintenance
+            busy = parameters.crews - marking[PLACE_CREWS]
+            assert busy == marking[PLACE_MAINTENANCE]
+            assert 0 <= busy <= parameters.crews
+
+    def test_maintenance_counts_as_unavailable(self):
+        net = build_fleet_net(small_fleet())
+        marking = net.marking({"Pmh": 4, PLACE_MAINTENANCE: 2})
+        assert module_counts(marking).unavailable >= 2
