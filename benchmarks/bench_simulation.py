@@ -1,15 +1,18 @@
 """Substrate benchmarks: discrete-event simulation throughput.
 
-Tracks both the generic DSPN simulator (events/s over the six-version
-rejuvenation net) and the domain-level perception runtime (requests/s
-including per-request voting).
+Tracks the generic DSPN simulator (events/s over the six-version
+rejuvenation net), the domain-level perception runtime (requests/s
+including per-request voting), and the vectorized batch runtime
+(requests/s across thousands of independent replica groups).
 """
 
 from repro.dspn import simulate
+from repro.obs.metrics import registry_override
+from repro.obs.regress import sim_batch_config
 from repro.perception.parameters import PerceptionParameters
 from repro.perception.rejuvenation import build_rejuvenation_net
 from repro.perception.statemap import module_counts
-from repro.simulation import PerceptionRuntime
+from repro.simulation import PerceptionRuntime, simulate_batch
 
 
 def bench_dspn_simulator(benchmark):
@@ -38,3 +41,16 @@ def bench_perception_runtime(benchmark):
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
     assert report.requests > 19000
+
+
+def bench_batch_runtime(benchmark):
+    """The ``sim-batch-1m`` workload: 4096 groups x 256 rounds."""
+    config = sim_batch_config()
+
+    def run():
+        with registry_override():
+            return simulate_batch(config)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.requests == config.groups * config.rounds
+    assert report.throughput >= 1.0e6

@@ -384,6 +384,9 @@ def _command_bench(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
+    if args.batch:
+        return _command_simulate_batch(args)
+
     from repro.perception.architecture import PerceptionSystem
 
     system = PerceptionSystem(_parameters_from(args))
@@ -401,6 +404,58 @@ def _command_simulate(args: argparse.Namespace) -> int:
         f"(95% CI [{low:.6f}, {high:.6f}], {estimate.replications} replications)"
     )
     print(f"analytic value {'inside' if estimate.covers(analytic) else 'outside'} the interval")
+    return 0
+
+
+def _command_simulate_batch(args: argparse.Namespace) -> int:
+    from repro.perception.evaluation import evaluate
+    from repro.simulation import BatchConfig, BatchMonitorConfig, simulate_batch
+    from repro.verify.oracles import wilson_interval
+
+    parameters = _parameters_from(args)
+    period = args.request_period
+    rounds = max(1, round(args.horizon / period))
+    warmup_rounds = min(rounds - 1, max(0, round(args.warmup / period)))
+    config = BatchConfig(
+        parameters=parameters,
+        groups=args.groups,
+        rounds=rounds,
+        warmup_rounds=warmup_rounds,
+        request_period=period,
+        seed=args.seed if args.seed is not None else 0,
+        chunk_size=args.chunk_size,
+        monitor=(
+            BatchMonitorConfig(mode=args.monitor) if args.monitor else None
+        ),
+    )
+    if args.stationary_init:
+        config = config.with_stationary_init()
+    with _events_scope(args):
+        report = simulate_batch(config, jobs=args.jobs)
+    analytic = evaluate(parameters).expected_reliability
+    successes = report.requests - report.errors
+    low, high = wilson_interval(successes, report.requests)
+    print(
+        f"batch: {report.groups} groups x {rounds} rounds "
+        f"({report.requests:,} measured requests, jobs={report.jobs})"
+    )
+    print(f"analytic E[R]  = {analytic:.6f}  (Eq. 1)")
+    print(
+        f"batch E[R]     = {report.reliability_safe_skip:.6f}  "
+        f"(95% Wilson [{low:.6f}, {high:.6f}])"
+    )
+    print(
+        f"throughput     = {report.throughput:,.0f} requests/s "
+        f"({report.wall_seconds:.2f} s wall)"
+    )
+    if report.monitor is not None:
+        summary = report.monitor.summary()
+        print(
+            f"monitor        = {summary.compromises} compromises, "
+            f"{summary.detected} detected, {summary.false_alarms} false "
+            f"alarms, {summary.triggers} rejuvenations "
+            f"({summary.false_triggers} false)"
+        )
     return 0
 
 
@@ -726,6 +781,38 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--warmup", type=float, default=1000.0)
     simulate.add_argument("--replications", type=int, default=8)
     simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument(
+        "--batch", action="store_true",
+        help="use the vectorized batch runtime (thousands of groups on a "
+        "round grid) instead of the event loop",
+    )
+    simulate.add_argument(
+        "--groups", type=int, default=4096,
+        help="independent replica groups simulated by --batch",
+    )
+    simulate.add_argument(
+        "--request-period", type=float, default=0.5,
+        help="seconds between perception requests (--batch round grid)",
+    )
+    simulate.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --batch (results are jobs-invariant)",
+    )
+    simulate.add_argument(
+        "--chunk-size", type=int, default=1024,
+        help="groups per schedule chunk (--batch; part of the trajectory "
+        "identity, not a tuning knob)",
+    )
+    simulate.add_argument(
+        "--monitor", choices=["observe", "targeted", "threshold"],
+        help="attach the online health monitor to the --batch run",
+    )
+    simulate.add_argument(
+        "--stationary-init", action="store_true",
+        help="draw initial module states from the analytic stationary "
+        "census instead of all-healthy (--batch)",
+    )
+    _add_events_argument(simulate)
     simulate.set_defaults(handler=_command_simulate)
 
     metrics = subparsers.add_parser(

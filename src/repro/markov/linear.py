@@ -14,13 +14,20 @@ _NEGATIVE_TOLERANCE = 1e-10
 def normalize_distribution(vector: np.ndarray, *, what: str) -> np.ndarray:
     """Clip tiny negative entries and renormalize to sum 1.
 
+    Iterative solvers hand in solutions at arbitrary scale (the sparse
+    removed-state route pins one entry to 1 and the rest can run to
+    1e4+), so "significantly negative" is judged relative to the
+    vector's magnitude — an entry at round-off level of the largest
+    component is noise, not a solver failure.
+
     Raises
     ------
     SolverError
         If the vector has significantly negative entries or a
         non-positive sum — both indicate a solver failure upstream.
     """
-    if np.any(vector < -1e-7):
+    scale = max(1.0, float(np.abs(vector).max()))
+    if np.any(vector < -1e-7 * scale):
         raise SolverError(
             f"{what} has negative entries (min {vector.min():.3e}); "
             "the model or solver is inconsistent"

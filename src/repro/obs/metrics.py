@@ -98,6 +98,34 @@ class Histogram:
         index = _bucket_of(value)
         self.buckets[index] = self.buckets.get(index, 0) + 1
 
+    def observe_many(self, values: Any) -> None:
+        """Fold a whole array of observations in at vectorized cost.
+
+        Merge-equivalent to calling :meth:`observe` once per element:
+        count, min, max, and every bucket count come out identical (the
+        bucket index is computed by the scalar :func:`_bucket_of` per
+        *unique* value, so boundary rounding matches the scalar path
+        bit for bit); only ``total`` may differ by float-summation
+        order, the same caveat :meth:`MetricsRegistry.merge` carries.
+        """
+        import numpy  # deferred: keep the obs core stdlib-only on import
+
+        array = numpy.asarray(values, dtype=float).ravel()
+        if array.size == 0:
+            return
+        self.count += int(array.size)
+        self.total += float(array.sum())
+        low = float(array.min())
+        high = float(array.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+        unique, counts = numpy.unique(array, return_counts=True)
+        for value, count in zip(unique.tolist(), counts.tolist()):
+            index = _bucket_of(value)
+            self.buckets[index] = self.buckets.get(index, 0) + int(count)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

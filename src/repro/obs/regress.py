@@ -187,6 +187,50 @@ def _bench_sparse_transient() -> None:
     )
 
 
+def _bench_sim_batch() -> None:
+    """A million perception requests through the vectorized batch runtime.
+
+    4096 independent six-version replica groups simulated for 256 rounds
+    each (4096 x 256 = 1,048,576 voted requests).  The workload fails
+    loudly if the runtime ever simulates fewer requests than advertised,
+    so the recorded time always corresponds to the same request count
+    and ``requests / seconds`` can be read straight off the history
+    line.  The 1e6-requests-per-second acceptance bar for this workload
+    is asserted by ``tests/obs/test_regress.py``.
+    """
+    from repro.obs.metrics import registry_override
+    from repro.simulation import simulate_batch
+
+    config = sim_batch_config()
+    with registry_override():
+        report = simulate_batch(config)
+    if report.requests != config.groups * config.rounds:
+        raise RuntimeError(
+            f"sim-batch-1m simulated {report.requests} requests, "
+            f"expected {config.groups * config.rounds}"
+        )
+
+
+def sim_batch_config():
+    """The exact workload behind the ``sim-batch-1m`` benchmark id.
+
+    Exposed as a callable (the config holds numpy-unfriendly frozen
+    dataclasses that are cheap to rebuild) so the throughput acceptance
+    test drives the *same* configuration the gate times.
+    """
+    from repro.perception.parameters import PerceptionParameters
+    from repro.simulation import BatchConfig
+
+    return BatchConfig(
+        parameters=PerceptionParameters.six_version_defaults(),
+        groups=4096,
+        rounds=256,
+        request_period=1.0,
+        seed=7,
+        chunk_size=4096,
+    )
+
+
 #: The named benchmark suite ``repro bench`` runs subsets of.
 BENCH_SUITE: dict[str, Callable[[], None]] = {
     "solve-ctmc-16x10": _bench_solve_ctmc,
@@ -198,6 +242,7 @@ BENCH_SUITE: dict[str, Callable[[], None]] = {
     "serve-cachehit-2k": _bench_serve,
     "sparse-steady-nv20": _bench_sparse_steady,
     "sparse-transient-nv15": _bench_sparse_transient,
+    "sim-batch-1m": _bench_sim_batch,
 }
 
 

@@ -38,10 +38,35 @@ from repro.simulation.trace import (
 )
 from repro.simulation.voter import AgreementModel, VoteOutcome, Voter
 
+#: Batch-runtime names resolved lazily (PEP 562): the batch package
+#: pulls in the monitor layer, which itself imports this package's
+#: submodules — an eager import here would close that cycle.
+_BATCH_EXPORTS = frozenset(
+    {
+        "BatchConfig",
+        "BatchMonitorConfig",
+        "BatchReport",
+        "simulate_batch",
+        "simulate_reference",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _BATCH_EXPORTS:
+        from repro.simulation import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "AgreementModel",
     "AttackCampaign",
     "AttackWave",
+    "BatchConfig",
+    "BatchMonitorConfig",
+    "BatchReport",
     "FaultInjector",
     "FaultSemantics",
     "MLModule",
@@ -55,4 +80,6 @@ __all__ = [
     "Voter",
     "compare_with_analytic",
     "module_census",
+    "simulate_batch",
+    "simulate_reference",
 ]

@@ -1,0 +1,417 @@
+"""Scalar reference interpreter for the batch semantics.
+
+This is the trusted half of the equivalence proof: it executes the
+exact round semantics of
+:func:`~repro.simulation.batch.runtime.simulate_batch` — same phases,
+same :class:`~repro.simulation.batch.schedule.SeedSchedule` draws, same
+shared probability helpers — but one group, one module, one event at a
+time, *through the existing scalar components*:
+
+* module state transitions via
+  :class:`~repro.simulation.modules.MLModule`'s guarded state machine,
+* vote tallying/classification via
+  :class:`~repro.simulation.voter.Voter` (the event-loop's voter),
+* monitoring via a real
+  :class:`~repro.monitor.controller.MonitorController` per group —
+  the genuine estimator, policies, budget, and metrics objects.
+
+Any divergence between :func:`simulate_reference` and
+:func:`simulate_batch` on the same :class:`BatchConfig` is therefore a
+vectorization bug.  The interpreter is deliberately slow (pure python
+loops); drive it with small configurations only.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from repro.monitor.controller import MonitorController
+from repro.monitor.policies import make_policy
+from repro.obs.metrics import active_registry, registry_override
+from repro.simulation.batch.monitor import BatchMonitorReport
+from repro.simulation.batch.runtime import (
+    TRANSITION_KINDS,
+    BatchConfig,
+    BatchReport,
+)
+from repro.simulation.batch.schedule import (
+    CHANNEL_ORDER,
+    STATE_COMPROMISED,
+    STATE_FAILED,
+    STATE_HEALTHY,
+    SeedSchedule,
+    channel_probabilities,
+    completion_probabilities,
+    sample_initial_states,
+    wrong_labels,
+)
+from repro.simulation.batch.voter import CODE_OF_OUTCOME
+from repro.simulation.modules import MLModule, ModuleState
+from repro.simulation.voter import Voter
+
+_STATE_OF_CODE = {
+    STATE_HEALTHY: ModuleState.HEALTHY,
+    STATE_COMPROMISED: ModuleState.COMPROMISED,
+    STATE_FAILED: ModuleState.FAILED,
+}
+
+_CHANNEL_SOURCE = {
+    "compromise": ModuleState.HEALTHY,
+    "fail": ModuleState.COMPROMISED,
+    "repair": ModuleState.FAILED,
+}
+
+_CHANNEL_APPLY = {
+    "compromise": MLModule.compromise,
+    "fail": MLModule.fail,
+    "repair": MLModule.repair,
+}
+
+
+class _ReferenceGroup:
+    """One replica group, interpreted with the scalar components."""
+
+    def __init__(self, config: BatchConfig, initial: np.ndarray) -> None:
+        params = config.parameters
+        self.config = config
+        self.params = params
+        self.modules = [
+            MLModule(module_id=m, state=_STATE_OF_CODE[int(initial[m])])
+            for m in range(params.n_modules)
+        ]
+        self.voter = Voter(params.voting_scheme)
+        self.completion_q = [0.0] * params.n_modules
+        self.completion_by_batch = completion_probabilities(
+            params, config.request_period
+        )
+        self.pending = 0
+        self.transitions = {kind: 0 for kind in TRANSITION_KINDS}
+        self.rejuvenations: "list[int]" = []
+        self.controller: "MonitorController | None" = None
+        if config.monitor is not None:
+            mc = config.monitor
+            policy = make_policy(
+                "periodic" if mc.mode == "observe" else mc.mode,
+                **({"bound": mc.bound} if mc.mode == "threshold" else {}),
+            )
+            self.controller = MonitorController(
+                params,
+                policy,
+                detection_threshold=mc.detection_threshold,
+                budget_cap=mc.budget_cap,
+            )
+
+    # -- helpers -------------------------------------------------------
+    def _budget_used(self) -> int:
+        return sum(1 for m in self.modules if not m.is_operational)
+
+    def _notify(self, now: float, module_id: int, kind: str) -> None:
+        self.transitions[kind] += 1
+        if self.controller is not None:
+            self.controller.notify_transition(now, module_id, kind)
+
+    def _start(self, module_id: int, now: float) -> None:
+        self.modules[module_id].start_rejuvenation()
+        self._notify(now, module_id, "rejuvenation-start")
+        self.rejuvenations.append(module_id)
+
+    def _assign_completions(self, started: "list[int]") -> None:
+        batch = sum(
+            1 for m in self.modules if m.state is ModuleState.REJUVENATING
+        )
+        for module_id in started:
+            self.completion_q[module_id] = float(
+                self.completion_by_batch[batch]
+            )
+
+    # -- the four phases ----------------------------------------------
+    def run_round(self, k: int, draws, gi: int) -> int:
+        config = self.config
+        params = self.params
+        now = (k + 1) * config.request_period
+
+        # phase A: rejuvenation completions
+        for m, module in enumerate(self.modules):
+            if module.state is ModuleState.REJUVENATING and (
+                draws.u_done[gi, m] < self.completion_q[m]
+            ):
+                module.finish_rejuvenation()
+                self.completion_q[m] = 0.0
+                self._notify(now, m, "rejuvenation-done")
+
+        # phase B: fault channels
+        multiplier = (
+            config.campaign.multiplier_at(k * config.request_period)
+            if config.campaign is not None
+            else 1.0
+        )
+        probabilities = channel_probabilities(
+            params, config.request_period, multiplier
+        )
+        for channel, kind in enumerate(CHANNEL_ORDER):
+            eligible = [
+                m
+                for m, module in enumerate(self.modules)
+                if module.state is _CHANNEL_SOURCE[kind]
+            ]
+            if eligible and (
+                draws.u_channel[gi, channel] < probabilities[channel]
+            ):
+                victim = eligible[
+                    int(draws.u_victim[gi, channel] * len(eligible))
+                ]
+                _CHANNEL_APPLY[kind](self.modules[victim])
+                self._notify(now, victim, kind)
+
+        # phase C: the rejuvenation clock
+        drives = self.controller is not None and self.controller.drives_clock
+        if params.rejuvenation:
+            is_tick = (k + 1) % config.ticks_every == 0
+            if drives:
+                if is_tick:
+                    operational = [m.is_operational for m in self.modules]
+                    commands = self.controller.on_tick(now, operational)
+                    started = []
+                    for module_id in commands:
+                        # guard g2, re-checked live as the event loop does
+                        if self._budget_used() >= params.r:
+                            break
+                        if not self.modules[module_id].is_operational:
+                            continue
+                        self._start(module_id, now)
+                        started.append(module_id)
+                    self._assign_completions(started)
+            else:
+                if is_tick:
+                    rejuvenating = sum(
+                        1
+                        for m in self.modules
+                        if m.state is ModuleState.REJUVENATING
+                    )
+                    if rejuvenating == 0 and self.pending == 0:
+                        self.pending = params.r
+                if self.pending > 0:
+                    candidates = sorted(
+                        (
+                            m
+                            for m, module in enumerate(self.modules)
+                            if module.is_operational
+                        ),
+                        key=lambda m: (draws.u_select[gi, m], m),
+                    )
+                    started = []
+                    while (
+                        self.pending > 0
+                        and self._budget_used() < params.r
+                        and candidates
+                    ):
+                        module_id = candidates.pop(0)
+                        self._start(module_id, now)
+                        self.pending -= 1
+                        started.append(module_id)
+                    self._assign_completions(started)
+
+        # phase D: the perception request
+        truth = int(draws.u_truth[gi] * config.n_labels)
+        common = int(wrong_labels(truth, draws.u_common[gi], config.n_labels))
+        healthy = [
+            m
+            for m, module in enumerate(self.modules)
+            if module.state is ModuleState.HEALTHY
+        ]
+        error_event = bool(healthy) and draws.u_error[gi] < params.p
+        leader = (
+            healthy[int(draws.u_leader[gi] * len(healthy))]
+            if error_event
+            else None
+        )
+        outputs: "list[int | None]" = []
+        for m, module in enumerate(self.modules):
+            if module.state is ModuleState.HEALTHY:
+                errs = error_event and (
+                    m == leader or draws.u_alpha[gi, m] < params.alpha
+                )
+                outputs.append(common if errs else truth)
+            elif module.state is ModuleState.COMPROMISED:
+                if draws.u_comp_err[gi, m] < params.p_prime:
+                    outputs.append(
+                        int(
+                            wrong_labels(
+                                truth,
+                                draws.u_comp_label[gi, m],
+                                config.n_labels,
+                            )
+                        )
+                    )
+                else:
+                    outputs.append(truth)
+            else:
+                outputs.append(None)
+        tally = self.voter.tally(outputs, truth)
+        outcome = self.voter.classify(tally)
+        if self.controller is not None:
+            commands = self.controller.observe_round(
+                now, outputs, tally, outcome
+            )
+            started = []
+            for module_id in commands:
+                if self._budget_used() >= params.r:
+                    break
+                if not self.modules[module_id].is_operational:
+                    continue
+                self._start(module_id, now)
+                started.append(module_id)
+            self._assign_completions(started)
+        return CODE_OF_OUTCOME[outcome]
+
+
+def _monitor_report_of(
+    groups: "list[_ReferenceGroup]", registry
+) -> BatchMonitorReport:
+    """Assemble the chunk's monitor report from the real controllers."""
+    n = groups[0].params.n_modules
+    posterior = np.full((len(groups), n), np.nan)
+    available = np.zeros((len(groups), n), dtype=bool)
+    flagged = np.zeros((len(groups), n), dtype=bool)
+    latencies: "list[float]" = []
+    compromises = detected = censored = false_alarms = 0
+    triggers = false_triggers = rounds = errors = 0
+    for gi, group in enumerate(groups):
+        controller = group.controller
+        metrics = controller.metrics
+        for m in range(n):
+            probability = controller.estimator.probability_compromised(m)
+            if probability is not None:
+                posterior[gi, m] = probability
+            available[gi, m] = controller._available[m]
+            flagged[gi, m] = m in metrics._flagged
+        latencies.extend(metrics.detection_latencies)
+        compromises += metrics.compromises
+        detected += len(metrics.detection_latencies)
+        censored += metrics.censored
+        false_alarms += metrics.false_alarms
+        triggers += len(metrics.triggers)
+        false_triggers += sum(
+            1 for trigger in metrics.triggers if not trigger.was_compromised
+        )
+        rounds += metrics.rounds
+        errors += metrics.errors
+    return BatchMonitorReport(
+        posterior=posterior,
+        available=available,
+        flagged=flagged,
+        compromises=compromises,
+        detected=detected,
+        censored=censored,
+        false_alarms=false_alarms,
+        flags=int(registry.counter("monitor.flags").value),
+        latency_sum=float(sum(latencies)),
+        latency_max=max(latencies) if latencies else None,
+        triggers=triggers,
+        false_triggers=false_triggers,
+        rounds=rounds,
+        errors=errors,
+    )
+
+
+def simulate_reference(config: BatchConfig) -> BatchReport:
+    """Interpret the batch semantics with the scalar components."""
+    from repro.simulation.batch.voter import (
+        OUTCOME_CORRECT,
+        OUTCOME_ERROR,
+        OUTCOME_INCONCLUSIVE,
+    )
+
+    schedule = SeedSchedule(config.seed, config.parameters.n_modules)
+    started_at = _time.perf_counter()
+    chunk_outcomes: "list[np.ndarray]" = []
+    chunk_transitions: "list[dict[str, np.ndarray]]" = []
+    chunk_monitors: "list[BatchMonitorReport]" = []
+    rejuvenation_list: "list[tuple[int, int, int]]" = []
+    snapshots = []
+    for chunk_index in range(config.chunk_count):
+        g = config.chunk_groups(chunk_index)
+        offset = chunk_index * config.chunk_size
+        initial = sample_initial_states(
+            config.initial_census,
+            schedule.init_draws(chunk_index, g),
+            config.parameters.n_modules,
+        )
+        with registry_override() as registry:
+            groups = [
+                _ReferenceGroup(config, initial[gi]) for gi in range(g)
+            ]
+            outcomes = np.zeros((config.rounds, g), dtype=np.int8)
+            for k in range(config.rounds):
+                draws = schedule.round_draws(chunk_index, k, g)
+                for gi, group in enumerate(groups):
+                    before = len(group.rejuvenations)
+                    outcomes[k, gi] = group.run_round(k, draws, gi)
+                    for module_id in group.rejuvenations[before:]:
+                        rejuvenation_list.append(
+                            (k, offset + gi, module_id)
+                        )
+            if config.monitor is not None:
+                chunk_monitors.append(_monitor_report_of(groups, registry))
+        snapshots.append(registry.snapshot())
+        chunk_outcomes.append(outcomes)
+        chunk_transitions.append(
+            {
+                kind: np.array(
+                    [group.transitions[kind] for group in groups],
+                    dtype=np.int64,
+                )
+                for kind in TRANSITION_KINDS
+            }
+        )
+    registry = active_registry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+
+    outcomes = np.concatenate(chunk_outcomes, axis=1)
+    measured = outcomes[config.warmup_rounds :]
+    per_group_correct = (measured == OUTCOME_CORRECT).sum(axis=0)
+    per_group_errors = (measured == OUTCOME_ERROR).sum(axis=0)
+    per_group_inconclusive = (measured == OUTCOME_INCONCLUSIVE).sum(axis=0)
+    transitions = {
+        kind: np.concatenate([chunk[kind] for chunk in chunk_transitions])
+        for kind in TRANSITION_KINDS
+    }
+    from repro.simulation.batch.monitor import merge_monitor_reports
+
+    wall = _time.perf_counter() - started_at
+    measured_rounds = config.rounds - config.warmup_rounds
+    requests = measured_rounds * config.groups
+    total = config.rounds * config.groups
+    rejuvenation_list.sort()
+    return BatchReport(
+        groups=config.groups,
+        rounds=config.rounds,
+        warmup_rounds=config.warmup_rounds,
+        requests=requests,
+        correct=int(per_group_correct.sum()),
+        errors=int(per_group_errors.sum()),
+        inconclusive=int(per_group_inconclusive.sum()),
+        duration=measured_rounds * config.request_period,
+        seed=config.seed,
+        jobs=1,
+        wall_seconds=wall,
+        throughput=total / wall if wall > 0 else float("inf"),
+        per_group_correct=per_group_correct.astype(np.int64),
+        per_group_errors=per_group_errors.astype(np.int64),
+        per_group_inconclusive=per_group_inconclusive.astype(np.int64),
+        transitions=transitions,
+        outcomes=outcomes if config.record_outcomes else None,
+        rejuvenations=(
+            tuple(rejuvenation_list)
+            if config.record_rejuvenations
+            else None
+        ),
+        monitor=(
+            merge_monitor_reports(chunk_monitors)
+            if config.monitor is not None
+            else None
+        ),
+    )

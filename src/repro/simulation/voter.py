@@ -32,7 +32,37 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import SimulationError
 from repro.nversion.voting import VotingScheme
+
+
+def check_vote_capacity(n_slots: int, scheme: VotingScheme) -> None:
+    """Reject a vote that can never reach the scheme's threshold.
+
+    With fewer than ``threshold`` module slots even a unanimous round
+    cannot produce a ``CORRECT`` or ``ERROR`` classification — every
+    round would silently tally ``INCONCLUSIVE``, which almost always
+    means the caller paired a voting scheme with the wrong module pool.
+    Shared by the scalar :class:`Voter` and the vectorized batch tally
+    (:mod:`repro.simulation.batch.voter`).
+    """
+    if n_slots < scheme.threshold:
+        details = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(
+                {
+                    "scheme": scheme.name,
+                    "slots": n_slots,
+                    "threshold": scheme.threshold,
+                }.items()
+            )
+        )
+        raise SimulationError(
+            f"{n_slots} module slot(s) can never reach the voting threshold "
+            f"{scheme.threshold} of scheme {scheme.name!r} ({details}); "
+            "supply at least `threshold` outputs (N >= 2f+r+1 with "
+            "rejuvenation, N >= 2f+1 without) or relax the scheme"
+        )
 
 
 class VoteOutcome(enum.Enum):
@@ -110,6 +140,7 @@ class Voter:
         signals; the tally itself is agreement-model independent (the
         model only matters when *classifying* a tally).
         """
+        check_vote_capacity(len(outputs), self.scheme)
         counts = Counter(label for label in outputs if label is not None)
         votes = sum(counts.values())
         if counts:

@@ -12,7 +12,7 @@ sizings) must agree on both routes too.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.dspn.ctmc_builder import build_ctmc
@@ -147,18 +147,53 @@ fleet_shapes = st.builds(
 class TestRandomFamilies:
     @settings(max_examples=25, deadline=None)
     @given(parameters=perception_shapes)
+    # pinned: the Krylov solution's round-off negatives used to be
+    # judged on an absolute scale and rejected this well-posed net
+    @example(
+        parameters=PerceptionParameters(
+            n_modules=10,
+            f=1,
+            rejuvenation=False,
+            mttc=10.0,
+            mttf=297.0,
+            mttr=1.0,
+        )
+    )
     def test_random_perception_nets_agree(self, parameters):
         net = build_no_rejuvenation_net(parameters)
         with cache_override(enabled=False):
             dense = solve_steady_state(net, method="ctmc")
             sparse = solve_steady_state(net, method="sparse")
-        np.testing.assert_allclose(sparse.pi, dense.pi, atol=AGREEMENT, rtol=0.0)
+        # random rates reach the edge of the solver's certified 1e-8
+        # relative-residual bar, so large entries get the matching
+        # relative allowance on top of the absolute one
+        np.testing.assert_allclose(
+            sparse.pi, dense.pi, atol=AGREEMENT, rtol=1e-8
+        )
 
     @settings(max_examples=10, deadline=None)
     @given(parameters=fleet_shapes)
+    # pinned: one entry of magnitude 0.6 lands ~1e-9 from the dense
+    # value — inside the certified relative bar, outside a bare atol
+    @example(
+        parameters=FleetParameters(
+            perception=PerceptionParameters(
+                n_modules=8,
+                f=1,
+                r=1,
+                rejuvenation=True,
+                mttc=100.0,
+                rejuvenation_interval=322.0,
+            ),
+            crews=3,
+            clock_slots=3,
+        )
+    )
     def test_random_fleet_nets_agree(self, parameters):
         net = build_fleet_net(parameters)
         with cache_override(enabled=False):
             dense = solve_steady_state(net, method="ctmc")
             sparse = solve_steady_state(net, method="sparse")
-        np.testing.assert_allclose(sparse.pi, dense.pi, atol=AGREEMENT, rtol=0.0)
+        np.testing.assert_allclose(
+            sparse.pi, dense.pi, atol=AGREEMENT, rtol=1e-8
+        )

@@ -220,6 +220,24 @@ class TestBenchCli:
         spec.loader.exec_module(module)
         assert module.main(["--check"]) == 0
 
+    def test_monitoring_doc_covers_batch_workload(self):
+        """Doc-freshness: MONITORING.md documents the batch runtime.
+
+        The batch-simulation section must keep naming the benchmark id
+        the gate enforces and the CLI flag that reaches the runtime —
+        renaming either without updating the docs fails here.
+        """
+        from pathlib import Path
+
+        doc = (
+            Path(__file__).resolve().parents[2] / "docs" / "MONITORING.md"
+        ).read_text()
+        assert "## Batch simulation" in doc
+        assert "sim-batch-1m" in doc
+        assert "--batch" in doc
+        assert "test_batch_differential.py" in doc
+        assert "test_batch_oracle.py" in doc
+
     def test_committed_history_gates_clean(self, capsys):
         """The repository's own baseline accepts a current fake run.
 
@@ -237,3 +255,28 @@ class TestBenchCli:
         for entry in entries:
             assert entry["score"] > 0
             assert "manifest" in entry
+
+
+class TestSimBatchWorkload:
+    """The sim-batch-1m workload meets its advertised request rate."""
+
+    def test_simulates_a_million_requests_over_1e6_per_second(self):
+        from repro.obs.metrics import registry_override
+        from repro.obs.regress import sim_batch_config
+        from repro.simulation import simulate_batch
+
+        config = sim_batch_config()
+        assert config.groups * config.rounds >= 1_000_000
+        with registry_override():
+            report = simulate_batch(config)
+        assert report.requests == config.groups * config.rounds
+        assert report.throughput >= 1.0e6, (
+            f"sim-batch-1m ran at {report.throughput:,.0f} requests/s, "
+            "below the 1e6 acceptance bar"
+        )
+
+    def test_suite_entry_runs_the_same_config(self):
+        """The benchmark id is wired to the workload the test measures."""
+        from repro.obs.regress import _bench_sim_batch
+
+        assert BENCH_SUITE["sim-batch-1m"] is _bench_sim_batch

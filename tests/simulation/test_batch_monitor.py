@@ -1,0 +1,176 @@
+"""The monitor bridge: batch streams feed the repro.monitor estimator.
+
+The batch runtime folds per-round disagreement tallies into a
+vectorized mirror of :class:`~repro.monitor.estimator.HealthEstimator`.
+These tests pin that bridge down three ways: the vectorized filter
+against the scalar filter *directly* (bitwise posterior equality under
+a shared observation stream), the end-to-end ``monitor.*`` metric
+surface between the batch and event-loop paths, and the configuration
+validation/reporting surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.monitor.estimator import HealthEstimator
+from repro.obs.metrics import registry_override
+from repro.simulation import (
+    BatchConfig,
+    BatchMonitorConfig,
+    simulate_batch,
+    simulate_reference,
+)
+from repro.simulation.batch import BatchMonitor
+
+MONITOR_COUNTERS = (
+    "monitor.compromises",
+    "monitor.flags",
+    "monitor.false_alarms",
+    "monitor.rejuvenations",
+    "monitor.rejuvenations.false",
+    "monitor.rounds",
+    "monitor.errors",
+    "monitor.estimator.updates",
+)
+
+
+class TestVectorizedFilterAgainstScalar:
+    """BatchMonitor's filter is the scalar filter, run over arrays."""
+
+    def test_posterior_bitwise_equal_under_shared_stream(
+        self, six_version_parameters
+    ):
+        n = six_version_parameters.n_modules
+        rng = np.random.default_rng(17)
+        dt = 2.0
+        with registry_override():
+            batch = BatchMonitor(
+                six_version_parameters, BatchMonitorConfig(), n_groups=1
+            )
+            scalar = HealthEstimator(six_version_parameters)
+            was_up = np.ones(n, dtype=bool)
+            for k in range(200):
+                now = (k + 1) * dt
+                participated = rng.random(n) < 0.9
+                deviated = participated & (rng.random(n) < 0.2)
+                batch.observe_round(
+                    now,
+                    participated[None, :],
+                    deviated[None, :],
+                    np.zeros(1, dtype=np.int8),
+                )
+                # mirror the availability sync the batch monitor applies
+                for module in np.nonzero(was_up & ~participated)[0]:
+                    scalar.observe_unavailable(int(module), now)
+                for module in np.nonzero(~was_up & participated)[0]:
+                    scalar.observe_return(int(module), now)
+                was_up = participated.copy()
+                for module in np.nonzero(participated)[0]:
+                    scalar.update(int(module), bool(deviated[module]), now)
+                posterior = batch.report().posterior
+                for module in range(n):
+                    expected = scalar.probability_compromised(module)
+                    actual = posterior[0, module]
+                    if participated[module]:
+                        assert actual == expected, (k, module)
+                    else:
+                        assert expected is None and np.isnan(actual), (k, module)
+
+    def test_unavailability_resets_belief(self, six_version_parameters):
+        n = six_version_parameters.n_modules
+        with registry_override():
+            batch = BatchMonitor(
+                six_version_parameters, BatchMonitorConfig(), n_groups=1
+            )
+            everyone = np.ones((1, n), dtype=bool)
+            nobody = np.zeros((1, n), dtype=bool)
+            outcome = np.zeros(1, dtype=np.int8)
+            batch.observe_round(2.0, everyone, everyone, outcome)
+            suspicious = batch.report().posterior[0, 0]
+            assert suspicious > 0.0
+            # module 0 goes down, then comes back: belief restarts at 0
+            down = everyone.copy()
+            down[0, 0] = False
+            batch.observe_round(4.0, down, nobody, outcome)
+            assert np.isnan(batch.report().posterior[0, 0])
+            batch.observe_round(6.0, everyone, nobody, outcome)
+            assert batch.report().posterior[0, 0] < suspicious
+
+
+class TestMetricSurfaceParity:
+    """monitor.* counters and histograms agree between the two paths."""
+
+    @pytest.mark.parametrize("mode", ["observe", "targeted", "threshold"])
+    def test_counters_and_disagreement_histogram(
+        self, six_version_parameters, mode
+    ):
+        config = BatchConfig(
+            parameters=six_version_parameters,
+            groups=24,
+            rounds=400,
+            request_period=2.0,
+            seed=23,
+            chunk_size=8,
+            monitor=BatchMonitorConfig(mode=mode),
+        ).with_stationary_init()
+        with registry_override() as batch_registry:
+            batch = simulate_batch(config)
+        with registry_override() as reference_registry:
+            reference = simulate_reference(config)
+        for name in MONITOR_COUNTERS:
+            assert (
+                batch_registry.counter(name).value
+                == reference_registry.counter(name).value
+            ), name
+        batch_hist = batch_registry.histogram("monitor.disagreement")
+        reference_hist = reference_registry.histogram("monitor.disagreement")
+        assert batch_hist.count == reference_hist.count
+        assert batch_hist.buckets == reference_hist.buckets
+        # totals accumulate in different orders; equality is approximate
+        assert batch_hist.total == pytest.approx(reference_hist.total)
+        np.testing.assert_array_equal(
+            batch.monitor.posterior, reference.monitor.posterior
+        )
+        assert batch.monitor.summary() == reference.monitor.summary()
+
+    def test_summary_counts_follow_report(self, six_version_parameters):
+        config = BatchConfig(
+            parameters=six_version_parameters,
+            groups=16,
+            rounds=600,
+            request_period=2.0,
+            seed=31,
+            chunk_size=16,
+            monitor=BatchMonitorConfig(mode="targeted"),
+        )
+        with registry_override():
+            report = simulate_batch(config)
+        summary = report.monitor.summary()
+        assert summary.compromises == report.monitor.compromises
+        assert summary.triggers == report.monitor.triggers
+        assert 0 <= report.monitor.detected <= report.monitor.compromises
+
+
+class TestConfigurationSurface:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError, match="monitor mode"):
+            BatchMonitorConfig(mode="psychic")
+
+    def test_drive_modes_require_rejuvenation(self, four_version_parameters):
+        with pytest.raises(SimulationError, match="rejuvenation disabled"):
+            BatchConfig(
+                parameters=four_version_parameters,
+                groups=4,
+                rounds=10,
+                monitor=BatchMonitorConfig(mode="threshold"),
+            )
+
+    def test_observe_mode_never_drives(self, four_version_parameters):
+        config = BatchConfig(
+            parameters=four_version_parameters,
+            groups=4,
+            rounds=10,
+            monitor=BatchMonitorConfig(mode="observe"),
+        )
+        assert not config.monitor.drives_clock

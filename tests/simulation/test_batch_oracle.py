@@ -1,0 +1,159 @@
+"""The statistical oracle: batch E[R] against the analytic Eq. 1 value.
+
+Two flavours, both deterministic under fixed seeds:
+
+* **Snapshot oracle** — groups are drawn i.i.d. from the analytic
+  stationary census and answer a single request each, so the measured
+  error count is a genuine Binomial sample and the Wilson interval is
+  exact.  The analytic value must land inside a 99% interval at
+  n = 262144 (half-width ≈ 2e-3 · σ-units per configuration).
+* **Free-running oracle** — groups evolve over four full rejuvenation
+  periods (2400 s).  Successive requests of one group are strongly
+  autocorrelated (the fault process mixes on the MTTC timescale), so
+  the interval is computed at the *effective* sample size — the number
+  of independent trajectories — rather than the raw request count.
+
+The analytic side uses the normalized-combinatorics reliability
+function (:class:`GeneralizedReliability`), the exact expectation of
+the runtime's sampling model, matching the precedent of
+``tests/simulation/test_runtime.py``; the paper-verbatim appendix
+formulas differ in their printed coefficients.  States below the voting
+threshold contribute R = 1 under the safe-skip *measurement* (a lost
+quorum produces no output, hence no error), so the contraction adjusts
+those states accordingly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nversion.reliability import GeneralizedReliability
+from repro.perception.evaluation import evaluate
+from repro.simulation import BatchConfig, simulate_batch
+from repro.verify.oracles import wilson_interval
+from repro.verify.targets import experiment_targets
+
+#: (experiment id, target name) pairs pinned by the oracle — three
+#: registry experiments, six configurations.
+ORACLE_TARGETS = [
+    ("table2-defaults", "table2-defaults/4v"),
+    ("table2-defaults", "table2-defaults/6v"),
+    ("fig3", "fig3/6v"),
+    ("scaling", "scaling/5v-no-rejuvenation"),
+    ("scaling", "scaling/7v-rejuvenation"),
+    ("scaling", "scaling/9v-f2-rejuvenation"),
+]
+
+
+def _target_parameters(experiment_id: str, name: str):
+    for target in experiment_targets(experiment_id):
+        if target.name == name:
+            return target.parameters
+    raise AssertionError(f"target {name!r} not in experiment {experiment_id!r}")
+
+
+def safe_skip_expected_reliability(parameters) -> float:
+    """Eq. 1 contraction matching the runtime's safe-skip measurement."""
+    threshold = parameters.voting_scheme.threshold
+    natural = GeneralizedReliability(
+        n_modules=parameters.n_modules,
+        threshold=threshold,
+        p=parameters.p,
+        p_prime=parameters.p_prime,
+        alpha=parameters.alpha,
+    )
+    result = evaluate(parameters, reliability=natural)
+    expected = 0.0
+    for state, probability in result.state_probabilities.items():
+        operational = state.healthy + state.compromised
+        reliability = (
+            1.0  # no quorum, no output, no error
+            if operational < threshold
+            else natural(state.healthy, state.compromised, state.unavailable)
+        )
+        expected += probability * reliability
+    return expected
+
+
+class TestSnapshotOracle:
+    """i.i.d. stationary draws: the Wilson interval is exact."""
+
+    @pytest.mark.parametrize("experiment_id,name", ORACLE_TARGETS)
+    def test_empirical_inside_wilson_interval(self, experiment_id, name):
+        parameters = _target_parameters(experiment_id, name)
+        analytic = safe_skip_expected_reliability(parameters)
+        config = BatchConfig(
+            parameters=parameters,
+            groups=262144,
+            rounds=1,
+            request_period=0.5,
+            seed=1,
+            chunk_size=65536,
+        ).with_stationary_init()
+        report = simulate_batch(config)
+        successes = report.requests - report.errors
+        low, high = wilson_interval(
+            successes, report.requests, confidence=0.99
+        )
+        assert low <= analytic <= high, (
+            f"{name}: analytic E[R]={analytic:.6f} outside "
+            f"[{low:.6f}, {high:.6f}] (empirical "
+            f"{successes / report.requests:.6f})"
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_deterministic_across_jobs(self, jobs):
+        parameters = _target_parameters("table2-defaults", "table2-defaults/6v")
+        analytic = safe_skip_expected_reliability(parameters)
+        config = BatchConfig(
+            parameters=parameters,
+            groups=262144,
+            rounds=1,
+            request_period=0.5,
+            seed=1,
+            chunk_size=65536,
+        ).with_stationary_init()
+        report = simulate_batch(config, jobs=jobs)
+        # byte-identical at every worker count: the error count is a
+        # pure function of the config
+        assert report.errors == simulate_batch(config).errors
+        successes = report.requests - report.errors
+        low, high = wilson_interval(
+            successes, report.requests, confidence=0.99
+        )
+        assert low <= analytic <= high
+
+
+class TestFreeRunningOracle:
+    """Dynamics-exercising runs, intervals at the effective sample size."""
+
+    @pytest.mark.parametrize(
+        "experiment_id,name",
+        [
+            ("table2-defaults", "table2-defaults/4v"),
+            ("table2-defaults", "table2-defaults/6v"),
+            ("scaling", "scaling/9v-f2-rejuvenation"),
+        ],
+    )
+    def test_empirical_inside_effective_interval(self, experiment_id, name):
+        parameters = _target_parameters(experiment_id, name)
+        analytic = safe_skip_expected_reliability(parameters)
+        config = BatchConfig(
+            parameters=parameters,
+            groups=1024,
+            rounds=1200,  # 2400 s = four rejuvenation-clock periods
+            request_period=2.0,
+            seed=1,
+            chunk_size=1024,
+        ).with_stationary_init()
+        report = simulate_batch(config)
+        empirical = report.reliability_safe_skip
+        # effective trials = independent trajectories; requests within
+        # one group are autocorrelated on the MTTC timescale
+        effective = config.groups
+        low, high = wilson_interval(
+            round(empirical * effective), effective, confidence=0.99
+        )
+        assert low <= analytic <= high, (
+            f"{name}: analytic E[R]={analytic:.6f} outside "
+            f"[{low:.6f}, {high:.6f}] (empirical {empirical:.6f})"
+        )

@@ -1,8 +1,11 @@
 """Tests for the runtime voter."""
 
+import numpy as np
 import pytest
 
+from repro.errors import SimulationError
 from repro.nversion.voting import VotingScheme
+from repro.simulation.batch.voter import NO_OUTPUT, tally_rounds
 from repro.simulation.voter import AgreementModel, VoteOutcome, Voter
 
 
@@ -126,3 +129,43 @@ class TestRejuvenationScheme:
         assert voter.decide(outputs, ground_truth=7) is VoteOutcome.CORRECT
         outputs = [7, 7, 7, 1, 1, None]
         assert voter.decide(outputs, ground_truth=7) is VoteOutcome.INCONCLUSIVE
+
+
+class TestVoteCapacity:
+    """N < 2f+r+1 slots can never reach the threshold: reject eagerly."""
+
+    def test_tally_rejects_undersized_rounds(self):
+        voter = bft_voter()  # threshold 3
+        with pytest.raises(SimulationError) as excinfo:
+            voter.tally([7, 7], ground_truth=7)
+        message = str(excinfo.value)
+        assert "2 module slot(s)" in message
+        assert "threshold 3" in message
+        # details are sorted so the error reads the same on every run
+        assert message.index("scheme=") < message.index("slots=")
+        assert message.index("slots=") < message.index("threshold=")
+        assert "N >= 2f+r+1" in message
+
+    def test_tally_accepts_exactly_threshold_slots(self):
+        tally = bft_voter().tally([7, 7, 7], ground_truth=7)
+        assert tally.winner == 7
+        assert tally.correct == 3
+
+    def test_missing_outputs_still_count_as_slots(self):
+        """Capacity is about slots, not cast votes: a round where every
+        module abstains is a valid (inconclusive) round."""
+        tally = bft_voter().tally([None, None, None, None], ground_truth=7)
+        assert tally.votes == 0
+
+    def test_batch_tally_rejects_undersized_rounds(self):
+        labels = np.array([[7, 7]])
+        truth = np.array([7])
+        with pytest.raises(SimulationError, match="voting threshold"):
+            tally_rounds(labels, truth, 43, VotingScheme.bft(1))
+
+    def test_batch_tally_accepts_exactly_threshold_slots(self):
+        labels = np.array([[7, 7, 7], [7, 2, NO_OUTPUT]])
+        truth = np.array([7, 7])
+        tally = tally_rounds(labels, truth, 43, VotingScheme.bft(1))
+        assert tally.correct.tolist() == [3, 1]
+        assert tally.winner.tolist() == [7, 2]
