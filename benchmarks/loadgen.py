@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """Load-generation CLI for the reliability service (``repro serve``).
 
-Drives a running server with the :mod:`repro.serve.loadgen` harness and
-writes a latency-histogram artifact.  Exit status is the assertion
-surface for CI::
+Thin shim: the implementation lives in :mod:`repro.serve.loadgen`
+(``main``), so the harness and its CLI ship inside the package and this
+file only arranges ``sys.path`` for repo-checkout invocations::
 
     # throughput smoke: sustained cache-hit evaluations per second
     python benchmarks/loadgen.py --url http://127.0.0.1:8080 \
@@ -17,157 +17,18 @@ surface for CI::
     # open-loop latency at a controlled offered load
     python benchmarks/loadgen.py --url http://127.0.0.1:8080 \
         --mode open --rate 500 --requests 2000
-
-The coalescing proof checks both sides: the client-side ``cache`` tally
-(one ``miss``, ``k-1`` ``coalesced``/``hit``) and the server's
-``repro_serve_solve_executed_total`` counter scraped from ``/metrics``
-before and after.
 """
 
 from __future__ import annotations
 
-import argparse
-import asyncio
-import json
-import re
 import sys
 from pathlib import Path
-from urllib.parse import urlsplit
 
 REPO = Path(__file__).resolve().parents[1]
 if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
 
-from repro.serve.client import request as http_request  # noqa: E402
-from repro.serve.loadgen import coalesce_proof, run_load  # noqa: E402
-
-_SOLVES_LINE = re.compile(
-    r"^repro_serve_solve_executed_total ([0-9.eE+-]+)$", re.MULTILINE
-)
-
-
-def parse_url(url: str) -> tuple[str, int]:
-    split = urlsplit(url if "//" in url else f"http://{url}")
-    if split.hostname is None or split.port is None:
-        raise SystemExit(f"need host and port in --url, got {url!r}")
-    return split.hostname, split.port
-
-
-async def scrape_solves(host: str, port: int) -> float:
-    response = await http_request(host, port, "GET", "/metrics")
-    if response.status != 200:
-        raise SystemExit(f"/metrics answered {response.status}")
-    match = _SOLVES_LINE.search(response.body.decode())
-    return float(match.group(1)) if match else 0.0
-
-
-async def main_async(args: argparse.Namespace) -> int:
-    host, port = parse_url(args.url)
-    spec = json.loads(args.spec) if args.spec else None
-    artifact: dict = {}
-    failed = False
-
-    if args.coalesce_proof:
-        before = await scrape_solves(host, port)
-        tally = await coalesce_proof(
-            host, port, k=args.coalesce_proof, spec=spec
-        )
-        after = await scrape_solves(host, port)
-        tally["server_solves_executed"] = after - before
-        tally["ok"] = tally["ok"] and after - before == 1.0
-        artifact["coalesce_proof"] = tally
-        print(
-            f"coalesce proof (k={args.coalesce_proof}): "
-            f"{tally['by_cache']} server solves {after - before:.0f} "
-            f"-> {'ok' if tally['ok'] else 'FAILED'}"
-        )
-        if not tally["ok"]:
-            failed = True
-    else:
-        result = await run_load(
-            host,
-            port,
-            requests=args.requests,
-            concurrency=args.concurrency,
-            mode=args.mode,
-            rate=args.rate,
-            spec=spec,
-        )
-        summary = result.as_dict()
-        artifact["load"] = summary
-        latency = summary["latency"]
-        print(
-            f"{args.mode}-loop: {result.requests} requests in "
-            f"{result.seconds:.2f}s -> {result.throughput:.0f} eval/s  "
-            f"(errors {result.errors}, digest failures "
-            f"{result.digest_failures})"
-        )
-        print(
-            f"latency p50 <= {latency['p50'] * 1000:.2f} ms  "
-            f"p90 <= {latency['p90'] * 1000:.2f} ms  "
-            f"p99 <= {latency['p99'] * 1000:.2f} ms  "
-            f"(upper bounds; max {latency['max'] * 1000:.2f} ms)"
-        )
-        print(f"cache mix: {summary['by_cache']}")
-        if result.errors:
-            print(f"FAILED: {result.errors} errored requests", file=sys.stderr)
-            failed = True
-        if args.min_throughput and result.throughput < args.min_throughput:
-            print(
-                f"FAILED: throughput {result.throughput:.0f} eval/s below "
-                f"the {args.min_throughput:.0f} floor",
-                file=sys.stderr,
-            )
-            failed = True
-
-    if args.out:
-        Path(args.out).write_text(
-            json.dumps(artifact, indent=2, sort_keys=True) + "\n"
-        )
-        print(f"artifact written to {args.out}")
-    return 1 if failed else 0
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--url", default="http://127.0.0.1:8080", help="service base URL"
-    )
-    parser.add_argument(
-        "--requests", type=int, default=2000, help="requests to issue"
-    )
-    parser.add_argument(
-        "--concurrency", type=int, default=32,
-        help="persistent connections driving the load",
-    )
-    parser.add_argument(
-        "--mode", choices=("closed", "open"), default="closed",
-        help="closed: next request on completion; open: fixed arrival rate",
-    )
-    parser.add_argument(
-        "--rate", type=float, default=None,
-        help="open-loop arrival rate in req/s",
-    )
-    parser.add_argument(
-        "--spec", default=None,
-        help="request spec as JSON (default: the 4-version preset)",
-    )
-    parser.add_argument(
-        "--coalesce-proof", type=int, default=0, metavar="K",
-        help="instead of a load run, fire K identical requests against a "
-        "cold fingerprint and assert exactly one solve executed",
-    )
-    parser.add_argument(
-        "--min-throughput", type=float, default=0.0, metavar="T",
-        help="fail (exit 1) below T completed evaluations per second",
-    )
-    parser.add_argument(
-        "--out", default=None, metavar="FILE",
-        help="write the latency-histogram artifact JSON to FILE",
-    )
-    args = parser.parse_args(argv)
-    return asyncio.run(main_async(args))
-
+from repro.serve.loadgen import main  # noqa: E402
 
 if __name__ == "__main__":
     raise SystemExit(main())

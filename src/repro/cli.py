@@ -4,6 +4,7 @@ Usage (also available as ``python -m repro``)::
 
     repro analyze --six                        # E[R] + state breakdown
     repro serve --port 8080 --workers 4        # reliability-as-a-service
+    repro top --url http://127.0.0.1:8080      # live operations console
     repro analyze --versions 9 --f 2 --rejuvenation
     repro sweep --six --parameter p_prime --values 0.1,0.3,0.5,0.8
     repro experiments fig3 fig4a               # regenerate paper artifacts
@@ -597,6 +598,50 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_top(args: argparse.Namespace) -> int:
+    import sys
+
+    from repro.obs.top import follow_file, follow_url, render_path
+
+    if bool(args.events) == bool(args.url):
+        raise SystemExit("give exactly one of --events FILE or --url URL")
+    options = {"window": args.window, "bucket": args.bucket}
+    if args.url:
+        import asyncio
+        from urllib.parse import urlsplit
+
+        split = urlsplit(args.url if "//" in args.url else f"http://{args.url}")
+        if split.hostname is None or split.port is None:
+            raise SystemExit(f"need host and port in --url, got {args.url!r}")
+        try:
+            asyncio.run(
+                follow_url(
+                    split.hostname,
+                    split.port,
+                    out=sys.stdout,
+                    width=args.width,
+                    **options,
+                )
+            )
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if not args.follow:
+        print(render_path(args.events, width=args.width, **options))
+        return 0
+    try:
+        follow_file(
+            args.events,
+            out=sys.stdout,
+            width=args.width,
+            interval=args.interval,
+            **options,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _command_dot(args: argparse.Namespace) -> int:
     from repro.perception.architecture import PerceptionSystem
 
@@ -923,6 +968,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_events_argument(serve)
     serve.set_defaults(handler=_command_serve)
+
+    top = subparsers.add_parser(
+        "top",
+        help="terminal operations console over an events JSONL stream "
+        "or a running server",
+    )
+    top.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="JSONL event stream to read (a --events file)",
+    )
+    top.add_argument(
+        "--url", default=None,
+        help="server base URL; tails its GET /events stream live",
+    )
+    top.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing --events FILE and redrawing (default: one frame)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="redraw interval in seconds when following",
+    )
+    top.add_argument(
+        "--width", type=int, default=72, help="frame width in columns"
+    )
+    top.add_argument(
+        "--window", type=float, default=60.0,
+        help="trailing throughput window in seconds",
+    )
+    top.add_argument(
+        "--bucket", type=float, default=5.0,
+        help="sparkline time-bucket width in seconds",
+    )
+    top.set_defaults(handler=_command_top)
 
     dot = subparsers.add_parser("dot", help="emit Graphviz DOT of the DSPN")
     _add_parameter_arguments(dot)

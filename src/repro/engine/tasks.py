@@ -14,6 +14,7 @@ from repro.dspn import solve_steady_state
 from repro.engine.cache import active_cache
 from repro.engine.hashing import reliability_fingerprint, reward_cache_key
 from repro.nversion.conventions import OutputConvention
+from repro.obs.tracer import span
 from repro.nversion.reliability import ReliabilityFunction
 from repro.perception.evaluation import default_reliability_function, evaluate
 from repro.perception.no_rejuvenation import build_no_rejuvenation_net
@@ -68,18 +69,27 @@ def expected_reliability(
         if reliability is not None
         else default_reliability_function(parameters, convention=convention)
     )
-    key, hit = _cached_reward(
-        _build_net(parameters), resolved, max_states=max_states
-    )
-    if hit is not None:
-        return hit
-    value = evaluate(
-        parameters,
-        reliability=resolved,
-        max_states=max_states,
-    ).expected_reliability
-    _store_reward(key, value)
-    return value
+    with span(
+        "engine.expected_reliability",
+        n_modules=parameters.n_modules,
+        rejuvenation=parameters.rejuvenation,
+    ) as sp:
+        key, hit = _cached_reward(
+            _build_net(parameters), resolved, max_states=max_states
+        )
+        if hit is not None:
+            # a measure, not an attr: per-process cache state differs
+            # between execution modes
+            sp.set(reward_cache="hit")
+            return hit
+        sp.set(reward_cache="off" if key is None else "miss")
+        value = evaluate(
+            parameters,
+            reliability=resolved,
+            max_states=max_states,
+        ).expected_reliability
+        _store_reward(key, value)
+        return value
 
 
 def variant_reliability(

@@ -99,6 +99,11 @@ class MonitorController:
         """Whether the controller replaces the runtime's rejuvenator."""
         return not self.policy.passive
 
+    @property
+    def availability(self) -> list[bool]:
+        """Current per-module availability, as last observed (read-only)."""
+        return list(self._available)
+
     def begin_run(self) -> None:
         """Reset all monitoring state (called by the runtime at t=0)."""
         self.window.reset()

@@ -107,7 +107,7 @@ def chrome_trace(
 # ----------------------------------------------------------------------
 
 #: Quantile bounds exported per histogram (plus count and sum).
-SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+SUMMARY_QUANTILES = (0.5, 0.9, 0.95, 0.99)
 
 _METRIC_PREFIX = "repro_"
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")

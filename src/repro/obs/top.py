@@ -1,0 +1,326 @@
+"""``repro top``: a terminal operations console over the event stream.
+
+The PR 5 ``--events`` JSONL firehose (and the server's ``GET /events``
+tail) answers *what is happening right now* one line at a time; this
+module folds those lines into a :class:`TopState` and renders the
+operator's view: throughput, latency quantiles, cache hit ratio,
+coalescing savings, queue depth, job progress, and the runtime
+monitor's flag/rejuvenation activity as sparklines.
+
+Determinism contract: :meth:`TopState.observe` and :func:`render` never
+read a clock — every number in a frame derives from event timestamps
+alone.  Under a :class:`~repro.obs.clock.ManualClock` (or any recorded
+stream) the same JSONL therefore renders the same frame byte for byte,
+which is how ``tests/obs/test_top.py`` snapshot-tests frames against a
+committed fixture.  Only the *live* drivers (:func:`follow_file`,
+:func:`follow_url`) touch wall time, and only to pace redraws.
+
+Rendering is plain ANSI (clear + home between frames), not curses: the
+frame is an ordinary string, printable anywhere, and snapshotable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, TextIO
+
+from repro.obs.metrics import Histogram
+
+#: Sparkline glyphs, lowest to highest bucket occupancy.
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: ANSI: cursor home + clear screen (one redraw in follow mode).
+CLEAR = "\x1b[H\x1b[2J"
+
+#: Serve events marking one completed evaluation (exactly one of these
+#: is emitted per 200 solve/verify response).
+COMPLETION_EVENTS = ("serve.cache.hit", "serve.miss", "serve.coalesced")
+
+
+@dataclass
+class TopState:
+    """Everything the dashboard knows, folded from an event stream."""
+
+    window: float = 60.0  # trailing throughput window (seconds)
+    bucket: float = 5.0  # sparkline bucket width (seconds)
+    buckets_shown: int = 16
+
+    events_seen: int = 0
+    first_ts: "float | None" = None
+    last_ts: float = 0.0
+    completions: "deque[float]" = field(default_factory=deque)
+    latency: Histogram = field(default_factory=Histogram)
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    executed: int = 0
+    inflight: int = 0
+    backpressure: int = 0
+    ratelimited: int = 0
+    jobs_started: int = 0
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    points_done: int = 0
+    flags: int = 0
+    unflags: int = 0
+    rejuvenations: int = 0
+    series: dict[str, dict[int, int]] = field(
+        default_factory=lambda: {"activity": {}, "flags": {}, "rejuv": {}}
+    )
+
+    # ------------------------------------------------------------------
+    # folding
+    # ------------------------------------------------------------------
+    def _mark(self, name: str, ts: float) -> None:
+        buckets = self.series[name]
+        index = int(ts // self.bucket)
+        buckets[index] = buckets.get(index, 0) + 1
+
+    def _complete(self, ts: float) -> None:
+        self.completions.append(ts)
+        self._mark("activity", ts)
+        while self.completions and self.completions[0] < ts - self.window:
+            self.completions.popleft()
+
+    def observe(self, event: dict[str, Any]) -> None:
+        """Fold one event dict in (unknown kinds count but do nothing)."""
+        self.events_seen += 1
+        ts = float(event.get("ts", self.last_ts) or 0.0)
+        if self.first_ts is None:
+            self.first_ts = ts
+        self.last_ts = max(self.last_ts, ts)
+        kind = event.get("event", "")
+        if kind == "serve.cache.hit":
+            self.hits += 1
+            self._complete(ts)
+        elif kind == "serve.miss":
+            self.misses += 1
+            self._complete(ts)
+        elif kind == "serve.coalesced":
+            self.coalesced += 1
+            self._complete(ts)
+        elif kind == "serve.solve.start":
+            self.executed += 1
+            self.inflight += 1
+        elif kind == "serve.solve.done":
+            self.inflight = max(0, self.inflight - 1)
+            seconds = event.get("seconds")
+            if seconds is not None:
+                self.latency.observe(float(seconds))
+        elif kind == "serve.backpressure":
+            self.backpressure += 1
+        elif kind == "serve.ratelimited":
+            self.ratelimited += 1
+        elif kind == "job.start":
+            self.jobs_started += 1
+        elif kind == "job.done":
+            self.jobs_done += 1
+        elif kind == "job.failed":
+            self.jobs_failed += 1
+        elif kind == "sweep.point.done":
+            self.points_done += 1
+            if "job" not in event:
+                # a CLI sweep stream: points are the workload itself
+                # (server sweeps already count via their serve.* events)
+                self._complete(ts)
+        elif kind == "monitor.flag":
+            self.flags += 1
+            self._mark("flags", ts)
+        elif kind == "monitor.unflag":
+            self.unflags += 1
+        elif kind == "monitor.rejuvenation":
+            self.rejuvenations += 1
+            self._mark("rejuv", ts)
+
+    def observe_line(self, line: str) -> None:
+        line = line.strip()
+        if line:
+            self.observe(json.loads(line))
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        """Completed evaluations per second over the trailing window."""
+        if not self.completions:
+            return 0.0
+        span = min(self.window, max(self.last_ts - (self.first_ts or 0.0), 0.0))
+        return len(self.completions) / max(span, 1e-9)
+
+    @property
+    def hit_ratio(self) -> float:
+        served = self.hits + self.misses + self.coalesced
+        return (self.hits + self.coalesced) / served if served else 0.0
+
+    @property
+    def jobs_live(self) -> int:
+        return max(0, self.jobs_started - self.jobs_done - self.jobs_failed)
+
+    def sparkline(self, name: str) -> str:
+        """The last ``buckets_shown`` time buckets of a series, as glyphs."""
+        buckets = self.series[name]
+        end = int(self.last_ts // self.bucket)
+        start = end - self.buckets_shown + 1
+        counts = [buckets.get(index, 0) for index in range(start, end + 1)]
+        peak = max(counts) if any(counts) else 0
+        if not peak:
+            return BLOCKS[0] * len(counts)
+        scale = len(BLOCKS) - 1
+        return "".join(
+            BLOCKS[0]
+            if count == 0
+            else BLOCKS[max(1, round(count / peak * scale))]
+            for count in counts
+        )
+
+
+def state_from_lines(lines: Iterable[str], **kwargs: Any) -> TopState:
+    """A :class:`TopState` folded from JSONL lines."""
+    state = TopState(**kwargs)
+    for line in lines:
+        state.observe_line(line)
+    return state
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}ms"
+
+
+def render(state: TopState, *, width: int = 72) -> str:
+    """One dashboard frame — a pure function of ``state``.
+
+    Every line is truncated to ``width``; the result carries no ANSI
+    codes (the follow drivers prepend :data:`CLEAR` themselves), so a
+    frame is equally at home in a terminal, a test, or a CI artifact.
+    """
+    span = state.last_ts - (state.first_ts or 0.0) if state.events_seen else 0.0
+    latency = state.latency
+    if latency.count:
+        latency_line = (
+            f"latency    p50<={_ms(latency.quantile(0.5))} "
+            f"p95<={_ms(latency.quantile(0.95))} "
+            f"p99<={_ms(latency.quantile(0.99))} "
+            f"max {_ms(latency.max)} (n={latency.count})"
+        )
+    else:
+        latency_line = "latency    (no completed solves yet)"
+    lines = [
+        f"repro top · events {state.events_seen} · span {span:.1f}s",
+        (
+            f"throughput {state.throughput:.1f} eval/s "
+            f"(window {state.window:.0f}s) · "
+            f"evaluations {state.hits + state.misses + state.coalesced}"
+        ),
+        latency_line,
+        (
+            f"cache      hit {state.hit_ratio * 100:.1f}% · "
+            f"hits {state.hits} coalesced {state.coalesced} "
+            f"misses {state.misses} · saved {state.coalesced} solves"
+        ),
+        (
+            f"queue      in-flight {state.inflight} · "
+            f"executed {state.executed} · "
+            f"backpressure {state.backpressure} · "
+            f"rate-limited {state.ratelimited}"
+        ),
+        (
+            f"jobs       running {state.jobs_live} · done {state.jobs_done} "
+            f"· failed {state.jobs_failed} · points {state.points_done}"
+        ),
+        (
+            f"monitor    flags {state.flags} "
+            f"(unflagged {state.unflags}) · "
+            f"rejuvenations {state.rejuvenations}"
+        ),
+        f"activity   {state.sparkline('activity')}",
+        f"flags      {state.sparkline('flags')}",
+        f"rejuv      {state.sparkline('rejuv')}",
+    ]
+    return "\n".join(line[:width] for line in lines)
+
+
+def render_path(path: Any, *, width: int = 72, **kwargs: Any) -> str:
+    """One frame from a JSONL file (the snapshot/CI entry point)."""
+    with open(path, "r", encoding="utf-8") as stream:
+        state = state_from_lines(stream, **kwargs)
+    return render(state, width=width)
+
+
+# ----------------------------------------------------------------------
+# live drivers (the only clock-reading code in this module)
+# ----------------------------------------------------------------------
+def follow_file(
+    path: Any,
+    *,
+    out: TextIO,
+    width: int = 72,
+    interval: float = 1.0,
+    max_frames: "int | None" = None,
+    **kwargs: Any,
+) -> int:
+    """Tail a JSONL file, redrawing a frame every ``interval`` seconds.
+
+    Runs until interrupted (or ``max_frames`` frames, for tests).
+    Returns the number of frames drawn.
+    """
+    import time
+
+    state = TopState(**kwargs)
+    frames = 0
+    with open(path, "r", encoding="utf-8") as stream:
+        while True:
+            for line in stream:  # drains to current EOF, then stops
+                state.observe_line(line)
+            out.write(CLEAR + render(state, width=width) + "\n")
+            out.flush()
+            frames += 1
+            if max_frames is not None and frames >= max_frames:
+                return frames
+            time.sleep(interval)
+
+
+async def follow_url(
+    host: str,
+    port: int,
+    *,
+    out: TextIO,
+    width: int = 72,
+    interval: float = 0.5,
+    max_frames: "int | None" = None,
+    **kwargs: Any,
+) -> int:
+    """Tail a server's ``GET /events`` stream, redrawing as events land.
+
+    Redraws are paced by wall time (at most one per ``interval``
+    seconds) plus a final frame when the stream ends.  Returns the
+    number of frames drawn.
+    """
+    import time
+
+    from repro.serve.client import stream_lines
+
+    state = TopState(**kwargs)
+    frames = 0
+    last_draw = 0.0
+
+    def draw() -> None:
+        nonlocal frames, last_draw
+        out.write(CLEAR + render(state, width=width) + "\n")
+        out.flush()
+        frames += 1
+        last_draw = time.monotonic()
+
+    async for line in stream_lines(host, port, "/events"):
+        state.observe_line(line)
+        if time.monotonic() - last_draw >= interval:
+            draw()
+            if max_frames is not None and frames >= max_frames:
+                return frames
+    draw()
+    return frames

@@ -37,7 +37,7 @@ analogue of the engine cache's verified entries.
 from __future__ import annotations
 
 import asyncio
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -48,9 +48,9 @@ from repro.engine.sweep import resolve_jobs
 from repro.errors import ReproError
 from repro.obs import clock as _clockmod
 from repro.obs.events import EventStream
-from repro.obs.export import openmetrics
+from repro.obs.export import chrome_trace, openmetrics
 from repro.obs.manifest import collect_manifest
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, active_registry
 from repro.serve.coalesce import Coalescer
 from repro.serve.http import (
     ProtocolError,
@@ -60,12 +60,15 @@ from repro.serve.http import (
     write_response,
 )
 from repro.serve.jobs import Job, JobStore
+from repro.serve.monitorview import monitor_snapshot
 from repro.serve.ratelimit import RateLimiter
+from repro.serve.trace import PointTrace, TraceStore, assemble_trace
 from repro.serve.worker import (
     WORKERS,
     SpecError,
     fingerprint_spec,
     init_worker,
+    instrumented_worker,
     result_digest,
 )
 
@@ -83,6 +86,30 @@ SWEEPABLE_KEYS = (
 )
 
 _OPENMETRICS_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: Fixed route labels for the per-endpoint SLO latency histograms
+#: (``serve.endpoint.<label>.seconds``); prefix routes map below.
+_ENDPOINT_LABELS = {
+    "/healthz": "healthz",
+    "/metrics": "metrics",
+    "/monitor": "monitor",
+    "/events": "events",
+    "/v1/solve": "solve",
+    "/v1/verify": "verify",
+    "/v1/sweep": "sweep",
+}
+
+
+def _endpoint_label(path: str) -> str:
+    """The bounded-cardinality histogram label of a request path."""
+    label = _ENDPOINT_LABELS.get(path)
+    if label is not None:
+        return label
+    if path.startswith("/v1/jobs/"):
+        return "jobs"
+    if path.startswith("/trace/"):
+        return "trace"
+    return "other"
 
 
 class BackPressure(Exception):
@@ -107,6 +134,8 @@ class ServeConfig:
     burst: float | None = None  # bucket capacity (default 2 * rate)
     result_cache_size: int = 4096  # completed results kept per process
     events: str | None = None  # JSONL event-stream file (like --events)
+    trace_retention: int = 64  # finished request traces kept for /trace
+    event_ring: int = 4096  # server-wide events kept for GET /events
 
     def __post_init__(self) -> None:
         if self.executor not in ("process", "thread"):
@@ -117,11 +146,80 @@ class ServeConfig:
             raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
 
 
+class EventRing:
+    """Bounded server-wide event buffer with absolute sequence cursors.
+
+    Every service event — the ``serve.*`` lifecycle plus every job's
+    events — lands here regardless of whether a ``--events`` file is
+    configured, so ``GET /events`` (and ``repro top --url``) can tail
+    one merged stream.  Entries carry a monotonically increasing
+    sequence number, so eviction of old events never corrupts a
+    follower's cursor.
+    """
+
+    def __init__(self, limit: int = 4096) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self._entries: deque[tuple[int, dict[str, Any]]] = deque(maxlen=limit)
+        self._seq = 0
+        self._changed = asyncio.Condition()
+        self._waiters = 0
+        self.closed = False
+
+    def append(self, event: dict[str, Any]) -> None:
+        self._seq += 1
+        self._entries.append((self._seq, event))
+        self._notify()
+
+    def close(self) -> None:
+        """Mark the ring finished (server stopping) and wake followers."""
+        self.closed = True
+        self._notify()
+
+    def since(self, cursor: int) -> "list[tuple[int, dict[str, Any]]]":
+        """``(seq, event)`` pairs newer than ``cursor``."""
+        return [entry for entry in self._entries if entry[0] > cursor]
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        return [event for _, event in self._entries]
+
+    def _notify(self) -> None:
+        if not self._waiters:
+            return  # nobody is tailing: appends stay O(1), no task churn
+
+        async def wake() -> None:
+            async with self._changed:
+                self._changed.notify_all()
+
+        try:
+            asyncio.get_running_loop().create_task(wake())
+        except RuntimeError:  # no loop: nothing can be waiting
+            pass
+
+    async def wait(
+        self, cursor: int, *, timeout: float = 10.0
+    ) -> "list[tuple[int, dict[str, Any]]]":
+        """Entries past ``cursor``; blocks until news, close, or timeout."""
+        fresh = self.since(cursor)
+        if fresh or self.closed:
+            return fresh
+        async with self._changed:
+            self._waiters += 1
+            try:
+                await asyncio.wait_for(self._changed.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+            finally:
+                self._waiters -= 1
+        return self.since(cursor)
+
+
 @dataclass
 class _EventTail:
-    """Sentinel response: stream a job's events until it finishes."""
+    """Sentinel response: stream a job's (or the server's) events."""
 
-    job: Job
+    job: Job | None = None
+    ring: EventRing | None = None
     follow: bool = True
 
 
@@ -144,14 +242,31 @@ class ReliabilityService:
         self.limiter = RateLimiter(self.config.rate, self.config.burst)
         self.manifest: dict[str, Any] = {}
         self.port: int | None = None
+        self.traces = TraceStore(self.config.trace_retention)
+        self.ring = EventRing(self.config.event_ring)
+        self.monitor = None  # attach_monitor() installs a controller
+        self._monitor_registry: MetricsRegistry | None = None
         self._results: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._identities: dict[str, tuple[str, str]] = {}
         self._pending = 0
+        self._request_serial = 0
         self._executor: ProcessPoolExecutor | ThreadPoolExecutor | None = None
         self._server: asyncio.AbstractServer | None = None
         self._events: EventStream | None = None
         self._events_sink = None
         self._job_tasks: set[asyncio.Task] = set()
+
+    def attach_monitor(
+        self, controller: Any, *, registry: MetricsRegistry | None = None
+    ) -> None:
+        """Expose a co-hosted :class:`MonitorController` via ``/monitor``.
+
+        ``registry`` names where the controller's ``monitor.*`` metrics
+        land (it writes to the context-local obs registry, *not* the
+        service's own); defaults to the process-wide active registry.
+        """
+        self.monitor = controller
+        self._monitor_registry = registry
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -198,6 +313,7 @@ class ReliabilityService:
             self._events_sink.close()
             self._events_sink = None
         self._events = None
+        self.ring.close()
 
     async def run_forever(self) -> None:
         """``start()`` then serve until cancelled (the CLI entry)."""
@@ -213,8 +329,18 @@ class ReliabilityService:
             await self.stop()
 
     def _emit(self, kind: str, **fields: Any) -> None:
+        self._forward_event({"event": kind, "ts": _clockmod.now(), **fields})
+
+    def _forward_event(self, event: dict[str, Any]) -> None:
+        """One already-stamped event into the ring and the event log.
+
+        Also the ``Job.on_event`` hook, so job lifecycle events reach
+        ``GET /events`` and the ``--events`` file alongside their own
+        per-job stream.
+        """
+        self.ring.append(event)
         if self._events is not None:
-            self._events.emit(kind, **fields)
+            self._events.replay([event])
 
     # ------------------------------------------------------------------
     # connection loop
@@ -240,9 +366,13 @@ class ReliabilityService:
                 if isinstance(response, _EventTail):
                     await self._stream_events(writer, response)
                     return
+                elapsed = max(0.0, _clockmod.now() - started)
                 self.registry.histogram("serve.request.seconds").observe(
-                    max(0.0, _clockmod.now() - started)
+                    elapsed
                 )
+                self.registry.histogram(
+                    f"serve.endpoint.{_endpoint_label(request.path)}.seconds"
+                ).observe(elapsed)
                 self.registry.counter(
                     f"serve.responses.{response.status}"
                 ).inc()
@@ -264,26 +394,44 @@ class ReliabilityService:
     async def _stream_events(
         self, writer: asyncio.StreamWriter, tail: _EventTail
     ) -> None:
-        """Write a job's events as EOF-framed JSONL, following live."""
+        """Write a tail's events as EOF-framed JSONL, following live."""
         import json
 
         response = Response(content_type="application/jsonl")
         writer.write(response.head_bytes(content_length=None))
         await writer.drain()
+        if tail.job is not None:
+            job = tail.job
+            cursor = 0
+            while True:
+                events = job.events[cursor:]
+                if not events and tail.follow and not job.finished:
+                    events = await job.wait_events(cursor)
+                for event in events:
+                    writer.write(
+                        (json.dumps(event, sort_keys=True) + "\n").encode()
+                    )
+                cursor += len(events)
+                await writer.drain()
+                if not tail.follow or (
+                    job.finished and cursor >= len(job.events)
+                ):
+                    return
+        ring = tail.ring
+        assert ring is not None
         cursor = 0
         while True:
-            events = tail.job.events[cursor:]
-            if not events and tail.follow and not tail.job.finished:
-                events = await tail.job.wait_events(cursor)
-            for event in events:
+            entries = ring.since(cursor)
+            if not entries and tail.follow and not ring.closed:
+                entries = await ring.wait(cursor)
+            for _, event in entries:
                 writer.write(
                     (json.dumps(event, sort_keys=True) + "\n").encode()
                 )
-            cursor += len(events)
+            if entries:
+                cursor = entries[-1][0]
             await writer.drain()
-            if not tail.follow or (
-                tail.job.finished and cursor >= len(tail.job.events)
-            ):
+            if not tail.follow or (ring.closed and not ring.since(cursor)):
                 return
 
     # ------------------------------------------------------------------
@@ -297,6 +445,16 @@ class ReliabilityService:
                 return self._require_get(request) or self._healthz()
             if path == "/metrics":
                 return self._require_get(request) or self._metrics()
+            if path == "/monitor":
+                return self._require_get(request) or self._monitor_endpoint()
+            if path == "/events":
+                return self._require_get(request) or self._events_endpoint(
+                    request
+                )
+            if path.startswith("/trace/"):
+                return self._require_get(request) or self._trace_endpoint(
+                    request
+                )
             if path == "/v1/solve":
                 return await self._evaluation_endpoint(request, "solve")
             if path == "/v1/verify":
@@ -338,6 +496,46 @@ class ReliabilityService:
             content_type=_OPENMETRICS_TYPE,
         )
 
+    def _monitor_endpoint(self) -> Response:
+        registry = self._monitor_registry or active_registry()
+        return Response.json(monitor_snapshot(registry, self.monitor))
+
+    def _events_endpoint(self, request: Request) -> "Response | _EventTail":
+        follow = request.query.get("follow", "1") != "0"
+        if not follow:
+            import json
+
+            body = "".join(
+                json.dumps(event, sort_keys=True) + "\n"
+                for event in self.ring.snapshot()
+            )
+            return Response(
+                body=body.encode(), content_type="application/jsonl"
+            )
+        return _EventTail(ring=self.ring)
+
+    def _trace_endpoint(self, request: Request) -> Response:
+        trace_id = request.path[len("/trace/") :]
+        stored = self.traces.get(trace_id)
+        if stored is None:
+            hint = (
+                "; the job exists but has produced no trace yet"
+                if self.jobs.get(trace_id) is not None
+                else ""
+            )
+            return Response.error(404, f"no trace for {trace_id!r}{hint}")
+        records = assemble_trace(stored.name, stored.attrs, stored.points)
+        payload = chrome_trace(
+            records, unit=stored.unit, manifest=self.manifest
+        )
+        return Response.json(payload)
+
+    @staticmethod
+    def _trace_unit() -> str:
+        """Clock unit stamped into stored traces (manual clock -> ticks)."""
+        kind = _clockmod.clock_settings().get("kind")
+        return "ticks" if kind == "manual" else "s"
+
     # ------------------------------------------------------------------
     # evaluation endpoints
     # ------------------------------------------------------------------
@@ -350,8 +548,14 @@ class ReliabilityService:
         if denial is not None:
             return denial
         spec = request.json()
+        collector: dict[str, Any] | None = None
+        trace_id: str | None = None
+        if request.query.get("trace") not in (None, "", "0"):
+            self._request_serial += 1
+            trace_id = f"req-{self._request_serial:06d}"
+            collector = {}
         try:
-            payload = await self._evaluate(kind, spec)
+            payload = await self._evaluate(kind, spec, collector=collector)
         except SpecError as error:
             return Response.error(400, str(error))
         except BackPressure as error:
@@ -360,10 +564,31 @@ class ReliabilityService:
             return Response.error(
                 503,
                 str(error),
+                retry_after=error.retry_after,
                 headers={"Retry-After": f"{error.retry_after:.3f}"},
             )
         except ReproError as error:
             return Response.error(422, f"{type(error).__name__}: {error}")
+        if trace_id is not None and collector is not None:
+            stored = self.traces.create(
+                trace_id,
+                name=f"serve.{kind}",
+                attrs={"request": trace_id, "kind": kind},
+                unit=self._trace_unit(),
+                points=1,
+            )
+            stored.points[0] = PointTrace(
+                index=0,
+                cache=payload["cache"],
+                records=collector.get("records", []),
+                queue_seconds=collector.get("queue_seconds", 0.0),
+                compute_seconds=collector.get("compute_seconds", 0.0),
+            )
+            payload = {
+                **payload,
+                "request": trace_id,
+                "trace": f"/trace/{trace_id}",
+            }
         return Response.json(payload)
 
     def _rate_limit(self, request: Request) -> Response | None:
@@ -375,6 +600,7 @@ class ReliabilityService:
         return Response.error(
             429,
             "client rate limit exceeded",
+            retry_after=retry_after,
             headers={"Retry-After": f"{retry_after:.3f}"},
         )
 
@@ -402,9 +628,21 @@ class ReliabilityService:
         return identity
 
     async def _evaluate(
-        self, kind: str, spec: dict[str, Any], *, job: Job | None = None
+        self,
+        kind: str,
+        spec: dict[str, Any],
+        *,
+        job: Job | None = None,
+        collector: "dict[str, Any] | None" = None,
     ) -> dict[str, Any]:
-        """The shared solve path: result cache -> coalescer -> executor."""
+        """The shared solve path: result cache -> coalescer -> executor.
+
+        ``collector`` (when given) requests span capture: if this call
+        ends up *executing* the work, the worker's span records and
+        queue/compute split land in it.  Cache hits and coalesced
+        followers leave it empty — their ``cache`` source is the trace
+        annotation.
+        """
         self.registry.counter(f"serve.{kind}.requests").inc()
         fingerprint, key = self._identity(kind, spec)
 
@@ -427,18 +665,36 @@ class ReliabilityService:
 
         async def compute() -> dict[str, Any]:
             worker = self.workers_table[kind]
+            obs = {
+                "trace": collector is not None,
+                "kind": kind,
+                "clock": _clockmod.clock_settings(),
+            }
             self._pending += 1
             self.registry.counter("serve.solve.executed").inc()
             self._emit("serve.solve.start", op=kind, fingerprint=fingerprint)
             started = _clockmod.now()
             try:
-                result = await asyncio.get_running_loop().run_in_executor(
-                    self._executor, worker, spec
+                envelope = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, instrumented_worker, worker, spec, obs
                 )
             finally:
                 self._pending -= 1
+            result = envelope["result"]
             elapsed = max(0.0, _clockmod.now() - started)
+            compute_seconds = envelope["compute_seconds"]
+            queue_seconds = max(0.0, elapsed - compute_seconds)
             self.registry.histogram("serve.solve.seconds").observe(elapsed)
+            self.registry.histogram(f"serve.{kind}.compute.seconds").observe(
+                compute_seconds
+            )
+            self.registry.histogram(f"serve.{kind}.queue.seconds").observe(
+                queue_seconds
+            )
+            if collector is not None:
+                collector["records"] = envelope["records"]
+                collector["compute_seconds"] = compute_seconds
+                collector["queue_seconds"] = queue_seconds
             self._emit(
                 "serve.solve.done",
                 op=kind,
@@ -515,12 +771,20 @@ class ReliabilityService:
         job = self.jobs.create("sweep", spec)
         if job is None:
             self.registry.counter("serve.backpressure").inc()
+            self._emit("serve.backpressure", op="sweep")
+            # scale the suggested retry with occupancy: a full table of
+            # long sweeps deserves a longer back-off than a blip
+            retry_after = max(
+                1.0, self.jobs.live_count() / self.jobs.max_live
+            )
             return Response.error(
                 503,
                 f"{self.jobs.live_count()} live jobs (max_jobs "
                 f"{self.jobs.max_live})",
-                headers={"Retry-After": "1.000"},
+                retry_after=retry_after,
+                headers={"Retry-After": f"{retry_after:.3f}"},
             )
+        job.on_event = self._forward_event
         self.registry.counter("serve.jobs.created").inc()
         task = asyncio.get_running_loop().create_task(
             self._run_sweep_job(job, base, parameter, values)
@@ -533,6 +797,7 @@ class ReliabilityService:
                 "status": job.status,
                 "poll": f"/v1/jobs/{job.id}",
                 "events": f"/v1/jobs/{job.id}/events",
+                "trace": f"/trace/{job.id}",
             },
             status=202,
         )
@@ -553,15 +818,36 @@ class ReliabilityService:
         )
         semaphore = asyncio.Semaphore(resolve_jobs(self.config.workers))
         reliabilities: list[float | None] = [None] * len(values)
+        stored = self.traces.create(
+            job.id,
+            name="serve.sweep",
+            attrs={"job": job.id, "parameter": parameter, "points": len(values)},
+            unit=self._trace_unit(),
+            points=len(values),
+        )
 
         async def point(index: int, value: float) -> None:
             async with semaphore:
                 job.emit("sweep.point.start", index=index)
+                collector: dict[str, Any] = {}
                 payload = await self._evaluate(
-                    "solve", {**base, parameter: value}, job=job
+                    "solve",
+                    {**base, parameter: value},
+                    job=job,
+                    collector=collector,
                 )
                 reliability = payload["result"]["expected_reliability"]
                 reliabilities[index] = reliability
+                # indexed assignment, not append: points land in grid
+                # order no matter how the semaphore scheduled them
+                stored.points[index] = PointTrace(
+                    index=index,
+                    attrs={"value": value},
+                    cache=payload["cache"],
+                    records=collector.get("records", []),
+                    queue_seconds=collector.get("queue_seconds", 0.0),
+                    compute_seconds=collector.get("compute_seconds", 0.0),
+                )
                 job.emit(
                     "sweep.point.done",
                     index=index,

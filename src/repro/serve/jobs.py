@@ -44,6 +44,10 @@ class Job:
     result: Any = None
     error: str | None = None
     events: list[dict[str, Any]] = field(default_factory=list)
+    #: Optional per-event callback; the service forwards job events
+    #: into its server-wide ring through this without the job knowing
+    #: anything about the transport.
+    on_event: Any = None
 
     def __post_init__(self) -> None:
         self._changed = asyncio.Condition()
@@ -61,6 +65,8 @@ class Job:
             **fields,
         }
         self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
         self._notify()
         return event
 

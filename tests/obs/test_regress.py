@@ -238,6 +238,29 @@ class TestBenchCli:
         assert "test_batch_differential.py" in doc
         assert "test_batch_oracle.py" in doc
 
+    def test_serving_doc_covers_operating_surfaces(self):
+        """Doc-freshness: SERVING.md documents the operator surfaces.
+
+        The operating section must keep naming the endpoints, the
+        console command, and the fixture its snapshot test pins —
+        renaming any of them without updating the docs fails here.
+        """
+        from pathlib import Path
+
+        doc = (
+            Path(__file__).resolve().parents[2] / "docs" / "SERVING.md"
+        ).read_text()
+        assert "## Operating the service" in doc
+        assert "/trace/{id}" in doc
+        assert "/monitor" in doc
+        assert "repro top" in doc
+        assert "tests/obs/fixtures/top_events.jsonl" in doc
+        # the screenshot-style frame stays in sync with the golden file
+        golden = (
+            Path(__file__).resolve().parent / "fixtures" / "top_frame.txt"
+        ).read_text()
+        assert golden.rstrip("\n") in doc
+
     def test_committed_history_gates_clean(self, capsys):
         """The repository's own baseline accepts a current fake run.
 

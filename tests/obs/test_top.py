@@ -1,0 +1,165 @@
+"""``repro top``: deterministic frames from recorded event streams.
+
+The dashboard's determinism contract is that a frame is a pure
+function of the events folded in — no clock reads — so the committed
+JSONL fixture must render byte-identically to the committed golden
+frame, here and in CI.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.top import (
+    BLOCKS,
+    CLEAR,
+    TopState,
+    follow_file,
+    render,
+    render_path,
+    state_from_lines,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+EVENTS = FIXTURES / "top_events.jsonl"
+GOLDEN = FIXTURES / "top_frame.txt"
+
+
+# ----------------------------------------------------------------------
+# snapshot determinism
+# ----------------------------------------------------------------------
+def test_fixture_renders_byte_identical_golden_frame():
+    frame = render_path(EVENTS)
+    assert frame + "\n" == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_rendering_is_a_pure_function_of_the_events():
+    lines = EVENTS.read_text(encoding="utf-8").splitlines()
+    first = render(state_from_lines(lines))
+    second = render(state_from_lines(lines))
+    assert first == second
+    # prefix streams render prefix states: no hidden global accumulation
+    partial = render(state_from_lines(lines[: len(lines) // 2]))
+    assert partial != first
+
+
+def test_every_fixture_event_kind_is_understood():
+    state = state_from_lines(EVENTS.read_text(encoding="utf-8").splitlines())
+    assert state.events_seen == 32
+    assert (state.hits, state.coalesced, state.misses) == (6, 2, 4)
+    assert state.executed == 4
+    assert state.inflight == 0
+    assert (state.jobs_started, state.jobs_done, state.jobs_failed) == (1, 1, 0)
+    assert state.points_done == 2
+    assert (state.flags, state.unflags, state.rejuvenations) == (2, 1, 2)
+    assert (state.backpressure, state.ratelimited) == (1, 1)
+    assert state.latency.count == 4
+
+
+# ----------------------------------------------------------------------
+# folding semantics
+# ----------------------------------------------------------------------
+def test_hit_ratio_counts_coalescing_as_savings():
+    state = TopState()
+    for kind in ("serve.miss", "serve.cache.hit", "serve.coalesced"):
+        state.observe({"event": kind, "ts": 1.0})
+    assert state.hit_ratio == pytest.approx(2 / 3)
+
+
+def test_throughput_window_evicts_old_completions():
+    state = TopState(window=10.0)
+    state.observe({"event": "serve.cache.hit", "ts": 0.0})
+    state.observe({"event": "serve.cache.hit", "ts": 100.0})
+    # the ts=0 completion fell out of the 10 s window
+    assert len(state.completions) == 1
+    assert state.throughput == pytest.approx(1 / 10.0)
+
+
+def test_inflight_never_goes_negative():
+    state = TopState()
+    state.observe({"event": "serve.solve.done", "ts": 1.0, "seconds": 0.5})
+    assert state.inflight == 0
+
+
+def test_cli_sweep_points_count_as_completions_but_server_points_do_not():
+    cli = TopState()
+    cli.observe({"event": "sweep.point.done", "ts": 1.0, "index": 0})
+    assert len(cli.completions) == 1
+    server = TopState()
+    server.observe(
+        {"event": "sweep.point.done", "ts": 1.0, "job": "job-000001"}
+    )
+    # server sweeps already complete via their serve.* cache events
+    assert len(server.completions) == 0
+    assert server.points_done == 1
+
+
+def test_unknown_events_count_but_change_nothing_else():
+    state = TopState()
+    state.observe({"event": "serve.connection.open", "ts": 3.0})
+    assert state.events_seen == 1
+    assert render(state) == render(state)
+
+
+# ----------------------------------------------------------------------
+# sparklines and layout
+# ----------------------------------------------------------------------
+def test_sparkline_quiet_series_is_all_baseline_glyphs():
+    state = TopState()
+    state.observe({"event": "serve.listening", "ts": 100.0})
+    line = state.sparkline("flags")
+    assert line == BLOCKS[0] * state.buckets_shown
+
+
+def test_sparkline_peak_bucket_renders_full_block():
+    state = TopState(bucket=1.0)
+    for _ in range(8):
+        state.observe({"event": "monitor.flag", "ts": 10.0})
+    state.observe({"event": "monitor.flag", "ts": 12.0})
+    line = state.sparkline("flags")
+    assert line[-3] == BLOCKS[-1]  # the 8-count bucket
+    assert BLOCKS[0] != line[-1] != BLOCKS[-1]  # 1 count: low but visible
+
+
+def test_render_truncates_to_width():
+    state = state_from_lines(EVENTS.read_text(encoding="utf-8").splitlines())
+    narrow = render(state, width=20)
+    assert all(len(line) <= 20 for line in narrow.splitlines())
+
+
+# ----------------------------------------------------------------------
+# drivers and CLI
+# ----------------------------------------------------------------------
+def test_follow_file_draws_clear_separated_frames(tmp_path):
+    stream = tmp_path / "events.jsonl"
+    stream.write_text(EVENTS.read_text(encoding="utf-8"))
+    out = io.StringIO()
+    frames = follow_file(stream, out=out, max_frames=2, interval=0.0)
+    assert frames == 2
+    drawn = out.getvalue().split(CLEAR)
+    assert drawn[0] == ""  # every frame starts with a clear
+    assert drawn[1] == drawn[2] == render_path(EVENTS) + "\n"
+
+
+def test_top_cli_renders_the_fixture_frame(capsys):
+    assert main(["top", "--events", str(EVENTS)]) == 0
+    printed = capsys.readouterr().out
+    assert printed == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_top_cli_requires_exactly_one_source():
+    with pytest.raises(SystemExit):
+        main(["top"])
+    with pytest.raises(SystemExit):
+        main(["top", "--events", str(EVENTS), "--url", "http://127.0.0.1:1"])
+
+
+def test_fixture_lines_are_valid_event_dialect():
+    for line in EVENTS.read_text(encoding="utf-8").splitlines():
+        event = json.loads(line)
+        assert "event" in event and "ts" in event

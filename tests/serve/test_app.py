@@ -224,7 +224,11 @@ class TestBackPressure:
                     payload={"preset": "six"},
                 )
                 assert overflow.status == 503
-                assert "retry-after" in overflow.headers
+                # a real, parseable back-off hint: header and body agree
+                assert float(overflow.headers["retry-after"]) > 0
+                assert overflow.json()["retry_after"] == pytest.approx(
+                    float(overflow.headers["retry-after"]), abs=1e-3
+                )
                 # identical work still coalesces instead of 503ing
                 joined = asyncio.create_task(
                     request(
@@ -255,6 +259,9 @@ class TestBackPressure:
                 assert first.status == 200
                 assert second.status == 429
                 assert float(second.headers["retry-after"]) > 0
+                assert second.json()["retry_after"] == pytest.approx(
+                    float(second.headers["retry-after"]), abs=1e-3
+                )
                 # an unrelated client is not punished
                 other = await request(
                     host, port, "POST", "/v1/solve",
@@ -388,6 +395,10 @@ class TestSweepJobs:
                     host, port, "POST", "/v1/sweep", payload=payload
                 )
                 assert second.status == 503
+                assert float(second.headers["retry-after"]) >= 1.0
+                assert second.json()["retry_after"] == pytest.approx(
+                    float(second.headers["retry-after"]), abs=1e-3
+                )
                 release.set()
 
         asyncio.run(go())
@@ -407,10 +418,23 @@ class TestConfig:
 
         async def go():
             config = fast_config(events=str(events_path))
-            async with running_service(config) as (_, host, port):
+            async with running_service(config) as (service, host, port):
                 await request(
                     host, port, "POST", "/v1/solve", payload={"preset": "four"}
                 )
+                accepted = await request(
+                    host, port, "POST", "/v1/sweep",
+                    payload={
+                        "preset": "four",
+                        "parameter": "mttc",
+                        "values": [100.0],
+                    },
+                )
+                job = service.jobs.get(accepted.json()["job"])
+                for _ in range(500):
+                    if job.finished:
+                        break
+                    await asyncio.sleep(0.01)
 
         asyncio.run(go())
         kinds = [
@@ -420,3 +444,165 @@ class TestConfig:
         assert "serve.start" in kinds
         assert "serve.solve.done" in kinds
         assert "serve.miss" in kinds
+        # job lifecycle events reach the file too (what `repro top
+        # --events` renders its jobs row from)
+        assert "job.start" in kinds
+        assert "sweep.point.done" in kinds
+        assert "job.done" in kinds
+
+
+class TestEventRingEndpoint:
+    def test_events_snapshot_returns_ring_contents(self):
+        async def go():
+            async with running_service(fast_config()) as (_, host, port):
+                await request(
+                    host, port, "POST", "/v1/solve", payload={"preset": "four"}
+                )
+                snapshot = await request(
+                    host, port, "GET", "/events?follow=0"
+                )
+                assert snapshot.status == 200
+                assert snapshot.headers["content-type"].startswith(
+                    "application/jsonl"
+                )
+                events = [
+                    json.loads(line)
+                    for line in snapshot.body.decode().splitlines()
+                ]
+                kinds = [event["event"] for event in events]
+                assert "serve.start" in kinds
+                assert "serve.miss" in kinds
+                assert all("ts" in event for event in events)
+
+        asyncio.run(go())
+
+    def test_events_tail_follows_live_and_ends_at_shutdown(self):
+        lines: list[str] = []
+
+        async def go():
+            async with running_service(fast_config()) as (_, host, port):
+
+                async def tail():
+                    async for line in stream_lines(host, port, "/events"):
+                        lines.append(line)
+
+                task = asyncio.create_task(tail())
+                await asyncio.sleep(0.05)  # the tail is connected
+                await request(
+                    host, port, "POST", "/v1/solve", payload={"preset": "four"}
+                )
+                await asyncio.sleep(0.05)  # the events reached the tail
+            # leaving the context stops the service, which closes the
+            # ring, which must end the tail instead of hanging it
+            await asyncio.wait_for(task, timeout=5.0)
+
+        asyncio.run(go())
+        kinds = [json.loads(line)["event"] for line in lines]
+        assert "serve.miss" in kinds
+        assert "serve.solve.done" in kinds
+
+    def test_events_endpoint_is_get_only(self):
+        async def go():
+            async with running_service(fast_config()) as (_, host, port):
+                response = await request(
+                    host, port, "POST", "/events", payload={}
+                )
+                assert response.status == 405
+
+        asyncio.run(go())
+
+
+class TestEndpointHistograms:
+    def test_metrics_split_latency_by_endpoint_and_phase(self):
+        async def go():
+            async with running_service(fast_config()) as (_, host, port):
+                await request(
+                    host, port, "POST", "/v1/solve", payload={"preset": "four"}
+                )
+                await request(host, port, "GET", "/healthz")
+                response = await request(host, port, "GET", "/metrics")
+                text = response.body.decode()
+                families = assert_valid_openmetrics(text)
+                # per-endpoint SLO histograms next to the global one
+                assert families["repro_serve_endpoint_solve_seconds"] == (
+                    "summary"
+                )
+                assert families["repro_serve_endpoint_healthz_seconds"] == (
+                    "summary"
+                )
+                # queue wait vs compute, separately accounted
+                assert families["repro_serve_solve_queue_seconds"] == "summary"
+                assert (
+                    families["repro_serve_solve_compute_seconds"] == "summary"
+                )
+                # p95 joined the exported quantile bounds
+                assert 'repro_serve_request_seconds{quantile="0.95"}' in text
+
+        asyncio.run(go())
+
+
+class TestEventStreamIsolation:
+    def test_concurrent_job_tails_never_interleave(self):
+        """Events from concurrent sweep jobs A and B must never leak
+        into each other's ``/v1/jobs/{id}/events`` tails."""
+        a_may_finish = threading.Event()
+
+        def worker(spec):
+            if spec["mttc"] < 150.0:  # job A's point: outlive all of B
+                a_may_finish.wait(timeout=10.0)
+            return {"expected_reliability": 0.5, "fingerprint": "f" * 64}
+
+        async def tail(host, port, path):
+            events = []
+            async for line in stream_lines(host, port, path):
+                events.append(json.loads(line))
+            return events
+
+        async def go():
+            async with running_service(
+                fast_config(), workers_table={"solve": worker}
+            ) as (_, host, port):
+                first = await request(
+                    host, port, "POST", "/v1/sweep",
+                    payload={
+                        "preset": "four",
+                        "parameter": "mttc",
+                        "values": [100.0],
+                    },
+                )
+                second = await request(
+                    host, port, "POST", "/v1/sweep",
+                    payload={
+                        "preset": "four",
+                        "parameter": "mttc",
+                        "values": [200.0, 300.0],
+                    },
+                )
+                job_a = first.json()
+                job_b = second.json()
+                tails = [
+                    asyncio.create_task(tail(host, port, job_a["events"])),
+                    asyncio.create_task(tail(host, port, job_b["events"])),
+                ]
+                # B runs to completion while A is still in flight...
+                events_b = await asyncio.wait_for(tails[1], timeout=10.0)
+                a_may_finish.set()
+                events_a = await asyncio.wait_for(tails[0], timeout=10.0)
+
+                for job, events, points in (
+                    (job_a["job"], events_a, 1),
+                    (job_b["job"], events_b, 2),
+                ):
+                    assert events, f"empty tail for {job}"
+                    # purity: every event in the tail belongs to the job
+                    assert {event["job"] for event in events} == {job}
+                    kinds = [event["event"] for event in events]
+                    assert kinds[0] == "job.start"
+                    assert kinds[-1] == "job.done"
+                    assert kinds.count("sweep.point.done") == points
+                    # lifecycle order survived the interleaving
+                    assert kinds.index("job.start") < kinds.index(
+                        "sweep.point.done"
+                    )
+
+        asyncio.run(go())

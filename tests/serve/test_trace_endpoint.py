@@ -1,0 +1,272 @@
+"""``GET /trace/{id}``: request-scoped Chrome traces from the service.
+
+Covers the tentpole acceptance criteria: a sweep job's trace is
+schema-valid Chrome trace JSON with one worker lane per point plus the
+main lane, cache annotations on point spans, the RunManifest under
+``otherData`` — and under a :class:`ManualClock` the response is
+byte-stable across two independent service lifetimes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.engine.cache import cache_override
+from repro.obs.clock import ManualClock, use_clock
+from repro.serve.client import request
+from tests.obs.test_export import assert_valid_chrome_trace
+from tests.serve.conftest import running_service
+from tests.serve.test_app import fast_config
+
+
+async def _finished_sweep(service, host, port, *, values):
+    """POST a sweep and wait (in-process, no extra requests) for done."""
+    accepted = await request(
+        host, port, "POST", "/v1/sweep",
+        payload={"preset": "four", "parameter": "mttc", "values": values},
+    )
+    assert accepted.status == 202
+    ticket = accepted.json()
+    assert ticket["trace"] == f"/trace/{ticket['job']}"
+    job = service.jobs.get(ticket["job"])
+    for _ in range(500):
+        if job.finished:
+            break
+        await asyncio.sleep(0.01)
+    assert job.finished
+    return ticket
+
+
+class TestSweepTraces:
+    def test_sweep_trace_is_schema_valid_with_worker_lanes(self):
+        async def go():
+            async with running_service(fast_config()) as (
+                service, host, port,
+            ):
+                ticket = await _finished_sweep(
+                    service, host, port, values=[100.0, 500.0]
+                )
+                response = await request(
+                    host, port, "GET", ticket["trace"]
+                )
+                assert response.status == 200
+                payload = response.json()
+                assert_valid_chrome_trace(payload)
+
+                events = payload["traceEvents"]
+                spans = [e for e in events if e["ph"] == "X"]
+                lanes = {e["pid"] for e in spans}
+                assert lanes == {0, 1, 2}  # main + one lane per point
+                labels = {
+                    e["pid"]: e["args"]["name"]
+                    for e in events
+                    if e["ph"] == "M"
+                }
+                assert labels[0] == "main"
+                assert labels[1] == "sweep-worker-1"
+                assert labels[2] == "sweep-worker-2"
+
+                root = next(e for e in spans if e["name"] == "serve.sweep")
+                assert root["args"]["parameter"] == "mttc"
+                assert root["args"]["points"] == 2
+
+                points = [
+                    e for e in spans if e["name"] == "serve.sweep.point"
+                ]
+                assert sorted(p["args"]["index"] for p in points) == [0, 1]
+                assert {p["args"]["value"] for p in points} == {100.0, 500.0}
+                # cold points: executed solves annotated as cache misses
+                assert all(p["args"]["cache"] == "miss" for p in points)
+                assert all(
+                    "queue_seconds" in p["args"]
+                    and "compute_seconds" in p["args"]
+                    for p in points
+                )
+
+                # worker-captured spans rode back on the point's lane
+                names = {e["name"] for e in spans}
+                assert "serve.compute" in names
+                assert "engine.expected_reliability" in names
+                compute = next(
+                    e for e in spans if e["name"] == "serve.compute"
+                )
+                assert compute["pid"] in (1, 2)
+
+                assert payload["otherData"]["manifest"] == service.manifest
+
+        asyncio.run(go())
+
+    def test_cached_sweep_points_render_as_annotated_zero_spans(self):
+        async def go():
+            async with running_service(fast_config()) as (
+                service, host, port,
+            ):
+                # same value twice: the second point is served by the
+                # result cache (or coalescing) and carries no records
+                ticket = await _finished_sweep(
+                    service, host, port, values=[250.0, 250.0]
+                )
+                response = await request(host, port, "GET", ticket["trace"])
+                payload = response.json()
+                assert_valid_chrome_trace(payload)
+                points = [
+                    e
+                    for e in payload["traceEvents"]
+                    if e["ph"] == "X" and e["name"] == "serve.sweep.point"
+                ]
+                caches = sorted(p["args"]["cache"] for p in points)
+                assert caches[0] in ("coalesced", "hit")
+                assert caches[1] == "miss"
+                cheap = next(
+                    p for p in points if p["args"]["cache"] != "miss"
+                )
+                assert cheap["dur"] == 0.0
+
+        asyncio.run(go())
+
+    def test_trace_bytes_are_stable_under_manual_clock(self):
+        async def run_once() -> bytes:
+            # workers=1 serializes the sweep points, so the shared
+            # manual clock sees one deterministic sequence of reads;
+            # the engine cache is disabled so a prior run's entries
+            # cannot leak across service lifetimes
+            async with running_service(
+                fast_config(workers=1)
+            ) as (service, host, port):
+                ticket = await _finished_sweep(
+                    service, host, port, values=[100.0, 500.0]
+                )
+                response = await request(host, port, "GET", ticket["trace"])
+                assert response.status == 200
+                return response.body
+
+        def capture() -> bytes:
+            with cache_override(enabled=False):
+                with use_clock(ManualClock()):
+                    return asyncio.run(run_once())
+
+        first = capture()
+        second = capture()
+        assert first == second
+        # and under the manual clock the stored unit is ticks
+        import json
+
+        payload = json.loads(first)
+        assert_valid_chrome_trace(payload)
+        assert {e["pid"] for e in payload["traceEvents"]} == {0, 1, 2}
+
+    def test_refetching_a_trace_does_not_change_it(self):
+        async def go():
+            async with running_service(fast_config()) as (
+                service, host, port,
+            ):
+                ticket = await _finished_sweep(
+                    service, host, port, values=[100.0]
+                )
+                first = await request(host, port, "GET", ticket["trace"])
+                second = await request(host, port, "GET", ticket["trace"])
+                assert first.body == second.body
+
+        asyncio.run(go())
+
+
+class TestSolveTraces:
+    def test_opt_in_solve_trace_roundtrip(self):
+        async def go():
+            async with running_service(fast_config()) as (
+                service, host, port,
+            ):
+                plain = await request(
+                    host, port, "POST", "/v1/solve",
+                    payload={"preset": "four"},
+                )
+                assert "trace" not in plain.json()  # tracing is opt-in
+
+                traced = await request(
+                    host, port, "POST", "/v1/solve?trace=1",
+                    payload={"preset": "six"},
+                )
+                body = traced.json()
+                assert body["cache"] == "miss"
+                assert body["trace"] == f"/trace/{body['request']}"
+
+                response = await request(host, port, "GET", body["trace"])
+                assert response.status == 200
+                payload = response.json()
+                assert_valid_chrome_trace(payload)
+                spans = [
+                    e for e in payload["traceEvents"] if e["ph"] == "X"
+                ]
+                names = {e["name"] for e in spans}
+                assert {"serve.solve", "serve.solve.point"} <= names
+                assert "serve.compute" in names
+                point = next(
+                    e for e in spans if e["name"] == "serve.solve.point"
+                )
+                assert point["args"]["cache"] == "miss"
+
+        asyncio.run(go())
+
+    def test_traced_cache_hit_is_annotated(self):
+        async def go():
+            async with running_service(fast_config()) as (
+                service, host, port,
+            ):
+                await request(
+                    host, port, "POST", "/v1/solve",
+                    payload={"preset": "four"},
+                )
+                traced = await request(
+                    host, port, "POST", "/v1/solve?trace=1",
+                    payload={"preset": "four"},
+                )
+                body = traced.json()
+                assert body["cache"] == "hit"
+                response = await request(host, port, "GET", body["trace"])
+                payload = response.json()
+                assert_valid_chrome_trace(payload)
+                point = next(
+                    e
+                    for e in payload["traceEvents"]
+                    if e["ph"] == "X" and e["name"] == "serve.solve.point"
+                )
+                assert point["args"]["cache"] == "hit"
+                assert point["dur"] == 0.0
+
+        asyncio.run(go())
+
+
+class TestTraceErrors:
+    def test_unknown_trace_is_404(self):
+        async def go():
+            async with running_service(fast_config()) as (_, host, port):
+                response = await request(
+                    host, port, "GET", "/trace/nope"
+                )
+                assert response.status == 404
+
+        asyncio.run(go())
+
+    def test_known_job_without_trace_says_so(self):
+        async def go():
+            async with running_service(fast_config()) as (
+                service, host, port,
+            ):
+                job = service.jobs.create("sweep", {})
+                response = await request(
+                    host, port, "GET", f"/trace/{job.id}"
+                )
+                assert response.status == 404
+                assert "no trace yet" in response.json()["error"]
+
+        asyncio.run(go())
+
+    def test_trace_endpoint_is_get_only(self):
+        async def go():
+            async with running_service(fast_config()) as (_, host, port):
+                response = await request(
+                    host, port, "POST", "/trace/x", payload={}
+                )
+                assert response.status == 405
+
+        asyncio.run(go())
