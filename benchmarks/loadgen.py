@@ -22,11 +22,19 @@ file only arranges ``sys.path`` for repo-checkout invocations::
 from __future__ import annotations
 
 import sys
+import warnings
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
+
+warnings.warn(
+    "benchmarks/loadgen.py is a deprecated shim; invoke the packaged CLI "
+    "instead: python -m repro.serve.loadgen (module repro.serve.loadgen)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.serve.loadgen import main  # noqa: E402
 

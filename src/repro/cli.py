@@ -417,6 +417,7 @@ def _command_simulate_batch(args: argparse.Namespace) -> int:
     period = args.request_period
     rounds = max(1, round(args.horizon / period))
     warmup_rounds = min(rounds - 1, max(0, round(args.warmup / period)))
+    watch_enabled = bool(args.watch or args.alerts)
     config = BatchConfig(
         parameters=parameters,
         groups=args.groups,
@@ -428,12 +429,16 @@ def _command_simulate_batch(args: argparse.Namespace) -> int:
         monitor=(
             BatchMonitorConfig(mode=args.monitor) if args.monitor else None
         ),
+        record_round_totals=watch_enabled,
     )
     if args.stationary_init:
         config = config.with_stationary_init()
+    analytic = evaluate(parameters).expected_reliability
+    watcher = None
     with _events_scope(args):
         report = simulate_batch(config, jobs=args.jobs)
-    analytic = evaluate(parameters).expected_reliability
+        if watch_enabled:
+            watcher = _watch_batch(config, report, analytic, args)
     successes = report.requests - report.errors
     low, high = wilson_interval(successes, report.requests)
     print(
@@ -457,6 +462,95 @@ def _command_simulate_batch(args: argparse.Namespace) -> int:
             f"alarms, {summary.triggers} rejuvenations "
             f"({summary.false_triggers} false)"
         )
+    if watcher is not None:
+        counts = watcher.log.counts()
+        target = watcher.config.target
+        print(
+            f"watch          = {counts['fired']} fired, "
+            f"{counts['resolved']} resolved, {counts['active']} active "
+            f"({watcher.windows_seen} windows vs target {target:.6f}, "
+            f"alpha {watcher.config.alpha:g})"
+        )
+        for alert in watcher.log.active():
+            print(
+                f"  ALERT {alert.key} [{alert.severity}] "
+                f"value {alert.last_value:.4f} vs threshold "
+                f"{alert.last_threshold:.4f} since t={alert.since:g}s"
+            )
+        if args.alerts:
+            with open(args.alerts, "w", encoding="utf-8") as sink:
+                for line in watcher.alert_lines():
+                    sink.write(line + "\n")
+            print(f"alert stream written to {args.alerts}")
+    return 0
+
+
+def _watch_batch(config, report, analytic: float, args: argparse.Namespace):
+    """Evaluate the watch detectors over a finished batch report.
+
+    Runs round-synchronously over the chunk-merged per-round totals —
+    jobs-invariant by construction — and mirrors the plan, the window
+    stream, and every alert into the ``--events`` stream so ``repro
+    watch`` can replay the run offline.
+    """
+    from repro.obs.events import emit as emit_event
+    from repro.obs.watch import Watcher, batch_watch_config, batch_windows
+
+    target = args.watch_target if args.watch_target is not None else analytic
+    watch_config = batch_watch_config(
+        config,
+        target=target,
+        alpha=args.watch_alpha,
+        block=args.watch_block,
+    )
+    watcher = Watcher(watch_config)
+    plan = watcher.plan()
+    emit_event(plan["event"], **{k: v for k, v in plan.items() if k != "event"})
+    for window in batch_windows(config, report, block=watch_config.block):
+        emit_event("sim.batch.window", **window)
+        for alert in watcher.observe_window(**window):
+            emit_event(
+                alert["event"],
+                **{k: v for k, v in alert.items() if k != "event"},
+            )
+    return watcher
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.watch import replay_events
+
+    def parsed_lines():
+        with open(args.events, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    watcher = replay_events(parsed_lines(), target=args.target)
+    counts = watcher.log.counts()
+    print(
+        f"watch: {watcher.events_seen} events replayed, "
+        f"{watcher.windows_seen} windows"
+    )
+    print(
+        f"alerts: {counts['fired']} fired, {counts['resolved']} resolved, "
+        f"{counts['active']} active, {counts['pending']} pending"
+    )
+    for event in watcher.log.events:
+        print(
+            f"  t={event['time']:>10g}  {event['event']:<14s} "
+            f"{event['key']:<22s} [{event['severity']}] "
+            f"value={event['value']:.4f} threshold={event['threshold']:.4f}"
+        )
+    for certificate in watcher.certificates():
+        print(f"certificate[{certificate['kind']}]: {certificate['guarantee']}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as sink:
+            for line in watcher.alert_lines():
+                sink.write(line + "\n")
+        print(f"alert stream written to {args.out}")
     return 0
 
 
@@ -583,6 +677,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             rate=args.rate,
             burst=args.burst,
             events=args.events,
+            watch=not args.no_watch,
+            slo_latency=args.slo_latency,
+            slo_objective=args.slo_objective,
         )
     )
 
@@ -857,8 +954,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="draw initial module states from the analytic stationary "
         "census instead of all-healthy (--batch)",
     )
+    simulate.add_argument(
+        "--watch", action="store_true",
+        help="run the repro.obs.watch detectors over the --batch stream "
+        "(reliability drift vs the analytic Eq. 1 target, monitor "
+        "consistency); alerts are jobs-invariant",
+    )
+    simulate.add_argument(
+        "--watch-target", type=float, default=None, metavar="R",
+        help="drift-detector success target (default: the analytic Eq. 1 "
+        "value of the configuration)",
+    )
+    simulate.add_argument(
+        "--watch-alpha", type=float, default=1e-3, metavar="A",
+        help="drift false-alarm budget: P(ever firing on a clean stream) "
+        "<= A (default 1e-3)",
+    )
+    simulate.add_argument(
+        "--watch-block", type=int, default=32, metavar="K",
+        help="rounds per detector window (default 32)",
+    )
+    simulate.add_argument(
+        "--alerts", metavar="FILE",
+        help="write the deterministic alert JSONL (watch.plan line + "
+        "alert events) to FILE; implies --watch",
+    )
     _add_events_argument(simulate)
     simulate.set_defaults(handler=_command_simulate)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="replay a recorded --events JSONL through the watch "
+        "detectors and render/export the alert timeline",
+    )
+    watch.add_argument(
+        "--events", metavar="FILE", required=True,
+        help="recorded events JSONL (from simulate --batch --watch "
+        "--events or repro serve --events)",
+    )
+    watch.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the regenerated alert JSONL to FILE (byte-identical "
+        "to the run's --alerts file for the same configuration)",
+    )
+    watch.add_argument(
+        "--target", type=float, default=None, metavar="R",
+        help="override the drift target from the stream's watch.plan "
+        "(hold a degraded stream against the clean analytic value)",
+    )
+    watch.set_defaults(handler=_command_watch)
 
     metrics = subparsers.add_parser(
         "metrics",
@@ -956,6 +1100,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--burst", type=float, default=None, metavar="B",
         help="token-bucket burst capacity (default 2x --rate)",
+    )
+    serve.add_argument(
+        "--slo-latency", type=float, default=0.5, metavar="S",
+        help="per-request latency budget in seconds for SLO burn-rate "
+        "alerting (default 0.5)",
+    )
+    serve.add_argument(
+        "--slo-objective", type=float, default=0.99, metavar="R",
+        help="fraction of requests that must meet --slo-latency "
+        "(default 0.99; error budget = 1 - R)",
+    )
+    serve.add_argument(
+        "--no-watch", action="store_true",
+        help="disable the alert watcher (GET /alerts answers enabled=false)",
     )
     cache_flags = serve.add_mutually_exclusive_group()
     cache_flags.add_argument(

@@ -22,7 +22,12 @@ measured with.  It provides
   exposition text;
 * a **benchmark trajectory** (:mod:`repro.obs.regress`): a manifest-
   stamped runner appending to ``BENCH_HISTORY.jsonl`` and a regression
-  gate comparing machine-normalized scores against the latest baseline.
+  gate comparing machine-normalized scores against the latest baseline;
+* an **alerting layer** (:mod:`repro.obs.watch`): streaming detectors
+  (sequential e-value reliability drift, multi-window SLO burn rate,
+  monitor-consistency) folded over the event firehose into a
+  deterministic alert lifecycle — see ``repro watch`` and the serve
+  ``/alerts`` endpoint.
 
 Tracing is off by default and its disabled path is a single context-var
 read returning a shared no-op span — the CI overhead budget holds the

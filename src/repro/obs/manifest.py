@@ -37,6 +37,10 @@ class RunManifest:
     cache_policy: dict[str, Any] = field(default_factory=dict)
     clock: str = "monotonic"
     solver_routing: dict[str, Any] = field(default_factory=dict)
+    #: Error-rate certificates of any armed watch detectors
+    #: (:meth:`repro.obs.watch.Watcher.certificates`) — empty when the
+    #: run had no watcher.
+    detectors: tuple = ()
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -51,6 +55,7 @@ class RunManifest:
             "cache_policy": dict(self.cache_policy),
             "clock": self.clock,
             "solver_routing": dict(self.solver_routing),
+            "detectors": [dict(certificate) for certificate in self.detectors],
         }
 
 
@@ -78,6 +83,7 @@ def collect_manifest(
     parameters: dict[str, Any] | None = None,
     seed: int | None = None,
     jobs: int | None = None,
+    detectors: "tuple[dict[str, Any], ...] | list[dict[str, Any]]" = (),
 ) -> RunManifest:
     """Build a manifest for the current process and the given workload."""
     import numpy
@@ -105,4 +111,5 @@ def collect_manifest(
         cache_policy=cache_settings(),
         clock=clock_settings()["kind"],
         solver_routing=solver_routing,
+        detectors=tuple(detectors),
     )

@@ -211,6 +211,48 @@ def _bench_sim_batch() -> None:
         )
 
 
+def _bench_watch_firehose() -> None:
+    """The ``sim-batch-1m`` workload with the watch detectors folded in.
+
+    Same 1,048,576-request batch run, but with per-round totals
+    recorded and every window pushed through the drift detector against
+    the configuration's own analytic Eq. 1 target.  Two loud failure
+    modes: simulating fewer requests than advertised, and raising any
+    alert on this clean stream (which would mean either the detector or
+    the runtime regressed).  The <5 % overhead acceptance bar versus
+    ``sim-batch-1m`` is asserted by ``benchmarks/bench_watch_overhead``
+    and ``tests/obs/test_regress.py``.
+    """
+    import dataclasses
+
+    from repro.obs.metrics import registry_override
+    from repro.obs.watch import batch_watch_config, watch_batch_report
+    from repro.perception.evaluation import evaluate
+    from repro.simulation import simulate_batch
+
+    config = dataclasses.replace(
+        sim_batch_config(), record_round_totals=True
+    )
+    target = evaluate(config.parameters).expected_reliability
+    with registry_override():
+        report = simulate_batch(config)
+    if report.requests != config.groups * config.rounds:
+        raise RuntimeError(
+            f"watch-firehose-1m simulated {report.requests} requests, "
+            f"expected {config.groups * config.rounds}"
+        )
+    watcher = watch_batch_report(
+        config, report, batch_watch_config(config, target=target)
+    )
+    if watcher.windows_seen == 0:
+        raise RuntimeError("watch-firehose-1m folded zero windows")
+    if watcher.log.events:
+        raise RuntimeError(
+            f"watch-firehose-1m raised {len(watcher.log.events)} alert "
+            "events on a clean stream"
+        )
+
+
 def sim_batch_config():
     """The exact workload behind the ``sim-batch-1m`` benchmark id.
 
@@ -243,6 +285,7 @@ BENCH_SUITE: dict[str, Callable[[], None]] = {
     "sparse-steady-nv20": _bench_sparse_steady,
     "sparse-transient-nv15": _bench_sparse_transient,
     "sim-batch-1m": _bench_sim_batch,
+    "watch-firehose-1m": _bench_watch_firehose,
 }
 
 

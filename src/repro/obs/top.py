@@ -66,8 +66,17 @@ class TopState:
     flags: int = 0
     unflags: int = 0
     rejuvenations: int = 0
+    alerts_pending: int = 0
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
+    firing_keys: set = field(default_factory=set)
     series: dict[str, dict[int, int]] = field(
-        default_factory=lambda: {"activity": {}, "flags": {}, "rejuv": {}}
+        default_factory=lambda: {
+            "activity": {},
+            "flags": {},
+            "rejuv": {},
+            "alerts": {},
+        }
     )
 
     # ------------------------------------------------------------------
@@ -87,7 +96,8 @@ class TopState:
     def observe(self, event: dict[str, Any]) -> None:
         """Fold one event dict in (unknown kinds count but do nothing)."""
         self.events_seen += 1
-        ts = float(event.get("ts", self.last_ts) or 0.0)
+        # alert JSONL files carry stream time only; live events have ts
+        ts = float(event.get("ts", event.get("time", self.last_ts)) or 0.0)
         if self.first_ts is None:
             self.first_ts = ts
         self.last_ts = max(self.last_ts, ts)
@@ -133,6 +143,15 @@ class TopState:
         elif kind == "monitor.rejuvenation":
             self.rejuvenations += 1
             self._mark("rejuv", ts)
+        elif kind == "alert.pending":
+            self.alerts_pending += 1
+        elif kind == "alert.firing":
+            self.alerts_fired += 1
+            self.firing_keys.add(str(event.get("key", "?")))
+            self._mark("alerts", ts)
+        elif kind == "alert.resolved":
+            self.alerts_resolved += 1
+            self.firing_keys.discard(str(event.get("key", "?")))
 
     def observe_line(self, line: str) -> None:
         line = line.strip()
@@ -238,9 +257,16 @@ def render(state: TopState, *, width: int = 72) -> str:
             f"(unflagged {state.unflags}) · "
             f"rejuvenations {state.rejuvenations}"
         ),
+        (
+            f"alerts     firing {len(state.firing_keys)} · "
+            f"fired {state.alerts_fired} "
+            f"resolved {state.alerts_resolved} · "
+            f"pending seen {state.alerts_pending}"
+        ),
         f"activity   {state.sparkline('activity')}",
         f"flags      {state.sparkline('flags')}",
         f"rejuv      {state.sparkline('rejuv')}",
+        f"alerts     {state.sparkline('alerts')}",
     ]
     return "\n".join(line[:width] for line in lines)
 

@@ -1,0 +1,177 @@
+"""Alert lifecycle as a pure fold: pending → firing → resolved.
+
+The :class:`AlertLog` turns detector signal *levels* into alert
+*events*.  It is deliberately clock-free and allocation-light: every
+transition is driven by an explicit stream time (``time``, in the
+stream's own units — simulated seconds for the batch runtime, event
+timestamps for serve), and the emitted event dicts contain only
+deterministic fields, so the same observation sequence always folds to
+the same alert JSONL bytes.
+
+Levels
+    :data:`OK` (0) — detector quiet.
+    :data:`PENDING` (1) — warning zone; an ``alert.pending`` event is
+    emitted once when entered from OK.
+    :data:`FIRING` (2) — threshold crossed; ``alert.firing`` emitted.
+
+Transitions back to OK emit ``alert.resolved`` only from FIRING; a
+pending alert that cools off disappears silently (it never paged).
+Alerts dedup on ``key`` — one live state machine per key; re-entering
+FIRING after a resolve emits a fresh ``alert.firing`` with a bumped
+``episode`` counter.  Every event carries an absolute ``seq`` cursor
+(monotone per log) so consumers can resume from any point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+OK = 0
+PENDING = 1
+FIRING = 2
+
+_LEVEL_NAMES = {OK: "ok", PENDING: "pending", FIRING: "firing"}
+
+#: Event kinds this module emits, in lifecycle order.
+ALERT_EVENTS = ("alert.pending", "alert.firing", "alert.resolved")
+
+
+@dataclass
+class Alert:
+    """Live state for one dedup key."""
+
+    key: str
+    detector: str
+    severity: str
+    level: int = OK
+    episode: int = 0
+    since: float = 0.0
+    fired_total: int = 0
+    resolved_total: int = 0
+    last_value: float = 0.0
+    last_threshold: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "detector": self.detector,
+            "severity": self.severity,
+            "state": _LEVEL_NAMES[self.level],
+            "episode": self.episode,
+            "since": self.since,
+            "fired_total": self.fired_total,
+            "resolved_total": self.resolved_total,
+            "value": self.last_value,
+            "threshold": self.last_threshold,
+        }
+
+
+@dataclass
+class AlertLog:
+    """Fold detector levels into a deterministic alert event stream."""
+
+    alerts: dict[str, Alert] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    seq: int = 0
+
+    def observe(
+        self,
+        *,
+        key: str,
+        detector: str,
+        severity: str,
+        level: int,
+        time: float,
+        value: float,
+        threshold: float,
+        context: "dict[str, Any] | None" = None,
+    ) -> "list[dict[str, Any]]":
+        """Fold one detector reading; return the events it produced."""
+        alert = self.alerts.get(key)
+        if alert is None:
+            alert = Alert(key=key, detector=detector, severity=severity)
+            self.alerts[key] = alert
+        alert.last_value = value
+        alert.last_threshold = threshold
+        previous = alert.level
+        if level == previous:
+            return []
+        emitted: list[dict[str, Any]] = []
+        if level == FIRING:
+            alert.episode += 1
+            alert.fired_total += 1
+            alert.since = time
+            emitted.append(
+                self._event("alert.firing", alert, time, value, threshold, context)
+            )
+        elif level == PENDING and previous == OK:
+            alert.since = time
+            emitted.append(
+                self._event("alert.pending", alert, time, value, threshold, context)
+            )
+        elif level < FIRING <= previous:
+            alert.resolved_total += 1
+            emitted.append(
+                self._event("alert.resolved", alert, time, value, threshold, context)
+            )
+            # A drop straight to PENDING keeps the pending marker fresh.
+            if level == PENDING:
+                alert.since = time
+        alert.level = level
+        return emitted
+
+    def _event(
+        self,
+        kind: str,
+        alert: Alert,
+        time: float,
+        value: float,
+        threshold: float,
+        context: "dict[str, Any] | None",
+    ) -> dict[str, Any]:
+        self.seq += 1
+        event: dict[str, Any] = {
+            "event": kind,
+            "seq": self.seq,
+            "key": alert.key,
+            "detector": alert.detector,
+            "severity": alert.severity,
+            "episode": alert.episode,
+            "time": time,
+            "value": value,
+            "threshold": threshold,
+        }
+        if context:
+            event.update(context)
+        self.events.append(event)
+        return event
+
+    # -- read side -----------------------------------------------------
+    def active(self) -> "list[Alert]":
+        """Alerts currently above OK, stable-ordered by key."""
+        return sorted(
+            (alert for alert in self.alerts.values() if alert.level > OK),
+            key=lambda alert: alert.key,
+        )
+
+    def events_since(self, cursor: int) -> "list[dict[str, Any]]":
+        """Events with ``seq > cursor`` (absolute, monotone)."""
+        if cursor <= 0:
+            return list(self.events)
+        # seq values are 1..len(events) in order, so slice directly.
+        return self.events[cursor:]
+
+    def counts(self) -> dict[str, int]:
+        fired = sum(alert.fired_total for alert in self.alerts.values())
+        resolved = sum(alert.resolved_total for alert in self.alerts.values())
+        return {
+            "fired": fired,
+            "resolved": resolved,
+            "active": sum(
+                1 for alert in self.alerts.values() if alert.level == FIRING
+            ),
+            "pending": sum(
+                1 for alert in self.alerts.values() if alert.level == PENDING
+            ),
+        }

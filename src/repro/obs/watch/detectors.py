@@ -1,0 +1,422 @@
+"""Streaming anomaly detectors with certified error-rate configuration.
+
+Every detector here is a deterministic fold over its observation
+stream: no clock reads, no randomness, plain-float arithmetic — feeding
+the same observations in the same order always reproduces the same
+decisions, which is what makes the alert layer replayable and
+byte-stable across ``jobs`` values.
+
+Each detector exposes :meth:`certificate`, a plain-data record of its
+configured error-rate guarantee (the false-alarm budget and, where it
+can be bounded, the detection-sample bound).  Certificates travel in
+the ``watch.plan`` event and the :class:`~repro.obs.manifest.RunManifest`
+so an alert stream always carries the statistical contract it was
+produced under.
+
+Signal levels: detectors answer :data:`~repro.obs.watch.alerts.OK`,
+:data:`~repro.obs.watch.alerts.PENDING` (warning zone), or
+:data:`~repro.obs.watch.alerts.FIRING`; the lifecycle fold in
+:mod:`repro.obs.watch.alerts` turns level *changes* into alert events.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParameterError
+from repro.obs.watch.alerts import FIRING, OK, PENDING
+
+
+# ----------------------------------------------------------------------
+# sequential reliability drift (mixture e-value test)
+# ----------------------------------------------------------------------
+class ReliabilityDriftDetector:
+    """Sequential test: is the empirical success stream degraded vs ``target``?
+
+    The null hypothesis is that requests succeed independently with the
+    analytic Eq. 1 probability ``target``.  The detector maintains a
+    **mixture e-process**: for each alternative failure rate
+    ``q_i = factor_i * (1 - target)`` it accumulates the exact
+    log-likelihood ratio of the observed ``(failures, trials)`` counts,
+    and the e-value is the mixture mean ``E_n = mean_i exp(llr_i)``.
+
+    ``E_n`` is a non-negative supermartingale with ``E[E_n] = 1`` under
+    the null, so by Ville's inequality::
+
+        P_H0( sup_n E_n >= 1/alpha ) <= alpha
+
+    — firing when ``E_n >= 1/alpha`` keeps the probability of *ever*
+    raising a false drift alert on a clean stream below ``alpha``, at
+    any stream length, with no multiple-testing correction needed.
+    That inequality is the detector's certificate.
+
+    Under a true degradation to success probability ``p_true < target``
+    the best alternative's log-likelihood grows linearly at rate
+    ``rho = max_i KL-drift`` per trial, so the e-value crosses after
+    about ``(log(1/alpha) + log(m)) / rho`` trials;
+    :meth:`sample_bound` reports that bound with a safety factor, and
+    the CI drift-injection proof asserts the detector beats it.
+    """
+
+    kind = "reliability-drift"
+    severity = "critical"
+
+    def __init__(
+        self,
+        target: float,
+        *,
+        alpha: float = 1e-3,
+        factors: "tuple[float, ...]" = (2.0, 4.0, 8.0, 16.0),
+    ) -> None:
+        if not 0.0 < target < 1.0:
+            raise ParameterError(
+                f"drift target must lie in (0, 1), got {target}"
+            )
+        if not 0.0 < alpha < 1.0:
+            raise ParameterError(f"alpha must lie in (0, 1), got {alpha}")
+        if not factors or any(f <= 1.0 for f in factors):
+            raise ParameterError(
+                f"alternative factors must all exceed 1, got {factors}"
+            )
+        self.target = target
+        self.alpha = alpha
+        q0 = 1.0 - target
+        #: Alternative failure rates (capped below 1: a certain-failure
+        #: alternative would make the log-likelihood unbounded).
+        self.alternatives = tuple(
+            min(factor * q0, 0.5 + q0 / 2.0) for factor in factors
+        )
+        self.factors = tuple(factors)
+        self._llr = [0.0] * len(self.alternatives)
+        self.trials = 0
+        self.failures = 0
+        self.fired_at_trials: "int | None" = None
+
+    # -- the fold ------------------------------------------------------
+    def update(self, failures: int, trials: int) -> int:
+        """Fold one window of counts in; return the signal level."""
+        if trials < 0 or failures < 0 or failures > trials:
+            raise ParameterError(
+                f"invalid drift window: {failures} failures in {trials} trials"
+            )
+        if trials:
+            q0 = 1.0 - self.target
+            successes = trials - failures
+            for index, q1 in enumerate(self.alternatives):
+                self._llr[index] += failures * math.log(q1 / q0) + (
+                    successes * math.log((1.0 - q1) / (1.0 - q0))
+                )
+            self.trials += trials
+            self.failures += failures
+        if self.level() >= FIRING and self.fired_at_trials is None:
+            self.fired_at_trials = self.trials
+        return self.level()
+
+    @property
+    def log_e_value(self) -> float:
+        """``log E_n`` of the mixture e-process (log-sum-exp, stable)."""
+        peak = max(self._llr)
+        return (
+            peak
+            + math.log(
+                sum(math.exp(llr - peak) for llr in self._llr)
+            )
+            - math.log(len(self._llr))
+        )
+
+    @property
+    def threshold(self) -> float:
+        """The e-value's firing bar ``1/alpha`` (in log space: -log alpha)."""
+        return -math.log(self.alpha)
+
+    def level(self) -> int:
+        log_e = self.log_e_value
+        if log_e >= self.threshold:
+            return FIRING
+        if log_e >= self.threshold / 2.0:
+            return PENDING
+        return OK
+
+    def value(self) -> float:
+        """The statistic an alert reports: the current ``log E_n``."""
+        return self.log_e_value
+
+    # -- the certificate -----------------------------------------------
+    def sample_bound(self, p_true: float, *, safety: float = 4.0) -> int:
+        """Trials until firing under true success probability ``p_true``.
+
+        The expected crossing point is ``(log(1/alpha) + log m) / rho``
+        where ``rho`` is the best alternative's expected log-likelihood
+        growth per trial; ``safety`` inflates it so a seeded stream of
+        this length fires with margin to spare.  Raises when no
+        alternative grows (``p_true`` not actually degraded).
+        """
+        q_true = 1.0 - p_true
+        q0 = 1.0 - self.target
+        rates = [
+            q_true * math.log(q1 / q0)
+            + (1.0 - q_true) * math.log((1.0 - q1) / (1.0 - q0))
+            for q1 in self.alternatives
+        ]
+        rho = max(rates)
+        if rho <= 0.0:
+            raise ParameterError(
+                f"p_true={p_true} is not detectable degradation of "
+                f"target={self.target} under alternatives {self.alternatives}"
+            )
+        needed = self.threshold + math.log(len(self.alternatives))
+        return math.ceil(safety * needed / rho)
+
+    def certificate(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "alpha": self.alpha,
+            "factors": list(self.factors),
+            "alternatives": list(self.alternatives),
+            "threshold_log_e": self.threshold,
+            "guarantee": (
+                "P(ever firing | success rate == target) <= alpha "
+                "(Ville's inequality on the mixture e-process)"
+            ),
+        }
+
+
+# ----------------------------------------------------------------------
+# multi-window SLO burn rate
+# ----------------------------------------------------------------------
+@dataclass
+class _Window:
+    """One sliding count window over (ts, bad, total) observations."""
+
+    seconds: float
+    entries: "deque[tuple[float, int, int]]"
+    bad: int = 0
+    total: int = 0
+
+    def add(self, ts: float, bad: int, total: int) -> None:
+        self.entries.append((ts, bad, total))
+        self.bad += bad
+        self.total += total
+        self.prune(ts)
+
+    def prune(self, now: float) -> None:
+        horizon = now - self.seconds
+        while self.entries and self.entries[0][0] <= horizon:
+            _, bad, total = self.entries.popleft()
+            self.bad -= bad
+            self.total -= total
+
+    def rate(self) -> float:
+        return self.bad / self.total if self.total else 0.0
+
+
+class BurnRateDetector:
+    """Multi-window SLO burn-rate alerting over a good/bad stream.
+
+    ``objective`` is the SLO (e.g. 0.99 = 99 % of requests good), so the
+    error budget is ``1 - objective``.  The burn rate of a window is
+    ``observed error rate / budget`` — burn 1.0 consumes the budget
+    exactly at the sustainable pace.  Following the standard
+    multi-window rule, the detector **fires** only when *both* the fast
+    and the slow window burn beyond their factors (fast-only is
+    :data:`PENDING`): the fast window gives detection latency, the slow
+    window keeps a short blip from paging.
+
+    The error-rate guarantee is arithmetic, not stochastic: an alert
+    fires only if the measured error rate exceeded
+    ``fast_burn * budget`` over the fast window **and**
+    ``slow_burn * budget`` over the slow window, with at least
+    ``min_count`` observations in the fast window — the certificate
+    records exactly those constants.  Determinism: windows advance on
+    observation timestamps only.
+    """
+
+    kind = "slo-burn-rate"
+    severity = "page"
+
+    def __init__(
+        self,
+        *,
+        objective: float = 0.99,
+        fast_window: float = 300.0,
+        fast_burn: float = 14.4,
+        slow_window: float = 3600.0,
+        slow_burn: float = 6.0,
+        min_count: int = 12,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ParameterError(
+                f"objective must lie in (0, 1), got {objective}"
+            )
+        if fast_window <= 0 or slow_window < fast_window:
+            raise ParameterError(
+                f"need 0 < fast_window <= slow_window, got "
+                f"{fast_window}/{slow_window}"
+            )
+        if fast_burn <= 0 or slow_burn <= 0:
+            raise ParameterError("burn factors must be positive")
+        if min_count < 1:
+            raise ParameterError(f"min_count must be >= 1, got {min_count}")
+        self.objective = objective
+        self.budget = 1.0 - objective
+        self.fast = _Window(fast_window, deque())
+        self.slow = _Window(slow_window, deque())
+        self.fast_burn = fast_burn
+        self.slow_burn = slow_burn
+        self.min_count = min_count
+
+    def observe(self, ts: float, *, bad: bool) -> int:
+        return self.observe_counts(ts, bad=1 if bad else 0, total=1)
+
+    def observe_counts(self, ts: float, *, bad: int, total: int) -> int:
+        """Fold an aggregated window of outcomes in; return the level."""
+        if total < 0 or bad < 0 or bad > total:
+            raise ParameterError(
+                f"invalid burn window: {bad} bad of {total}"
+            )
+        self.fast.add(ts, bad, total)
+        self.slow.add(ts, bad, total)
+        return self.level()
+
+    def burn(self, window: _Window) -> float:
+        return window.rate() / self.budget
+
+    def level(self) -> int:
+        if self.fast.total < self.min_count:
+            return OK
+        fast_hot = self.burn(self.fast) >= self.fast_burn
+        slow_hot = self.burn(self.slow) >= self.slow_burn
+        if fast_hot and slow_hot:
+            return FIRING
+        if fast_hot:
+            return PENDING
+        return OK
+
+    def value(self) -> float:
+        """The statistic an alert reports: the fast-window burn rate."""
+        return self.burn(self.fast)
+
+    @property
+    def threshold(self) -> float:
+        return self.fast_burn
+
+    def certificate(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "objective": self.objective,
+            "budget": self.budget,
+            "fast_window_s": self.fast.seconds,
+            "fast_burn": self.fast_burn,
+            "slow_window_s": self.slow.seconds,
+            "slow_burn": self.slow_burn,
+            "min_count": self.min_count,
+            "guarantee": (
+                "fires only when the measured error rate exceeds "
+                "fast_burn*budget over the fast window and "
+                "slow_burn*budget over the slow window"
+            ),
+        }
+
+
+# ----------------------------------------------------------------------
+# monitor consistency (posterior vs observed disagreement)
+# ----------------------------------------------------------------------
+class MonitorConsistencyDetector:
+    """Is the monitor's flagged posterior consistent with what votes show?
+
+    Each observation window carries the fleet's vote bookkeeping: how
+    many module-votes participated, how many deviated from the quorum
+    winner, and how many modules the monitor currently flags.  Under
+    the monitor's own likelihood model the expected deviation rate is::
+
+        q_hat = phi * p_dc + (1 - phi) * p_dh
+
+    with ``phi`` the flagged fraction and ``p_dc`` / ``p_dh`` the
+    estimator's deviate probabilities for compromised/healthy modules.
+    The detector fires when the observed rate exceeds
+    ``ratio * q_hat`` by more than a Hoeffding margin
+    ``eps = sqrt(log(1/alpha) / (2 n))`` — i.e. the monitor is *failing
+    to flag* modules whose disagreement the vote stream plainly shows.
+
+    The certificate is Hoeffding's inequality: for any single window
+    whose true deviation rate is at most ``ratio * q_hat``, the
+    probability of firing is below ``alpha``; the ``ratio`` slack (2 by
+    default) absorbs the model-vs-vote approximation so clean runs stay
+    quiet.
+    """
+
+    kind = "monitor-consistency"
+    severity = "warning"
+
+    def __init__(
+        self,
+        *,
+        p_deviate_healthy: float,
+        p_deviate_compromised: float,
+        alpha: float = 1e-6,
+        ratio: float = 2.0,
+        min_participants: int = 256,
+    ) -> None:
+        if not 0.0 <= p_deviate_healthy < p_deviate_compromised <= 1.0:
+            raise ParameterError(
+                "need 0 <= p_deviate_healthy < p_deviate_compromised <= 1, "
+                f"got {p_deviate_healthy}/{p_deviate_compromised}"
+            )
+        if not 0.0 < alpha < 1.0:
+            raise ParameterError(f"alpha must lie in (0, 1), got {alpha}")
+        if ratio < 1.0:
+            raise ParameterError(f"ratio must be >= 1, got {ratio}")
+        self.p_dh = p_deviate_healthy
+        self.p_dc = p_deviate_compromised
+        self.alpha = alpha
+        self.ratio = ratio
+        self.min_participants = min_participants
+        self.last_rate = 0.0
+        self.last_bound = 0.0
+
+    def update(
+        self, *, deviations: int, participants: int, flagged: int
+    ) -> int:
+        """Fold one window of vote bookkeeping in; return the level."""
+        if participants < 0 or deviations < 0 or deviations > participants:
+            raise ParameterError(
+                f"invalid consistency window: {deviations} deviations of "
+                f"{participants} participants"
+            )
+        if participants < self.min_participants:
+            return OK
+        phi = min(1.0, max(0.0, flagged / participants))
+        expected = phi * self.p_dc + (1.0 - phi) * self.p_dh
+        epsilon = math.sqrt(math.log(1.0 / self.alpha) / (2.0 * participants))
+        self.last_rate = deviations / participants
+        self.last_bound = self.ratio * expected + epsilon
+        if self.last_rate > self.last_bound:
+            return FIRING
+        if self.last_rate > self.ratio * expected + epsilon / 2.0:
+            return PENDING
+        return OK
+
+    def value(self) -> float:
+        return self.last_rate
+
+    @property
+    def threshold(self) -> float:
+        return self.last_bound
+
+    def certificate(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "p_deviate_healthy": self.p_dh,
+            "p_deviate_compromised": self.p_dc,
+            "alpha": self.alpha,
+            "ratio": self.ratio,
+            "min_participants": self.min_participants,
+            "guarantee": (
+                "per-window false-alarm probability <= alpha when the true "
+                "deviation rate is within ratio * model rate (Hoeffding)"
+            ),
+        }

@@ -51,6 +51,7 @@ from repro.obs.events import EventStream
 from repro.obs.export import chrome_trace, openmetrics
 from repro.obs.manifest import collect_manifest
 from repro.obs.metrics import MetricsRegistry, active_registry
+from repro.obs.watch import WatchConfig, Watcher
 from repro.serve.coalesce import Coalescer
 from repro.serve.http import (
     ProtocolError,
@@ -94,6 +95,7 @@ _ENDPOINT_LABELS = {
     "/metrics": "metrics",
     "/monitor": "monitor",
     "/events": "events",
+    "/alerts": "alerts",
     "/v1/solve": "solve",
     "/v1/verify": "verify",
     "/v1/sweep": "sweep",
@@ -136,6 +138,9 @@ class ServeConfig:
     events: str | None = None  # JSONL event-stream file (like --events)
     trace_retention: int = 64  # finished request traces kept for /trace
     event_ring: int = 4096  # server-wide events kept for GET /events
+    watch: bool = True  # run the alert watcher over the event stream
+    slo_latency: float = 0.5  # request latency budget (s) for SLO burn
+    slo_objective: float = 0.99  # fraction of requests within the budget
 
     def __post_init__(self) -> None:
         if self.executor not in ("process", "thread"):
@@ -144,6 +149,14 @@ class ServeConfig:
             )
         if self.queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.slo_latency <= 0:
+            raise ValueError(
+                f"slo_latency must be positive, got {self.slo_latency}"
+            )
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ValueError(
+                f"slo_objective must lie in (0, 1), got {self.slo_objective}"
+            )
 
 
 class EventRing:
@@ -244,6 +257,14 @@ class ReliabilityService:
         self.port: int | None = None
         self.traces = TraceStore(self.config.trace_retention)
         self.ring = EventRing(self.config.event_ring)
+        self.watcher: "Watcher | None" = None
+        if self.config.watch:
+            self.watcher = Watcher(
+                WatchConfig(
+                    slo_latency=self.config.slo_latency,
+                    slo_objective=self.config.slo_objective,
+                )
+            )
         self.monitor = None  # attach_monitor() installs a controller
         self._monitor_registry: MetricsRegistry | None = None
         self._results: OrderedDict[str, dict[str, Any]] = OrderedDict()
@@ -283,7 +304,11 @@ class ReliabilityService:
         else:
             self._executor = ThreadPoolExecutor(max_workers=workers)
         self.manifest = collect_manifest(
-            experiment="serve", jobs=workers
+            experiment="serve",
+            jobs=workers,
+            detectors=(
+                self.watcher.certificates() if self.watcher is not None else ()
+            ),
         ).as_dict()
         if self.config.events:
             self._events_sink = open(self.config.events, "w", encoding="utf-8")
@@ -336,11 +361,27 @@ class ReliabilityService:
 
         Also the ``Job.on_event`` hook, so job lifecycle events reach
         ``GET /events`` and the ``--events`` file alongside their own
-        per-job stream.
+        per-job stream.  When the watcher is enabled every forwarded
+        event feeds it too, and any alerts it raises re-enter this path
+        (the watcher skips ``alert.*``, so there is no feedback loop).
         """
         self.ring.append(event)
         if self._events is not None:
             self._events.replay([event])
+        if self.watcher is not None:
+            for alert in self.watcher.feed_event(event):
+                self._record_alert(alert)
+
+    def _record_alert(self, alert: dict[str, Any]) -> None:
+        """Count, gauge, and re-emit one alert lifecycle event."""
+        suffix = alert["event"].rsplit(".", 1)[1]  # pending/firing/resolved
+        self.registry.counter(f"serve.alerts.{suffix}").inc()
+        counts = self.watcher.log.counts()
+        self.registry.gauge("serve.alerts.active").set(counts["active"])
+        self._emit(
+            alert["event"],
+            **{key: value for key, value in alert.items() if key != "event"},
+        )
 
     # ------------------------------------------------------------------
     # connection loop
@@ -451,6 +492,10 @@ class ReliabilityService:
                 return self._require_get(request) or self._events_endpoint(
                     request
                 )
+            if path == "/alerts":
+                return self._require_get(request) or self._alerts_endpoint(
+                    request
+                )
             if path.startswith("/trace/"):
                 return self._require_get(request) or self._trace_endpoint(
                     request
@@ -513,6 +558,43 @@ class ReliabilityService:
                 body=body.encode(), content_type="application/jsonl"
             )
         return _EventTail(ring=self.ring)
+
+    def _alerts_endpoint(self, request: Request) -> Response:
+        """The watcher's state: active alerts + event tail with cursors.
+
+        ``?since=N`` returns only alert events with ``seq > N`` (seqs
+        are absolute and monotone, like the event ring's); ``cursor``
+        in the response is the highest seq included, ready to pass back.
+        """
+        if self.watcher is None:
+            return Response.json(
+                {
+                    "enabled": False,
+                    "active": [],
+                    "counts": {},
+                    "events": [],
+                    "cursor": 0,
+                }
+            )
+        since_raw = request.query.get("since", "0")
+        try:
+            since = int(since_raw)
+        except ValueError:
+            return Response.error(400, f"since must be an integer, got {since_raw!r}")
+        events = self.watcher.log.events_since(since)
+        return Response.json(
+            {
+                "enabled": True,
+                "config": self.watcher.config.as_dict(),
+                "certificates": self.watcher.certificates(),
+                "active": [
+                    alert.as_dict() for alert in self.watcher.log.active()
+                ],
+                "counts": self.watcher.log.counts(),
+                "events": events,
+                "cursor": events[-1]["seq"] if events else self.watcher.log.seq,
+            }
+        )
 
     def _trace_endpoint(self, request: Request) -> Response:
         trace_id = request.path[len("/trace/") :]

@@ -131,16 +131,27 @@ def fingerprint_spec(spec: dict[str, Any]) -> tuple[str, str]:
     so two specs that *assemble the same model* (e.g. ``preset: six``
     versus the explicit six-version parameters) share one identity; the
     cache key additionally pins ``max_states`` and ``method``, exactly
-    as the solver cache does.
+    as the solver cache does, plus the reward-only parameters
+    (``p``/``p_prime``/``alpha``): those enter Eq. 1 through the reward
+    function without touching the net's structure or rates, so the net
+    fingerprint alone would conflate specs with different E[R].
     """
     from repro.engine.hashing import net_fingerprint, solver_cache_key
 
     parameters, max_states, method = resolve_spec(spec)
     net = build_net(parameters)
-    return (
-        net_fingerprint(net),
-        solver_cache_key(net, max_states=max_states, method=method),
-    )
+    reward = hashlib.sha256(
+        json.dumps(
+            {
+                "alpha": repr(parameters.alpha),
+                "p": repr(parameters.p),
+                "p_prime": repr(parameters.p_prime),
+            },
+            sort_keys=True,
+        ).encode()
+    ).hexdigest()[:16]
+    solver_key = solver_cache_key(net, max_states=max_states, method=method)
+    return net_fingerprint(net), f"{solver_key}:reward:{reward}"
 
 
 def result_digest(result: dict[str, Any]) -> str:

@@ -125,6 +125,12 @@ class BatchConfig:
     record_outcomes: bool = False
     #: Record every rejuvenation start as ``(round, group, module)``.
     record_rejuvenations: bool = False
+    #: Record per-round fleet totals (errors, vote participation and
+    #: deviation counts, flagged modules) — the window stream the
+    #: ``repro.obs.watch`` detectors consume.  Per-chunk totals are
+    #: int64 count vectors summed across chunks, so the merged stream
+    #: is independent of ``jobs`` and chunk execution order.
+    record_round_totals: bool = False
 
     def __post_init__(self) -> None:
         if self.groups < 1:
@@ -234,6 +240,12 @@ class BatchReport:
     outcomes: "np.ndarray | None"
     rejuvenations: "tuple[tuple[int, int, int], ...] | None"
     monitor: "BatchMonitorReport | None"
+    #: Per-round fleet totals (``record_round_totals``), all rounds.
+    round_errors: "np.ndarray | None" = None
+    round_inconclusive: "np.ndarray | None" = None
+    round_deviations: "np.ndarray | None" = None
+    round_participants: "np.ndarray | None" = None
+    round_flagged: "np.ndarray | None" = None
 
     @property
     def reliability_safe_skip(self) -> float:
@@ -259,6 +271,11 @@ class _ChunkResult:
     rejuvenations: "list[tuple[int, int, int]]"
     monitor: "BatchMonitorReport | None"
     metrics_snapshot: "dict | None"
+    round_errors: "np.ndarray | None" = None
+    round_inconclusive: "np.ndarray | None" = None
+    round_deviations: "np.ndarray | None" = None
+    round_participants: "np.ndarray | None" = None
+    round_flagged: "np.ndarray | None" = None
 
 
 def _simulate_chunk(config: BatchConfig, chunk_index: int) -> _ChunkResult:
@@ -291,6 +308,15 @@ def _simulate_chunk(config: BatchConfig, chunk_index: int) -> _ChunkResult:
         if config.record_outcomes
         else None
     )
+    if config.record_round_totals:
+        round_errors = np.zeros(config.rounds, dtype=np.int64)
+        round_inconclusive = np.zeros(config.rounds, dtype=np.int64)
+        round_deviations = np.zeros(config.rounds, dtype=np.int64)
+        round_participants = np.zeros(config.rounds, dtype=np.int64)
+        round_flagged = np.zeros(config.rounds, dtype=np.int64)
+    else:
+        round_errors = round_inconclusive = None
+        round_deviations = round_participants = round_flagged = None
     rejuvenations: "list[tuple[int, int, int]]" = []
 
     monitor = (
@@ -423,6 +449,11 @@ def _simulate_chunk(config: BatchConfig, chunk_index: int) -> _ChunkResult:
         outcome = classify_worst_case(votes, votes - wrong, threshold)
         if outcomes is not None:
             outcomes[k] = outcome
+        if round_errors is not None:
+            round_errors[k] = int((outcome == OUTCOME_ERROR).sum())
+            round_inconclusive[k] = int(
+                (outcome == OUTCOME_INCONCLUSIVE).sum()
+            )
         if k >= config.warmup_rounds:
             measured_correct += outcome == OUTCOME_CORRECT
             measured_errors += outcome == OUTCOME_ERROR
@@ -454,11 +485,16 @@ def _simulate_chunk(config: BatchConfig, chunk_index: int) -> _ChunkResult:
                 & (tally.winner[:, None] >= 0)
                 & (labels != tally.winner[:, None])
             )
+            if round_deviations is not None:
+                round_deviations[k] = int(deviated.sum())
+                round_participants[k] = int(participated.sum())
             commands = monitor.observe_round(
                 now, participated, deviated, outcome
             )
             if commands is not None and commands.any():
                 start_rejuvenation(commands, now, k)
+            if round_flagged is not None:
+                round_flagged[k] = int(monitor.flagged.sum())
 
     return _ChunkResult(
         chunk_index=chunk_index,
@@ -470,6 +506,11 @@ def _simulate_chunk(config: BatchConfig, chunk_index: int) -> _ChunkResult:
         rejuvenations=rejuvenations,
         monitor=monitor.report() if monitor is not None else None,
         metrics_snapshot=None,
+        round_errors=round_errors,
+        round_inconclusive=round_inconclusive,
+        round_deviations=round_deviations,
+        round_participants=round_participants,
+        round_flagged=round_flagged,
     )
 
 
@@ -554,6 +595,13 @@ def simulate_batch(config: BatchConfig, *, jobs: int = 1) -> BatchReport:
         if config.monitor is not None
         else None
     )
+    def _round_sum(name: str) -> "np.ndarray | None":
+        # int64 counts: addition is exact and commutative, so the
+        # per-round stream is identical at every jobs value.
+        if not config.record_round_totals:
+            return None
+        return np.sum([getattr(r, name) for r in results], axis=0)
+
     measured_rounds = config.rounds - config.warmup_rounds
     requests = measured_rounds * config.groups
     report = BatchReport(
@@ -578,6 +626,11 @@ def simulate_batch(config: BatchConfig, *, jobs: int = 1) -> BatchReport:
             tuple(rejuvenation_list) if config.record_rejuvenations else None
         ),
         monitor=monitor_report,
+        round_errors=_round_sum("round_errors"),
+        round_inconclusive=_round_sum("round_inconclusive"),
+        round_deviations=_round_sum("round_deviations"),
+        round_participants=_round_sum("round_participants"),
+        round_flagged=_round_sum("round_flagged"),
     )
     obs_counter("sim.batch.requests").inc(total_requests)
     obs_counter("sim.batch.errors").inc(report.errors)

@@ -159,6 +159,34 @@ class TestOpenMetrics:
         for quantile in SUMMARY_QUANTILES:
             assert f'repro_markov_residual{{quantile="{quantile}"}}' in text
 
+    def test_p99_quantile_is_exported_and_merge_stable(self):
+        """p99 must be identical whether observations arrive in one
+        registry or sharded across workers and merged (the log2-bucket
+        quantile is a pure function of the merged bucket vector)."""
+        assert 0.99 in SUMMARY_QUANTILES
+        values = [0.001 * (i % 7 + 1) * (2 ** (i % 11)) for i in range(500)]
+        single = MetricsRegistry()
+        shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+        for index, value in enumerate(values):
+            single.histogram("serve.request.seconds").observe(value)
+            shard = shard_a if index % 2 == 0 else shard_b
+            shard.histogram("serve.request.seconds").observe(value)
+        merged = MetricsRegistry()
+        merged.merge(shard_a.snapshot())
+        merged.merge(shard_b.snapshot())
+        assert merged.histogram("serve.request.seconds").quantile(
+            0.99
+        ) == single.histogram("serve.request.seconds").quantile(0.99)
+        line = 'repro_serve_request_seconds{quantile="0.99"}'
+        single_line = next(
+            l for l in openmetrics(single).splitlines() if l.startswith(line)
+        )
+        merged_line = next(
+            l for l in openmetrics(merged).splitlines() if l.startswith(line)
+        )
+        assert single_line == merged_line
+        assert_valid_openmetrics(openmetrics(merged))
+
     def test_empty_registry_is_just_eof(self):
         assert openmetrics(MetricsRegistry()) == "# EOF\n"
         assert_valid_openmetrics(openmetrics(MetricsRegistry()))

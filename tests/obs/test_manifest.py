@@ -61,9 +61,22 @@ class TestCollectManifest:
             "cache_policy",
             "clock",
             "solver_routing",
+            "detectors",
         }
         assert data["solver_routing"]["sparse_state_threshold"] > 0
         assert "decisions" in data["solver_routing"]
+        assert data["detectors"] == []
+
+    def test_detector_certificates_travel_in_the_manifest(self):
+        from repro.obs.watch import WatchConfig, Watcher
+
+        certificates = Watcher(WatchConfig(target=0.99)).certificates()
+        data = collect_manifest(detectors=certificates).as_dict()
+        assert json.loads(json.dumps(data)) == data
+        kinds = [certificate["kind"] for certificate in data["detectors"]]
+        assert "reliability-drift" in kinds and "slo-burn-rate" in kinds
+        drift = data["detectors"][kinds.index("reliability-drift")]
+        assert drift["alpha"] == 1e-3 and drift["target"] == 0.99
 
 
 class TestRunManifest:

@@ -261,6 +261,33 @@ class TestBenchCli:
         ).read_text()
         assert golden.rstrip("\n") in doc
 
+    def test_docs_cover_alerting(self):
+        """Doc-freshness: the alerting subsystem is documented end to end.
+
+        OBSERVABILITY.md owns the detector math and replay contract;
+        SERVING.md documents the `/alerts` surface and cross-links it;
+        MONITORING.md points monitored batch runs at `--watch`.
+        Renaming the benchmark, the test file, or the endpoint without
+        updating the docs fails here.
+        """
+        from pathlib import Path
+
+        docs = Path(__file__).resolve().parents[2] / "docs"
+        obs = (docs / "OBSERVABILITY.md").read_text()
+        assert "## Alerting" in obs
+        assert "repro watch" in obs
+        assert "watch-firehose-1m" in obs
+        assert "bench_watch_overhead.py" in obs
+        assert "test_batch_watch.py" in obs
+        assert "Ville" in obs and "Hoeffding" in obs
+        serving = (docs / "SERVING.md").read_text()
+        assert "/alerts" in serving
+        assert "OBSERVABILITY.md#alerting" in serving
+        assert "serve.alerts.{pending,firing,resolved}" in serving
+        monitoring = (docs / "MONITORING.md").read_text()
+        assert "OBSERVABILITY.md#alerting" in monitoring
+        assert "--watch" in monitoring
+
     def test_committed_history_gates_clean(self, capsys):
         """The repository's own baseline accepts a current fake run.
 
@@ -303,3 +330,61 @@ class TestSimBatchWorkload:
         from repro.obs.regress import _bench_sim_batch
 
         assert BENCH_SUITE["sim-batch-1m"] is _bench_sim_batch
+
+
+class TestWatchFirehoseWorkload:
+    """The watch-firehose-1m workload and its overhead budget."""
+
+    def test_suite_entry_is_the_watch_workload(self):
+        from repro.obs.regress import _bench_watch_firehose
+
+        assert BENCH_SUITE["watch-firehose-1m"] is _bench_watch_firehose
+
+    def test_watch_fold_is_a_rounding_error_next_to_the_simulation(self):
+        """The detector fold over the 1M-request report must cost well
+        under the 5 % overhead budget the benchmark enforces — it is
+        O(rounds/block) windows of plain-float arithmetic against the
+        runtime's O(groups x rounds) vectorized work."""
+        import dataclasses
+
+        from repro.obs import now
+        from repro.obs.metrics import registry_override
+        from repro.obs.regress import sim_batch_config
+        from repro.obs.watch import batch_watch_config, watch_batch_report
+        from repro.perception.evaluation import evaluate
+        from repro.simulation import simulate_batch
+
+        config = dataclasses.replace(
+            sim_batch_config(), record_round_totals=True
+        )
+        target = evaluate(config.parameters).expected_reliability
+        with registry_override():
+            start = now()
+            report = simulate_batch(config)
+            simulate_s = now() - start
+        watch_config = batch_watch_config(config, target=target)
+        start = now()
+        watcher = watch_batch_report(config, report, watch_config)
+        fold_s = now() - start
+        assert watcher.windows_seen == config.rounds // watch_config.block
+        assert watcher.log.events == [], "clean firehose must stay quiet"
+        assert fold_s < 0.05 * simulate_s, (
+            f"watch fold took {fold_s * 1000:.1f} ms against a "
+            f"{simulate_s * 1000:.1f} ms simulation"
+        )
+
+    def test_overhead_benchmark_enforces_the_five_percent_budget(self):
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "bench_watch_overhead.py"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "bench_watch_overhead", script
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.BUDGET_PCT == 5.0

@@ -50,7 +50,7 @@ def test_rendering_is_a_pure_function_of_the_events():
 
 def test_every_fixture_event_kind_is_understood():
     state = state_from_lines(EVENTS.read_text(encoding="utf-8").splitlines())
-    assert state.events_seen == 32
+    assert state.events_seen == 36
     assert (state.hits, state.coalesced, state.misses) == (6, 2, 4)
     assert state.executed == 4
     assert state.inflight == 0
@@ -59,6 +59,9 @@ def test_every_fixture_event_kind_is_understood():
     assert (state.flags, state.unflags, state.rejuvenations) == (2, 1, 2)
     assert (state.backpressure, state.ratelimited) == (1, 1)
     assert state.latency.count == 4
+    assert (state.alerts_fired, state.alerts_resolved) == (2, 1)
+    assert state.alerts_pending == 1
+    assert state.firing_keys == {"drift:reliability"}
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,413 @@
+"""Unit tests for repro.obs.watch: detectors, lifecycle fold, replay.
+
+The load-bearing properties:
+
+* the drift e-process stays quiet on a clean stream (Ville guarantee)
+  and beats its certified sample bound under real degradation;
+* the burn-rate rule pages only when fast AND slow windows are hot;
+* the consistency check honours its ratio slack and Hoeffding margin;
+* the alert lifecycle is a pure fold — dedup keys, episode counters,
+  absolute cursors — and a recorded stream replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.watch import (
+    FIRING,
+    OK,
+    PENDING,
+    AlertLog,
+    BurnRateDetector,
+    MonitorConsistencyDetector,
+    ReliabilityDriftDetector,
+    WatchConfig,
+    Watcher,
+    replay_events,
+)
+
+
+# ----------------------------------------------------------------------
+# reliability drift (mixture e-value)
+# ----------------------------------------------------------------------
+class TestReliabilityDrift:
+    def test_clean_stream_never_fires(self):
+        """Zero failures against a 99.9 %-success target: log E_n falls,
+        never approaches the bar — the Ville guarantee in miniature."""
+        detector = ReliabilityDriftDetector(0.999, alpha=1e-3)
+        for _ in range(1000):
+            assert detector.update(0, 100) == OK
+        assert detector.log_e_value < 0.0
+
+    def test_on_target_failures_stay_ok(self):
+        """Failures exactly at the target rate keep the e-value near 1."""
+        detector = ReliabilityDriftDetector(0.99, alpha=1e-3)
+        for _ in range(200):
+            detector.update(1, 100)  # 1% failures == 1 - target
+        assert detector.level() == OK
+
+    def test_degradation_fires_within_the_certified_bound(self):
+        detector = ReliabilityDriftDetector(0.999, alpha=1e-3)
+        bound = detector.sample_bound(0.99)  # 10x the target failure rate
+        window = 100
+        for _ in range(math.ceil(bound / window)):
+            if detector.update(1, window) == FIRING:
+                break
+        assert detector.level() == FIRING
+        assert detector.fired_at_trials is not None
+        assert detector.fired_at_trials <= bound
+
+    def test_pending_zone_precedes_firing(self):
+        detector = ReliabilityDriftDetector(0.999, alpha=1e-3)
+        levels = []
+        while detector.level() != FIRING:
+            levels.append(detector.update(1, 100))
+        assert PENDING in levels, "must pass through the warning zone"
+        assert levels.index(PENDING) < levels.index(FIRING)
+
+    def test_alternatives_capped_below_certainty(self):
+        """Huge factors must not produce q1 >= 1 (unbounded LLR)."""
+        detector = ReliabilityDriftDetector(0.5, factors=(2.0, 100.0))
+        assert all(q < 1.0 for q in detector.alternatives)
+
+    def test_sample_bound_rejects_non_degradation(self):
+        detector = ReliabilityDriftDetector(0.99)
+        with pytest.raises(ParameterError, match="not detectable"):
+            detector.sample_bound(0.999)  # better than target
+
+    def test_certificate_is_plain_json_data(self):
+        certificate = ReliabilityDriftDetector(0.99, alpha=1e-4).certificate()
+        assert json.loads(json.dumps(certificate)) == certificate
+        assert certificate["kind"] == "reliability-drift"
+        assert certificate["alpha"] == 1e-4
+        assert certificate["threshold_log_e"] == pytest.approx(-math.log(1e-4))
+        assert "Ville" in certificate["guarantee"]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target": 0.0},
+            {"target": 1.0},
+            {"target": 0.9, "alpha": 0.0},
+            {"target": 0.9, "factors": ()},
+            {"target": 0.9, "factors": (0.5,)},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        target = kwargs.pop("target")
+        with pytest.raises(ParameterError):
+            ReliabilityDriftDetector(target, **kwargs)
+
+    def test_invalid_window_rejected(self):
+        detector = ReliabilityDriftDetector(0.99)
+        with pytest.raises(ParameterError, match="invalid drift window"):
+            detector.update(5, 3)
+
+
+# ----------------------------------------------------------------------
+# SLO burn rate
+# ----------------------------------------------------------------------
+class TestBurnRate:
+    def _hot(self, detector: BurnRateDetector, n: int, start: float = 0.0):
+        level = OK
+        for index in range(n):
+            level = detector.observe(start + index, bad=True)
+        return level
+
+    def test_fast_and_slow_hot_fires(self):
+        detector = BurnRateDetector(objective=0.99)
+        assert self._hot(detector, 20) == FIRING
+
+    def test_fast_only_is_pending(self):
+        """Errors old enough to leave the fast window but not the slow
+        one dilute the slow burn below its factor: no page."""
+        detector = BurnRateDetector(
+            objective=0.99, fast_window=30.0, slow_window=1000.0
+        )
+        for index in range(400):  # all-good history fills the slow window
+            detector.observe(float(index), bad=False)
+        level = OK
+        for index in range(20):  # a fresh hot burst
+            level = detector.observe(400.0 + index, bad=True)
+        assert level == PENDING
+        assert detector.burn(detector.fast) >= detector.fast_burn
+        assert detector.burn(detector.slow) < detector.slow_burn
+
+    def test_min_count_suppresses_early_noise(self):
+        detector = BurnRateDetector(objective=0.99, min_count=12)
+        for index in range(11):
+            assert detector.observe(float(index), bad=True) == OK
+
+    def test_windows_slide_on_observation_time_only(self):
+        detector = BurnRateDetector(
+            objective=0.99, fast_window=20.0, slow_window=40.0
+        )
+        self._hot(detector, 15)
+        assert detector.level() == FIRING
+        # a long quiet stretch in *stream* time evicts the errors
+        for index in range(30):
+            detector.observe(100.0 + index, bad=False)
+        assert detector.level() == OK
+
+    def test_observe_counts_aggregates(self):
+        a = BurnRateDetector(objective=0.99)
+        b = BurnRateDetector(objective=0.99)
+        for index in range(12):
+            a.observe(float(index), bad=True)
+        b.observe_counts(11.0, bad=12, total=12)
+        assert a.level() == b.level() == FIRING
+
+    def test_certificate_records_the_rule_constants(self):
+        certificate = BurnRateDetector(objective=0.999).certificate()
+        assert json.loads(json.dumps(certificate)) == certificate
+        assert certificate["budget"] == pytest.approx(0.001)
+        assert certificate["fast_burn"] == 14.4
+        assert certificate["slow_burn"] == 6.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"objective": 1.0},
+            {"fast_window": 0.0},
+            {"fast_window": 100.0, "slow_window": 10.0},
+            {"fast_burn": 0.0},
+            {"min_count": 0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            BurnRateDetector(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# monitor consistency
+# ----------------------------------------------------------------------
+class TestMonitorConsistency:
+    def _detector(self, **kwargs):
+        kwargs.setdefault("p_deviate_healthy", 0.01)
+        kwargs.setdefault("p_deviate_compromised", 0.3)
+        return MonitorConsistencyDetector(**kwargs)
+
+    def test_model_consistent_votes_stay_ok(self):
+        detector = self._detector()
+        # nothing flagged, deviations at the healthy model rate
+        assert detector.update(
+            deviations=10, participants=1000, flagged=0
+        ) == OK
+
+    def test_underflagged_disagreement_fires(self):
+        """Votes deviating at 15x the healthy rate while the monitor
+        flags nobody: exactly the inconsistency this detector exists
+        to catch."""
+        detector = self._detector()
+        assert detector.update(
+            deviations=150, participants=1000, flagged=0
+        ) == FIRING
+
+    def test_flagged_modules_raise_the_allowance(self):
+        """The same deviation load is consistent once the monitor has
+        flagged enough modules to explain it."""
+        detector = self._detector()
+        assert detector.update(
+            deviations=100, participants=1000, flagged=500
+        ) == OK
+
+    def test_small_windows_abstain(self):
+        detector = self._detector(min_participants=256)
+        assert detector.update(
+            deviations=100, participants=100, flagged=0
+        ) == OK
+
+    def test_hoeffding_margin_scales_with_alpha(self):
+        strict = self._detector(alpha=1e-2)
+        lax = self._detector(alpha=1e-12)
+        for detector in (strict, lax):
+            detector.update(deviations=50, participants=1000, flagged=0)
+        assert lax.last_bound > strict.last_bound
+        expected = 2.0 * 0.01 + math.sqrt(math.log(1e2) / 2000.0)
+        assert strict.last_bound == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p_deviate_healthy": 0.5, "p_deviate_compromised": 0.1},
+            {"p_deviate_healthy": -0.1, "p_deviate_compromised": 0.3},
+            {"p_deviate_healthy": 0.01, "p_deviate_compromised": 0.3,
+             "ratio": 0.5},
+            {"p_deviate_healthy": 0.01, "p_deviate_compromised": 0.3,
+             "alpha": 0.0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            MonitorConsistencyDetector(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# alert lifecycle fold
+# ----------------------------------------------------------------------
+class TestAlertLog:
+    def _observe(self, log, level, time, key="k"):
+        return log.observe(
+            key=key,
+            detector="d",
+            severity="page",
+            level=level,
+            time=time,
+            value=1.0,
+            threshold=2.0,
+        )
+
+    def test_full_lifecycle_emits_three_events(self):
+        log = AlertLog()
+        assert [e["event"] for e in self._observe(log, PENDING, 1.0)] == [
+            "alert.pending"
+        ]
+        assert [e["event"] for e in self._observe(log, FIRING, 2.0)] == [
+            "alert.firing"
+        ]
+        assert [e["event"] for e in self._observe(log, OK, 3.0)] == [
+            "alert.resolved"
+        ]
+        assert log.counts() == {
+            "fired": 1, "resolved": 1, "active": 0, "pending": 0
+        }
+
+    def test_steady_state_is_silent(self):
+        log = AlertLog()
+        self._observe(log, FIRING, 1.0)
+        assert self._observe(log, FIRING, 2.0) == []
+        assert len(log.events) == 1
+
+    def test_pending_that_cools_off_never_pages(self):
+        log = AlertLog()
+        self._observe(log, PENDING, 1.0)
+        assert self._observe(log, OK, 2.0) == []
+        assert [e["event"] for e in log.events] == ["alert.pending"]
+        assert log.counts()["fired"] == 0
+
+    def test_reentry_bumps_the_episode(self):
+        log = AlertLog()
+        self._observe(log, FIRING, 1.0)
+        self._observe(log, OK, 2.0)
+        (event,) = self._observe(log, FIRING, 3.0)
+        assert event["episode"] == 2
+        assert log.alerts["k"].fired_total == 2
+
+    def test_keys_dedup_independent_state_machines(self):
+        log = AlertLog()
+        self._observe(log, FIRING, 1.0, key="a")
+        self._observe(log, FIRING, 2.0, key="b")
+        self._observe(log, OK, 3.0, key="a")
+        assert [a.key for a in log.active()] == ["b"]
+        assert log.counts() == {
+            "fired": 2, "resolved": 1, "active": 1, "pending": 0
+        }
+
+    def test_seq_cursors_are_absolute_and_resumable(self):
+        log = AlertLog()
+        for time in range(1, 4):
+            self._observe(log, FIRING, float(time), key=f"k{time}")
+        assert [e["seq"] for e in log.events] == [1, 2, 3]
+        assert [e["seq"] for e in log.events_since(1)] == [2, 3]
+        assert log.events_since(99) == []
+        assert log.events_since(0) == log.events
+
+    def test_events_are_deterministic_json(self):
+        log = AlertLog()
+        self._observe(log, FIRING, 1.0)
+        event = log.events[0]
+        assert json.loads(json.dumps(event)) == event
+        assert "ts" not in event, "alert events carry stream time only"
+
+
+# ----------------------------------------------------------------------
+# Watcher + replay
+# ----------------------------------------------------------------------
+class TestWatcher:
+    def test_config_round_trips_through_plan_dict(self):
+        config = WatchConfig(target=0.99, alpha=1e-4, drift_factors=(3.0, 9.0))
+        assert WatchConfig.from_dict(config.as_dict()) == config
+
+    def test_from_dict_ignores_unknown_fields(self):
+        assert WatchConfig.from_dict({"target": 0.9, "frobnicate": 1}) == (
+            WatchConfig(target=0.9)
+        )
+
+    def test_plan_carries_certificates_for_armed_detectors(self):
+        watcher = Watcher(
+            WatchConfig(
+                target=0.99,
+                p_deviate_healthy=0.01,
+                p_deviate_compromised=0.3,
+            )
+        )
+        plan = watcher.plan()
+        assert plan["event"] == "watch.plan"
+        kinds = [c["kind"] for c in plan["certificates"]]
+        assert kinds == [
+            "reliability-drift", "monitor-consistency", "slo-burn-rate"
+        ]
+        assert json.loads(json.dumps(plan)) == plan
+
+    def test_feed_event_skips_alert_and_watch_kinds(self):
+        watcher = Watcher(WatchConfig())
+        assert watcher.feed_event({"event": "alert.firing", "seq": 1}) == []
+        assert watcher.feed_event({"event": "watch.plan"}) == []
+        assert watcher.events_seen == 0
+
+    def test_solve_done_feeds_the_op_burn_detector(self):
+        watcher = Watcher(WatchConfig(slo_latency=0.1))
+        events = []
+        for index in range(20):
+            events.extend(
+                watcher.feed_event(
+                    {"event": "serve.solve.done", "ts": float(index),
+                     "seconds": 5.0, "op": "solve"}
+                )
+            )
+        assert any(e["event"] == "alert.firing" for e in events)
+        assert {e["key"] for e in events} == {"slo:solve"}
+
+    def test_replay_reproduces_the_alert_stream_byte_for_byte(self):
+        watcher = Watcher(WatchConfig(target=0.999, slo_latency=0.1))
+        stream = [watcher.plan()]
+        for index in range(40):
+            window = {
+                "event": "sim.batch.window",
+                "time": float(index + 1),
+                "errors": 2,
+                "trials": 100,
+            }
+            stream.append(window)
+            watcher.feed_event(window)
+        assert watcher.log.counts()["fired"] >= 1
+        replayed = replay_events(iter(stream))
+        assert list(replayed.alert_lines()) == list(watcher.alert_lines())
+
+    def test_replay_target_override_rearms_the_drift_detector(self):
+        quiet = Watcher(WatchConfig())  # no drift detector armed
+        stream = [quiet.plan()] + [
+            {"event": "sim.batch.window", "time": float(i + 1),
+             "errors": 5, "trials": 100}
+            for i in range(40)
+        ]
+        assert replay_events(iter(stream)).log.counts()["fired"] == 0
+        armed = replay_events(iter(stream), target=0.999)
+        assert armed.log.counts()["fired"] >= 1
+
+    def test_replay_without_any_plan_raises(self):
+        with pytest.raises(ParameterError, match="no watch configuration"):
+            replay_events(iter([{"event": "sim.batch.window"}]))
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"block": 0}, {"slo_latency": 0.0}]
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            WatchConfig(**kwargs)

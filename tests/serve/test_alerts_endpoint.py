@@ -1,0 +1,178 @@
+"""``GET /alerts``: the serve watcher's state over HTTP.
+
+The service feeds every ring event through its :class:`Watcher`; slow
+``serve.solve.done`` events burn the SLO budget, raised alerts come
+back through the ring (visible to ``GET /events`` and ``repro top``)
+and surface here with absolute cursors, while ``serve.alerts.*``
+metrics land in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.client import request
+from tests.serve.conftest import running_service
+from tests.serve.test_app import fast_config
+
+
+def watch_config(**overrides):
+    defaults = dict(
+        executor="thread", workers=1, watch=True, slo_latency=0.1
+    )
+    defaults.update(overrides)
+    return fast_config(**defaults)
+
+
+def burn_slo(service, n=20, op="solve"):
+    """Feed ``n`` slow solve events straight into the event path."""
+    for index in range(n):
+        service._forward_event(
+            {
+                "event": "serve.solve.done",
+                "ts": float(index),
+                "seconds": 5.0,
+                "op": op,
+            }
+        )
+
+
+class TestAlertsEndpoint:
+    def test_watch_disabled_reports_enabled_false(self):
+        async def go():
+            config = watch_config(watch=False)
+            async with running_service(config) as (_, host, port):
+                response = await request(host, port, "GET", "/alerts")
+                assert response.status == 200
+                assert response.json() == {
+                    "enabled": False,
+                    "active": [],
+                    "counts": {},
+                    "events": [],
+                    "cursor": 0,
+                }
+
+        asyncio.run(go())
+
+    def test_quiet_watcher_reports_config_and_certificates(self):
+        async def go():
+            async with running_service(watch_config()) as (_, host, port):
+                body = (await request(host, port, "GET", "/alerts")).json()
+                assert body["enabled"] is True
+                assert body["config"]["slo_latency"] == 0.1
+                kinds = [c["kind"] for c in body["certificates"]]
+                assert "slo-burn-rate" in kinds
+                assert body["active"] == []
+                assert body["counts"]["fired"] == 0
+                assert body["events"] == [] and body["cursor"] == 0
+
+        asyncio.run(go())
+
+    def test_slow_requests_fire_a_page_visible_everywhere(self):
+        async def go():
+            async with running_service(watch_config()) as (
+                service, host, port,
+            ):
+                burn_slo(service)
+                body = (await request(host, port, "GET", "/alerts")).json()
+                (alert,) = [
+                    a for a in body["active"] if a["key"] == "slo:solve"
+                ]
+                assert alert["state"] == "firing"
+                assert alert["severity"] == "page"
+                assert body["counts"]["active"] == 1
+                kinds = [e["event"] for e in body["events"]]
+                assert "alert.firing" in kinds
+                # the alert also rode the ring: GET /events sees it
+                ring_kinds = [
+                    e.get("event") for e in service.ring.snapshot()
+                ]
+                assert "alert.firing" in ring_kinds
+                # and the metrics surface counted it
+                metrics = (
+                    await request(host, port, "GET", "/metrics")
+                ).body.decode()
+                assert "repro_serve_alerts_firing_total 1.0" in metrics
+                assert "repro_serve_alerts_active 1.0" in metrics
+
+        asyncio.run(go())
+
+    def test_since_cursor_resumes_without_replay(self):
+        async def go():
+            async with running_service(watch_config()) as (
+                service, host, port,
+            ):
+                burn_slo(service)
+                first = (await request(host, port, "GET", "/alerts")).json()
+                assert first["events"]
+                cursor = first["cursor"]
+                assert cursor == first["events"][-1]["seq"]
+                second = (
+                    await request(
+                        host, port, "GET", f"/alerts?since={cursor}"
+                    )
+                ).json()
+                assert second["events"] == []
+                assert second["cursor"] == cursor
+                # resolve by going quiet: much-later fast requests
+                for index in range(50):
+                    service._forward_event(
+                        {
+                            "event": "serve.solve.done",
+                            "ts": 10000.0 + index,
+                            "seconds": 0.001,
+                            "op": "solve",
+                        }
+                    )
+                third = (
+                    await request(
+                        host, port, "GET", f"/alerts?since={cursor}"
+                    )
+                ).json()
+                kinds = [e["event"] for e in third["events"]]
+                assert "alert.resolved" in kinds
+                assert all(e["seq"] > cursor for e in third["events"])
+                assert third["counts"]["active"] == 0
+
+        asyncio.run(go())
+
+    def test_bad_since_is_a_400(self):
+        async def go():
+            async with running_service(watch_config()) as (_, host, port):
+                response = await request(
+                    host, port, "GET", "/alerts?since=banana"
+                )
+                assert response.status == 400
+
+        asyncio.run(go())
+
+    def test_alerts_is_get_only(self):
+        async def go():
+            async with running_service(watch_config()) as (_, host, port):
+                response = await request(host, port, "POST", "/alerts")
+                assert response.status == 405
+
+        asyncio.run(go())
+
+    def test_manifest_carries_the_detector_certificates(self):
+        async def go():
+            async with running_service(watch_config()) as (service, _, __):
+                kinds = [
+                    c["kind"] for c in service.manifest["detectors"]
+                ]
+                assert "slo-burn-rate" in kinds
+
+        asyncio.run(go())
+
+    def test_per_op_keys_are_independent(self):
+        async def go():
+            async with running_service(watch_config()) as (
+                service, host, port,
+            ):
+                burn_slo(service, op="solve")
+                burn_slo(service, op="verify")
+                body = (await request(host, port, "GET", "/alerts")).json()
+                keys = [a["key"] for a in body["active"]]
+                assert keys == ["slo:solve", "slo:verify"]  # sorted
+
+        asyncio.run(go())

@@ -66,6 +66,28 @@ class TestBasicEndpoints:
 
         asyncio.run(go())
 
+    def test_reward_only_parameter_change_is_not_a_cache_hit(self):
+        # p changes E[R] through the Eq. 1 reward without touching the
+        # net, so the result cache must distinguish the two specs.
+        async def go():
+            async with running_service(fast_config()) as (_, host, port):
+                low = await request(
+                    host, port, "POST", "/v1/solve",
+                    payload={"preset": "six", "p": 0.01},
+                )
+                high = await request(
+                    host, port, "POST", "/v1/solve",
+                    payload={"preset": "six", "p": 0.14},
+                )
+                assert low.json()["cache"] == "miss"
+                assert high.json()["cache"] == "miss"
+                assert high.json()["fingerprint"] == low.json()["fingerprint"]
+                a = low.json()["result"]["expected_reliability"]
+                b = high.json()["result"]["expected_reliability"]
+                assert a > b  # more accurate modules -> higher E[R]
+
+        asyncio.run(go())
+
     def test_verify_endpoint_returns_certificate(self):
         async def go():
             async with running_service(fast_config()) as (_, host, port):

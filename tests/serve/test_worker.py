@@ -96,6 +96,24 @@ class TestFingerprints:
         assert fp_a == fp_b
         assert key_a != key_b
 
+    def test_reward_parameters_change_key_not_fingerprint(self):
+        # p/p_prime/alpha enter Eq. 1 through the reward, not the net:
+        # the fingerprint (model identity) is shared but the cache key
+        # must differ, or a cached E[R] for one p answers requests for
+        # another.
+        base_fp, base_key = fingerprint_spec({"preset": "six"})
+        for tweak in ({"p": 0.14}, {"p_prime": 0.9}, {"alpha": 0.1}):
+            fp, key = fingerprint_spec({"preset": "six", **tweak})
+            assert fp == base_fp, tweak
+            assert key != base_key, tweak
+
+    def test_equivalent_reward_parameters_share_a_key(self):
+        _, implicit = fingerprint_spec({"preset": "six"})
+        _, explicit = fingerprint_spec(
+            {"preset": "six", "p": 0.08, "p_prime": 0.5, "alpha": 0.5}
+        )
+        assert implicit == explicit
+
 
 class TestResultDigest:
     def test_digest_is_canonical_json_sha256(self):

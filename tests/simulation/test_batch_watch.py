@@ -1,0 +1,239 @@
+"""Watch detectors over the batch runtime: the determinism contract.
+
+The acceptance proofs for ``repro simulate --batch --watch``:
+
+* a clean Fig. 2 stream held against its own analytic Eq. 1 target
+  raises **zero** alerts (Ville's inequality in action);
+* an injected degradation (``p`` tripled) held against the *clean*
+  target fires the drift detector within its certified sample bound;
+* the alert stream is byte-identical at ``jobs=1`` and ``jobs=4``; and
+* ``repro watch`` replays a recorded ``--events`` file into the exact
+  bytes the run's ``--alerts`` file recorded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ParameterError
+from repro.obs.watch import (
+    batch_watch_config,
+    batch_windows,
+    watch_batch_report,
+)
+from repro.perception.evaluation import evaluate
+from repro.simulation import BatchConfig, BatchMonitorConfig, simulate_batch
+
+
+def _config(parameters, **overrides) -> BatchConfig:
+    base = dict(
+        parameters=parameters,
+        groups=64,
+        rounds=96,
+        request_period=0.5,
+        seed=3,
+        chunk_size=16,
+        record_round_totals=True,
+    )
+    base.update(overrides)
+    return BatchConfig(**base)
+
+
+@pytest.fixture
+def analytic_six(six_version_parameters) -> float:
+    return evaluate(six_version_parameters).expected_reliability
+
+
+@pytest.fixture
+def degraded_six(six_version_parameters):
+    """The paper's 6-version configuration with ``p`` tripled — an
+    injected accuracy regression the analytic target knows nothing
+    about."""
+    return dataclasses.replace(
+        six_version_parameters, p=six_version_parameters.p * 3
+    )
+
+
+# ----------------------------------------------------------------------
+# windowing
+# ----------------------------------------------------------------------
+class TestBatchWindows:
+    def test_windows_partition_the_measured_rounds(
+        self, six_version_parameters, analytic_six
+    ):
+        config = _config(six_version_parameters, warmup_rounds=16)
+        report = simulate_batch(config)
+        windows = list(batch_windows(config, report, block=32))
+        assert len(windows) == 3  # (96 - 16) / 32, last one short
+        assert [w["trials"] for w in windows] == [
+            32 * 64, 32 * 64, 16 * 64
+        ]
+        assert [w["time"] for w in windows] == [24.0, 40.0, 48.0]
+        assert sum(w["errors"] for w in windows) == report.errors
+
+    def test_monitored_runs_carry_vote_bookkeeping(
+        self, six_version_parameters
+    ):
+        config = _config(
+            six_version_parameters, monitor=BatchMonitorConfig()
+        )
+        report = simulate_batch(config)
+        (window,) = batch_windows(config, report, block=96)
+        assert window["participants"] == 96 * 64 * 6  # every module votes
+        assert 0 <= window["deviations"] <= window["participants"]
+        assert window["flagged"] >= 0
+
+    def test_requires_recorded_round_totals(self, six_version_parameters):
+        config = _config(six_version_parameters, record_round_totals=False)
+        report = simulate_batch(config)
+        with pytest.raises(ParameterError, match="per-round totals"):
+            list(batch_windows(config, report, block=32))
+
+    def test_monitored_config_arms_the_consistency_detector(
+        self, six_version_parameters, analytic_six
+    ):
+        config = _config(
+            six_version_parameters, monitor=BatchMonitorConfig()
+        )
+        watch_config = batch_watch_config(config, target=analytic_six)
+        assert watch_config.p_deviate_healthy is not None
+        assert (
+            watch_config.p_deviate_compromised
+            > watch_config.p_deviate_healthy
+        )
+
+
+# ----------------------------------------------------------------------
+# the three acceptance proofs
+# ----------------------------------------------------------------------
+class TestDeterministicAlerting:
+    def test_clean_stream_raises_zero_alerts(
+        self, six_version_parameters, analytic_six
+    ):
+        config = _config(six_version_parameters)
+        report = simulate_batch(config)
+        watcher = watch_batch_report(
+            config,
+            report,
+            batch_watch_config(config, target=analytic_six, block=4),
+        )
+        assert watcher.log.events == []
+        assert watcher.log.counts() == {
+            "fired": 0, "resolved": 0, "active": 0, "pending": 0
+        }
+
+    def test_injected_drift_fires_within_the_certified_bound(
+        self, degraded_six, analytic_six
+    ):
+        config = _config(degraded_six)
+        report = simulate_batch(config)
+        watcher = watch_batch_report(
+            config,
+            report,
+            batch_watch_config(config, target=analytic_six, block=4),
+        )
+        assert watcher.log.counts()["fired"] >= 1
+        keys = {event["key"] for event in watcher.log.events}
+        assert "drift:reliability" in keys
+        # the certificate: firing must beat the sample bound computed
+        # from the stream's actual (degraded) success rate
+        empirical = 1.0 - report.errors / report.requests
+        bound = watcher.drift.sample_bound(empirical)
+        assert watcher.drift.fired_at_trials is not None
+        assert watcher.drift.fired_at_trials <= bound
+
+    def test_alert_stream_is_jobs_invariant(
+        self, degraded_six, analytic_six
+    ):
+        config = _config(degraded_six)
+        watch_config = batch_watch_config(
+            config, target=analytic_six, block=4
+        )
+        lines = [
+            list(
+                watch_batch_report(
+                    config, simulate_batch(config, jobs=jobs), watch_config
+                ).alert_lines()
+            )
+            for jobs in (1, 4)
+        ]
+        assert lines[0] == lines[1], "alert JSONL must not depend on jobs"
+        assert len(lines[0]) > 1, "the degraded stream must alert"
+
+
+# ----------------------------------------------------------------------
+# CLI end-to-end: --watch/--alerts and the offline replay
+# ----------------------------------------------------------------------
+class TestWatchCli:
+    def _simulate(self, tmp_path, analytic, jobs, name):
+        alerts = tmp_path / f"alerts-{name}.jsonl"
+        events = tmp_path / f"events-{name}.jsonl"
+        code = main(
+            [
+                "simulate", "--batch", "--six", "--p", "0.24",
+                "--groups", "64", "--horizon", "48", "--warmup", "0",
+                "--chunk-size", "16", "--seed", "3",
+                "--jobs", str(jobs),
+                "--watch", "--watch-target", repr(analytic),
+                "--watch-block", "4",
+                "--alerts", str(alerts), "--events", str(events),
+            ]
+        )
+        assert code == 0
+        return alerts, events
+
+    def test_alert_file_is_byte_stable_across_jobs(
+        self, tmp_path, analytic_six
+    ):
+        one, _ = self._simulate(tmp_path, analytic_six, 1, "j1")
+        four, _ = self._simulate(tmp_path, analytic_six, 4, "j4")
+        assert one.read_bytes() == four.read_bytes()
+
+    def test_repro_watch_replays_the_recorded_run_byte_identically(
+        self, tmp_path, analytic_six, capsys
+    ):
+        alerts, events = self._simulate(tmp_path, analytic_six, 1, "replay")
+        replayed = tmp_path / "replayed.jsonl"
+        code = main(
+            ["watch", "--events", str(events), "--out", str(replayed)]
+        )
+        assert code == 0
+        assert replayed.read_bytes() == alerts.read_bytes()
+        out = capsys.readouterr().out
+        assert "alert.firing" in out
+        assert "certificate[reliability-drift]" in out
+
+    def test_alert_file_layout_is_plan_then_events(
+        self, tmp_path, analytic_six
+    ):
+        alerts, _ = self._simulate(tmp_path, analytic_six, 1, "layout")
+        lines = alerts.read_text().splitlines()
+        plan = json.loads(lines[0])
+        assert plan["event"] == "watch.plan"
+        assert plan["config"]["target"] == pytest.approx(analytic_six)
+        kinds = [c["kind"] for c in plan["certificates"]]
+        assert "reliability-drift" in kinds
+        for line in lines[1:]:
+            event = json.loads(line)
+            assert event["event"].startswith("alert.")
+            assert line == json.dumps(event, sort_keys=True)
+
+    def test_clean_run_emits_no_alert_lines(self, tmp_path, capsys):
+        alerts = tmp_path / "clean.jsonl"
+        code = main(
+            [
+                "simulate", "--batch", "--six",
+                "--groups", "64", "--horizon", "48", "--warmup", "0",
+                "--chunk-size", "16", "--seed", "3",
+                "--watch", "--watch-block", "4",
+                "--alerts", str(alerts),
+            ]
+        )
+        assert code == 0
+        lines = alerts.read_text().splitlines()
+        assert len(lines) == 1, "clean stream: the plan line only"
+        assert "watch          = 0 fired" in capsys.readouterr().out
